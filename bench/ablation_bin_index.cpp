@@ -1,0 +1,72 @@
+// Ablation for the bin-aided index (paper §III-D, [28]): hierarchical
+// per-row free-bin search versus a flat linear scan, measured with
+// google-benchmark on Eagle-scale grids at several occupancy levels.
+//
+// Expected shape: the hierarchical query is orders of magnitude faster
+// at scale, which is the §III-D scalability claim ("reducing cell query
+// operations to O(log n)").
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "legalization/bin_grid.h"
+
+namespace {
+
+using namespace qgdp;
+
+/// Grid of `side`² bins with `fill` fraction occupied (seeded).
+BinGrid make_grid(int side, double fill, unsigned seed) {
+  BinGrid g(Rect{0, 0, static_cast<double>(side), static_cast<double>(side)});
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> c(0, side - 1);
+  const auto target = static_cast<std::size_t>(fill * side * side);
+  int id = 0;
+  while (g.free_count() > static_cast<std::size_t>(side) * side - target) {
+    const BinCoord b{c(rng), c(rng)};
+    if (g.is_free(b)) g.occupy(b, id++);
+  }
+  return g;
+}
+
+void bm_hierarchical(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const double fill = static_cast<double>(state.range(1)) / 100.0;
+  const BinGrid g = make_grid(side, fill, 42);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> p(0.0, static_cast<double>(side));
+  for (auto _ : state) {
+    const auto bin = g.nearest_free(Point{p(rng), p(rng)});
+    benchmark::DoNotOptimize(bin);
+  }
+}
+
+void bm_linear_scan(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const double fill = static_cast<double>(state.range(1)) / 100.0;
+  const BinGrid g = make_grid(side, fill, 42);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> p(0.0, static_cast<double>(side));
+  for (auto _ : state) {
+    const auto bin = g.nearest_free_linear_scan(Point{p(rng), p(rng)});
+    benchmark::DoNotOptimize(bin);
+  }
+}
+
+// side × occupancy%: Falcon-, Eagle-, and beyond-Eagle-scale grids.
+BENCHMARK(bm_hierarchical)
+    ->Args({32, 50})
+    ->Args({74, 50})
+    ->Args({74, 90})
+    ->Args({160, 50})
+    ->Args({160, 90});
+BENCHMARK(bm_linear_scan)
+    ->Args({32, 50})
+    ->Args({74, 50})
+    ->Args({74, 90})
+    ->Args({160, 50})
+    ->Args({160, 90});
+
+}  // namespace
+
+BENCHMARK_MAIN();

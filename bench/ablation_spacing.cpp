@@ -1,0 +1,66 @@
+// Ablation for the minimum-spacing schedule (paper §III-C): the qubit
+// legalizer's spacing floor and stringent starting value trade area
+// against crosstalk. Sweeps (min_spacing, start_spacing) on two
+// topologies and reports spacing achieved, displacement, runtime, and
+// the crosstalk metrics of the final layout.
+//
+// Expected shape: spacing 0 (classic behaviour) leaves violations and
+// hotspots; ≥1 cell removes qubit violations at modest displacement;
+// stringent starts cost extra tq (the Table II effect) but buy lower Ph.
+#include <chrono>
+#include <iostream>
+
+#include "common.h"
+#include "core/qubit_legalizer.h"
+#include "core/resonator_legalizer.h"
+#include "io/table.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+
+int main() {
+  using namespace qgdp;
+  std::cout << "=== Ablation: qubit minimum-spacing schedule (§III-C) ===\n\n";
+  Table t({"Topology", "min/start", "spacing used", "relaxations", "qubit disp", "tq ms",
+           "violations", "Ph %", "HQ"});
+
+  struct Sched {
+    double min_spacing;
+    double start_spacing;
+  };
+  const Sched schedules[] = {{0.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}, {2.0, 3.0}};
+
+  for (const auto& spec : {make_falcon27(), make_eagle127()}) {
+    QuantumNetlist gp = build_netlist(spec);
+    GlobalPlacer{}.place(gp);
+    for (const auto& s : schedules) {
+      QuantumNetlist nl = gp;
+      MacroLegalizerOptions opt;
+      opt.min_spacing = s.min_spacing;
+      opt.start_spacing = s.start_spacing;
+      QubitLegalizer ql(opt);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto qres = ql.legalize(nl);
+      const double tq =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (!qres.success) {
+        t.add_row({spec.name, fmt(s.min_spacing, 0) + "/" + fmt(s.start_spacing, 0),
+                   "infeasible", "-", "-", fmt(tq, 2), "-", "-", "-"});
+        continue;
+      }
+      BinGrid grid(nl.die());
+      for (const auto& q : nl.qubits()) grid.block_rect(q.rect());
+      ResonatorLegalizer{}.legalize(nl, grid);
+      const auto hs = compute_hotspots(nl);
+      t.add_row({spec.name, fmt(s.min_spacing, 0) + "/" + fmt(s.start_spacing, 0),
+                 fmt(qres.spacing_used, 1), std::to_string(qres.relaxations),
+                 fmt(qres.total_displacement, 1), fmt(tq, 2),
+                 std::to_string(hs.spacing_violations), fmt(hs.ph * 100, 2),
+                 std::to_string(hs.hq)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(spacing 0 reproduces the classic macro legalizer: violations remain;\n"
+               "larger starts lengthen tq via relaxation iterations, the §III-C trade-off.)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared harness code for the paper-reproduction benchmarks: runs the
+// five legalization flows from one shared GP solution (paper §IV: "all
+// comparisons are based on the same GP positions with pseudo
+// connections") and bundles the per-flow layouts + stage stats.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp::bench {
+
+/// Topology set for the benchmark harnesses (the six of Table I, in
+/// the paper's reporting order).
+inline std::vector<DeviceSpec> all_paper_topologies_for_bench() {
+  return all_paper_topologies();
+}
+
+struct FlowRun {
+  LegalizerKind kind;
+  std::string name;
+  QuantumNetlist netlist;  ///< layout after this flow
+  PipelineResult stats;
+};
+
+struct TopologyRuns {
+  DeviceSpec spec;
+  QuantumNetlist gp_netlist;  ///< shared post-GP positions
+  std::vector<FlowRun> flows;
+};
+
+/// Builds the netlist, runs GP once, then all five flows from the same
+/// GP positions. `detailed_for_qgdp` enables the DP stage on the qGDP
+/// flow (Table III compares LG vs DP).
+inline TopologyRuns run_topology(const DeviceSpec& spec, bool detailed_for_qgdp = false,
+                                 unsigned gp_seed = 1u) {
+  TopologyRuns out;
+  out.spec = spec;
+  out.gp_netlist = build_netlist(spec);
+  {
+    GlobalPlacerOptions gp_opt;
+    gp_opt.seed = gp_seed;
+    GlobalPlacer gp(gp_opt);
+    gp.place(out.gp_netlist);
+  }
+  for (const LegalizerKind kind : all_legalizer_kinds()) {
+    FlowRun run{kind, legalizer_name(kind), out.gp_netlist, {}};
+    PipelineOptions opt;
+    opt.run_gp = false;  // shared GP already applied
+    opt.legalizer = kind;
+    opt.run_detailed = detailed_for_qgdp && kind == LegalizerKind::kQgdp;
+    Pipeline pipeline(opt);
+    run.stats = pipeline.run(run.netlist).stats;
+    out.flows.push_back(std::move(run));
+  }
+  return out;
+}
+
+}  // namespace qgdp::bench

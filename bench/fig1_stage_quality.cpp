@@ -1,0 +1,96 @@
+// Reproduces paper Figure 1: layout quality versus placement
+// optimization stage (GP → LG → DP), contrasting a quantum-aware
+// legalizer (qGDP) with a classic one (Tetris).
+//
+// Expected shape: legalization is brief but decisive — the classic
+// legalizer *destroys* GP quality (fidelity collapses, hotspots jump)
+// and DP cannot repair it, while the quantum-aware legalizer preserves
+// and DP further improves it.
+#include <chrono>
+#include <iostream>
+
+#include "circuits/generators.h"
+#include "circuits/mapper.h"
+#include "common.h"
+#include "fidelity/noise_model.h"
+#include "io/table.h"
+#include "metrics/clusters.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+
+namespace {
+
+/// Mean fidelity of the benchmark suite on the current layout.
+double suite_fidelity(const qgdp::QuantumNetlist& nl, int mappings = 15) {
+  using namespace qgdp;
+  FidelityEstimator est(nl);
+  SabreLiteMapper mapper(nl);
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& bench : paper_benchmarks()) {
+    if (bench.qubit_count() > static_cast<int>(nl.qubit_count())) continue;
+    for (int seed = 0; seed < mappings; ++seed) {
+      sum += est.program_fidelity(mapper.map(bench, static_cast<unsigned>(seed)));
+      ++count;
+    }
+  }
+  return count ? sum / count : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qgdp;
+  std::cout << "=== Figure 1: layout quality vs placement stage ===\n\n";
+
+  for (const auto& spec : {make_grid_device(), make_falcon27()}) {
+    QuantumNetlist gp_nl = build_netlist(spec);
+    double gp_ms = 0.0;
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      GlobalPlacer{}.place(gp_nl);
+      gp_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                  .count();
+    }
+    // GP-stage quality (overlapping layout: spatial metrics are
+    // optimistic lower bounds, reported for the stage-series shape).
+    Table t({"stage", "legalizer", "fidelity", "Ph %", "X", "cum. runtime ms"});
+    const auto gp_hs = compute_hotspots(gp_nl);
+    t.add_row({"GP", "-", format_fidelity(suite_fidelity(gp_nl)), fmt(gp_hs.ph * 100, 2),
+               std::to_string(compute_crossings(gp_nl).total), fmt(gp_ms, 1)});
+
+    for (const LegalizerKind kind : {LegalizerKind::kQgdp, LegalizerKind::kTetris}) {
+      const bool quantum = kind == LegalizerKind::kQgdp;
+      // LG stage.
+      QuantumNetlist lg_nl = gp_nl;
+      PipelineOptions lg_opt;
+      lg_opt.run_gp = false;
+      lg_opt.legalizer = kind;
+      auto lg_out = Pipeline(lg_opt).run(lg_nl);
+      const double lg_ms = gp_ms + lg_out.stats.qubit_ms + lg_out.stats.resonator_ms;
+      const auto lg_hs = compute_hotspots(lg_nl);
+      t.add_row({"LG", quantum ? "quantum-aware (qGDP)" : "classic (Tetris)",
+                 format_fidelity(suite_fidelity(lg_nl)), fmt(lg_hs.ph * 100, 2),
+                 std::to_string(compute_crossings(lg_nl).total), fmt(lg_ms, 1)});
+
+      // DP stage on top of this legalization.
+      DetailedPlacer dp;
+      const auto t0 = std::chrono::steady_clock::now();
+      dp.place(lg_nl, lg_out.grid);
+      const double dp_ms =
+          lg_ms +
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const auto dp_hs = compute_hotspots(lg_nl);
+      t.add_row({"DP", quantum ? "quantum-aware (qGDP)" : "classic (Tetris)",
+                 format_fidelity(suite_fidelity(lg_nl)), fmt(dp_hs.ph * 100, 2),
+                 std::to_string(compute_crossings(lg_nl).total), fmt(dp_ms, 1)});
+    }
+    std::cout << "-- " << spec.name << " --\n";
+    t.print(std::cout);
+    std::cout << "\nReading: improper legalization undermines GP outcomes and DP cannot\n"
+                 "repair them (red line of Fig. 1); the quantum-aware legalizer keeps\n"
+                 "the fidelity trajectory rising (blue line).\n\n";
+  }
+  return 0;
+}

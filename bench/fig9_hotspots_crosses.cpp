@@ -1,0 +1,55 @@
+// Reproduces paper Figure 9: frequency-hotspot proportion Ph and
+// resonator crossing count X for the five legalization flows on every
+// topology (lower is better for both).
+//
+// Expected shape (paper §V): qGDP ≪ Q-Abacus ≈ Q-Tetris < Abacus ≈
+// Tetris in Ph; qGDP achieves 6–10× fewer crossings, while the hybrid
+// Q-flows *increase* X versus their classical counterparts.
+#include <iostream>
+#include <map>
+
+#include "common.h"
+#include "io/table.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+
+int main() {
+  using namespace qgdp;
+
+  std::cout << "=== Figure 9: hotspot proportion Ph (%) and coupler crosses X ===\n\n";
+
+  const auto topologies = bench::all_paper_topologies_for_bench();
+  Table ph_table({"Topology", "qGDP", "Q-Abacus", "Q-Tetris", "Abacus", "Tetris"});
+  Table x_table({"Topology", "qGDP", "Q-Abacus", "Q-Tetris", "Abacus", "Tetris"});
+  std::map<std::string, double> ph_sum;
+  std::map<std::string, double> x_sum;
+
+  for (const auto& spec : topologies) {
+    const auto runs = bench::run_topology(spec);
+    std::vector<std::string> ph_row{spec.name};
+    std::vector<std::string> x_row{spec.name};
+    for (const auto& flow : runs.flows) {
+      const auto hs = compute_hotspots(flow.netlist);
+      const auto cr = compute_crossings(flow.netlist);
+      ph_row.push_back(fmt(hs.ph * 100.0, 2));
+      x_row.push_back(std::to_string(cr.total));
+      ph_sum[flow.name] += hs.ph * 100.0;
+      x_sum[flow.name] += cr.total;
+    }
+    ph_table.add_row(std::move(ph_row));
+    x_table.add_row(std::move(x_row));
+  }
+  const double n = static_cast<double>(topologies.size());
+  ph_table.add_row({"Mean", fmt(ph_sum["qGDP"] / n, 2), fmt(ph_sum["Q-Abacus"] / n, 2),
+                    fmt(ph_sum["Q-Tetris"] / n, 2), fmt(ph_sum["Abacus"] / n, 2),
+                    fmt(ph_sum["Tetris"] / n, 2)});
+  x_table.add_row({"Mean", fmt(x_sum["qGDP"] / n, 1), fmt(x_sum["Q-Abacus"] / n, 1),
+                   fmt(x_sum["Q-Tetris"] / n, 1), fmt(x_sum["Abacus"] / n, 1),
+                   fmt(x_sum["Tetris"] / n, 1)});
+
+  std::cout << "-- Frequency hotspot proportion Ph (%) --\n";
+  ph_table.print(std::cout);
+  std::cout << "\n-- Coupler crosses X --\n";
+  x_table.print(std::cout);
+  return 0;
+}

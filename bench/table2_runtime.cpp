@@ -1,0 +1,138 @@
+// Reproduces paper Table II: legalization runtime, split into the
+// qubit phase (tq) and the resonator phase (te), for all five flows on
+// every topology — measured with google-benchmark.
+//
+// Expected shape (not absolute ms — hardware differs): tq of the
+// quantum flows (qGDP, Q-Abacus, Q-Tetris) exceeds the classic flows'
+// because of the stringent-then-relax spacing iterations (§III-C);
+// te of the integration-aware legalizer is moderately above Tetris.
+// After the google-benchmark run, a Table II-style summary is printed.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "common.h"
+#include "core/qubit_legalizer.h"
+#include "core/resonator_legalizer.h"
+#include "io/table.h"
+#include "legalization/abacus_legalizer.h"
+#include "legalization/tetris_legalizer.h"
+
+namespace {
+
+using namespace qgdp;
+
+/// Shared GP layouts per topology (GP runs once, outside timing).
+const std::vector<QuantumNetlist>& gp_layouts() {
+  static const std::vector<QuantumNetlist> layouts = [] {
+    std::vector<QuantumNetlist> out;
+    for (const auto& spec : bench::all_paper_topologies_for_bench()) {
+      QuantumNetlist nl = build_netlist(spec);
+      GlobalPlacer{}.place(nl);
+      out.push_back(std::move(nl));
+    }
+    return out;
+  }();
+  return layouts;
+}
+
+bool quantum_qubit_phase(LegalizerKind kind) {
+  return kind != LegalizerKind::kTetris && kind != LegalizerKind::kAbacus;
+}
+
+void bm_qubit_phase(benchmark::State& state, int topo_idx, LegalizerKind kind) {
+  const QuantumNetlist& gp = gp_layouts()[static_cast<std::size_t>(topo_idx)];
+  for (auto _ : state) {
+    QuantumNetlist nl = gp;
+    QubitLegalizer ql(quantum_qubit_phase(kind));
+    const auto res = ql.legalize(nl);
+    benchmark::DoNotOptimize(res.total_displacement);
+  }
+}
+
+void bm_resonator_phase(benchmark::State& state, int topo_idx, LegalizerKind kind) {
+  // Qubit phase is done once outside the timed loop.
+  QuantumNetlist legal = gp_layouts()[static_cast<std::size_t>(topo_idx)];
+  QubitLegalizer(quantum_qubit_phase(kind)).legalize(legal);
+  for (auto _ : state) {
+    QuantumNetlist nl = legal;
+    BinGrid grid(nl.die());
+    for (const auto& q : nl.qubits()) grid.block_rect(q.rect());
+    BlockLegalizeResult res;
+    switch (kind) {
+      case LegalizerKind::kTetris:
+      case LegalizerKind::kQTetris:
+        res = TetrisLegalizer{}.legalize(nl, grid);
+        break;
+      case LegalizerKind::kAbacus:
+      case LegalizerKind::kQAbacus:
+        res = AbacusLegalizer{}.legalize(nl, grid);
+        break;
+      case LegalizerKind::kQgdp:
+        res = ResonatorLegalizer{}.legalize(nl, grid);
+        break;
+    }
+    benchmark::DoNotOptimize(res.total_displacement);
+  }
+}
+
+void register_benchmarks() {
+  const auto topologies = bench::all_paper_topologies_for_bench();
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    for (const LegalizerKind kind : all_legalizer_kinds()) {
+      const std::string base = topologies[t].name + "/" + legalizer_name(kind);
+      benchmark::RegisterBenchmark(("Table2/tq/" + base).c_str(),
+                                   [t, kind](benchmark::State& s) {
+                                     bm_qubit_phase(s, static_cast<int>(t), kind);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.05);
+      benchmark::RegisterBenchmark(("Table2/te/" + base).c_str(),
+                                   [t, kind](benchmark::State& s) {
+                                     bm_resonator_phase(s, static_cast<int>(t), kind);
+                                   })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.05);
+    }
+  }
+}
+
+/// Paper-style summary (single-shot wall times, ms).
+void print_summary_table() {
+  std::cout << "\n=== Table II summary: single-shot legalization times (ms) ===\n";
+  Table t({"Topology", "qGDP tq", "qGDP te", "Q-Abacus tq", "Q-Abacus te", "Q-Tetris tq",
+           "Q-Tetris te", "Abacus tq", "Abacus te", "Tetris tq", "Tetris te"});
+  std::map<std::string, double> tq_sum;
+  std::map<std::string, double> te_sum;
+  const auto topologies = bench::all_paper_topologies_for_bench();
+  for (const auto& spec : topologies) {
+    const auto runs = bench::run_topology(spec);
+    std::vector<std::string> row{spec.name};
+    for (const auto& flow : runs.flows) {
+      row.push_back(fmt(flow.stats.qubit_ms, 2));
+      row.push_back(fmt(flow.stats.resonator_ms, 2));
+      tq_sum[flow.name] += flow.stats.qubit_ms;
+      te_sum[flow.name] += flow.stats.resonator_ms;
+    }
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> mean{"Mean"};
+  for (const char* name : {"qGDP", "Q-Abacus", "Q-Tetris", "Abacus", "Tetris"}) {
+    mean.push_back(fmt(tq_sum[name] / static_cast<double>(topologies.size()), 2));
+    mean.push_back(fmt(te_sum[name] / static_cast<double>(topologies.size()), 2));
+  }
+  t.add_row(std::move(mean));
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary_table();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fidelity study: run one benchmark circuit on a chosen topology under
+// all five legalization flows and decompose where each flow loses
+// fidelity (gates/decoherence vs qubit crosstalk vs resonator
+// crosstalk) — the measurement behind the paper's Figure 8 discussion.
+//
+//   $ ./examples/fidelity_study [topology] [benchmark] [mappings]
+//   $ ./examples/fidelity_study Falcon bv-9 25
+#include <iostream>
+#include <string>
+
+#include "circuits/generators.h"
+#include "circuits/mapper.h"
+#include "core/pipeline.h"
+#include "fidelity/noise_model.h"
+#include "io/table.h"
+#include "metrics/clusters.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+int main(int argc, char** argv) {
+  using namespace qgdp;
+  const std::string topo_name = argc > 1 ? argv[1] : "Falcon";
+  const std::string bench_name = argc > 2 ? argv[2] : "bv-9";
+  const int mappings = argc > 3 ? std::atoi(argv[3]) : 25;
+
+  // Resolve topology and benchmark.
+  DeviceSpec spec;
+  bool found = false;
+  for (const auto& d : all_paper_topologies()) {
+    if (d.name == topo_name) {
+      spec = d;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << "unknown topology '" << topo_name
+              << "' (try Grid, Xtree, Falcon, Eagle, Aspen-11, Aspen-M)\n";
+    return 1;
+  }
+  Circuit circuit("", 1);
+  found = false;
+  for (const auto& c : paper_benchmarks()) {
+    if (c.name() == bench_name) {
+      circuit = c;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << "unknown benchmark '" << bench_name
+              << "' (try bv-4, bv-9, bv-16, qaoa-4, ising-4, qgan-4, qgan-9)\n";
+    return 1;
+  }
+
+  std::cout << "Fidelity study: " << bench_name << " on " << topo_name << ", " << mappings
+            << " random mappings per flow\n\n";
+
+  QuantumNetlist gp = build_netlist(spec);
+  GlobalPlacer{}.place(gp);
+
+  Table t({"flow", "fidelity", "gate factor", "qubit xtalk", "res xtalk", "unified", "X",
+           "Ph %"});
+  for (const LegalizerKind kind : all_legalizer_kinds()) {
+    QuantumNetlist nl = gp;
+    PipelineOptions opt;
+    opt.run_gp = false;
+    opt.legalizer = kind;
+    opt.run_detailed = (kind == LegalizerKind::kQgdp);
+    Pipeline(opt).run(nl);
+
+    FidelityEstimator est(nl);
+    SabreLiteMapper mapper(nl);
+    double f = 0.0;
+    FidelityEstimator::Breakdown acc;
+    acc.gate_factor = acc.qubit_crosstalk_factor = acc.resonator_crosstalk_factor = 0.0;
+    for (int seed = 0; seed < mappings; ++seed) {
+      const auto mc = mapper.map(circuit, static_cast<unsigned>(seed));
+      const auto b = est.breakdown(mc);
+      f += b.gate_factor * b.qubit_crosstalk_factor * b.resonator_crosstalk_factor;
+      acc.gate_factor += b.gate_factor;
+      acc.qubit_crosstalk_factor += b.qubit_crosstalk_factor;
+      acc.resonator_crosstalk_factor += b.resonator_crosstalk_factor;
+    }
+    const double inv = 1.0 / mappings;
+    t.add_row({legalizer_name(kind) + (opt.run_detailed ? "+DP" : ""),
+               format_fidelity(f * inv), fmt(acc.gate_factor * inv, 4),
+               fmt(acc.qubit_crosstalk_factor * inv, 4),
+               fmt(acc.resonator_crosstalk_factor * inv, 4),
+               std::to_string(unified_edge_count(nl)) + "/" + std::to_string(nl.edge_count()),
+               std::to_string(compute_crossings(nl).total),
+               fmt(compute_hotspots(nl).ph * 100, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nColumns: mean factors of Eq. 7 — a flow that violates qubit spacing\n"
+               "collapses in 'qubit xtalk'; scattered wire blocks show up in 'res xtalk'.\n";
+  return 0;
+}

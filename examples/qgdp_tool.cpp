@@ -1,0 +1,179 @@
+// qgdp_tool: command-line driver for the full qGDP flow.
+//
+// Runs GP → legalization → (optional) DP on a built-in topology or a
+// .qdev device file, audits the result, and writes the layout artifacts
+// a physical-design hand-off needs (.qlay + .svg + metrics report).
+//
+//   $ ./examples/qgdp_tool --topology Falcon --flow qgdp --dp \
+//         --out falcon_layout.qlay --svg falcon_layout.svg
+//   $ ./examples/qgdp_tool --device mychip.qdev --flow q-abacus
+//   $ ./examples/qgdp_tool --list
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.h"
+#include "io/serialization.h"
+#include "io/svg_writer.h"
+#include "io/table.h"
+#include "metrics/audit.h"
+#include "metrics/clusters.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace {
+
+using namespace qgdp;
+
+void print_usage() {
+  std::cout <<
+      R"(qgdp_tool — quantum legalization and detailed placement driver
+
+options:
+  --topology NAME   built-in topology (Grid, Xtree, Falcon, Eagle,
+                    Aspen-11, Aspen-M)
+  --device FILE     load a .qdev device description instead
+  --flow FLOW       qgdp | q-abacus | q-tetris | abacus | tetris
+                    (default qgdp)
+  --dp              run the detailed-placement stage (qgdp flow only)
+  --seed N          global-placement seed (default 1)
+  --out FILE        write the final layout as .qlay
+  --svg FILE        render the final layout as SVG
+  --list            list built-in topologies and exit
+  --help            this text
+)";
+}
+
+std::optional<LegalizerKind> parse_flow(const std::string& s) {
+  if (s == "qgdp") return LegalizerKind::kQgdp;
+  if (s == "q-abacus") return LegalizerKind::kQAbacus;
+  if (s == "q-tetris") return LegalizerKind::kQTetris;
+  if (s == "abacus") return LegalizerKind::kAbacus;
+  if (s == "tetris") return LegalizerKind::kTetris;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology = "Grid";
+  std::string device_file;
+  std::string flow_name = "qgdp";
+  std::string out_file;
+  std::string svg_file;
+  bool run_dp = false;
+  unsigned seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      print_usage();
+      return 0;
+    } else if (arg == "--list") {
+      for (const auto& d : all_paper_topologies()) {
+        std::cout << d.name << "  (" << d.qubit_count << " qubits, " << d.edge_count()
+                  << " resonators)\n";
+      }
+      return 0;
+    } else if (arg == "--topology") {
+      topology = value();
+    } else if (arg == "--device") {
+      device_file = value();
+    } else if (arg == "--flow") {
+      flow_name = value();
+    } else if (arg == "--dp") {
+      run_dp = true;
+    } else if (arg == "--seed") {
+      seed = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--out") {
+      out_file = value();
+    } else if (arg == "--svg") {
+      svg_file = value();
+    } else {
+      std::cerr << "unknown option " << arg << " (try --help)\n";
+      return 1;
+    }
+  }
+
+  const auto flow = parse_flow(flow_name);
+  if (!flow) {
+    std::cerr << "unknown flow '" << flow_name << "' (try --help)\n";
+    return 1;
+  }
+
+  // Resolve the device.
+  DeviceSpec spec;
+  if (!device_file.empty()) {
+    spec = read_device_file(device_file);
+  } else {
+    bool found = false;
+    for (const auto& d : all_paper_topologies()) {
+      if (d.name == topology) {
+        spec = d;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "unknown topology '" << topology << "' (see --list)\n";
+      return 1;
+    }
+  }
+
+  QuantumNetlist nl = build_netlist(spec);
+  std::cout << "device " << spec.name << ": " << nl.qubit_count() << " qubits, "
+            << nl.edge_count() << " resonators, " << nl.block_count() << " blocks, die "
+            << nl.die().width() << "x" << nl.die().height() << "\n";
+
+  PipelineOptions opt;
+  opt.legalizer = *flow;
+  opt.run_detailed = run_dp && *flow == LegalizerKind::kQgdp;
+  opt.gp.seed = seed;
+  const auto out = Pipeline(opt).run(nl);
+
+  // Metrics + audit.
+  const auto hs = compute_hotspots(nl);
+  const auto cr = compute_crossings(nl);
+  Table t({"metric", "value"});
+  t.add_row({"flow", legalizer_name(*flow) + (opt.run_detailed ? "+DP" : "")});
+  t.add_row({"qubit displacement", fmt(out.stats.qubit.total_displacement, 2)});
+  t.add_row({"qubit spacing", fmt(out.stats.qubit.spacing_used, 1)});
+  t.add_row({"block displacement", fmt(out.stats.blocks.total_displacement, 2)});
+  t.add_row({"unified resonators",
+             std::to_string(unified_edge_count(nl)) + "/" + std::to_string(nl.edge_count())});
+  t.add_row({"crossings X", std::to_string(cr.total)});
+  t.add_row({"hotspot Ph %", fmt(hs.ph * 100, 3)});
+  t.add_row({"hotspot HQ", std::to_string(hs.hq)});
+  t.add_row({"spacing violations", std::to_string(hs.spacing_violations)});
+  t.add_row({"runtime tq ms", fmt(out.stats.qubit_ms, 2)});
+  t.add_row({"runtime te ms", fmt(out.stats.resonator_ms, 2)});
+  if (opt.run_detailed) t.add_row({"runtime dp ms", fmt(out.stats.dp_ms, 2)});
+  t.print(std::cout);
+
+  AuditOptions audit_opt;
+  const bool quantum = *flow != LegalizerKind::kTetris && *flow != LegalizerKind::kAbacus;
+  audit_opt.qubit_min_spacing = quantum ? out.stats.qubit.spacing_used : 0.0;
+  const auto audit = audit_layout(nl, audit_opt);
+  audit.print(std::cout);
+  if (!audit.clean()) return 2;
+
+  if (!out_file.empty()) {
+    write_layout_file(nl, out_file);
+    std::cout << "layout written to " << out_file << "\n";
+  }
+  if (!svg_file.empty()) {
+    SvgOptions svg_opt;
+    svg_opt.draw_crossings = true;
+    write_layout_svg(nl, svg_file, svg_opt);
+    std::cout << "svg written to " << svg_file << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Minimal quantum-circuit IR: enough structure to transpile NISQ
+// benchmarks onto a device topology and count what the fidelity model
+// needs (per-qubit gate counts, engaged resonators, circuit duration).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qgdp {
+
+enum class GateKind : std::uint8_t { kH, kX, kRX, kRY, kRZ, kCX, kCZ, kRZZ, kSwap };
+
+[[nodiscard]] constexpr bool is_two_qubit(GateKind k) {
+  return k == GateKind::kCX || k == GateKind::kCZ || k == GateKind::kRZZ ||
+         k == GateKind::kSwap;
+}
+
+struct Gate {
+  GateKind kind{GateKind::kH};
+  int q0{0};
+  int q1{-1};          ///< second operand for two-qubit gates
+  double angle{0.0};   ///< rotation parameter where applicable
+};
+
+class Circuit {
+ public:
+  Circuit(std::string name, int qubit_count) : name_(std::move(name)), n_(qubit_count) {
+    if (qubit_count <= 0) throw std::invalid_argument("Circuit: qubit_count must be positive");
+  }
+
+  void add(GateKind kind, int q0, int q1 = -1, double angle = 0.0) {
+    check(q0);
+    if (is_two_qubit(kind)) {
+      check(q1);
+      if (q0 == q1) throw std::invalid_argument("Circuit: two-qubit gate on one qubit");
+    }
+    gates_.push_back({kind, q0, q1, angle});
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int qubit_count() const { return n_; }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+
+  [[nodiscard]] int two_qubit_gate_count() const {
+    int c = 0;
+    for (const auto& g : gates_) c += is_two_qubit(g.kind) ? 1 : 0;
+    return c;
+  }
+  [[nodiscard]] int one_qubit_gate_count() const {
+    return static_cast<int>(gates_.size()) - two_qubit_gate_count();
+  }
+
+ private:
+  void check(int q) const {
+    if (q < 0 || q >= n_) throw std::out_of_range("Circuit: qubit index out of range");
+  }
+
+  std::string name_;
+  int n_;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qgdp

@@ -1,0 +1,135 @@
+#include "circuits/generators.h"
+
+#include <numbers>
+#include <string>
+
+namespace qgdp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+Circuit make_bv(int total_qubits) {
+  Circuit c("bv-" + std::to_string(total_qubits), total_qubits);
+  const int anc = total_qubits - 1;
+  // Prepare |-> on the ancilla, |+> on data qubits.
+  c.add(GateKind::kX, anc);
+  for (int q = 0; q < total_qubits; ++q) c.add(GateKind::kH, q);
+  // Oracle for the alternating hidden string 1010…
+  for (int q = 0; q < anc; ++q) {
+    if (q % 2 == 0) c.add(GateKind::kCX, q, anc);
+  }
+  // Un-Hadamard the data register.
+  for (int q = 0; q < anc; ++q) c.add(GateKind::kH, q);
+  return c;
+}
+
+Circuit make_qaoa_ring(int n, int layers) {
+  Circuit c("qaoa-" + std::to_string(n), n);
+  for (int q = 0; q < n; ++q) c.add(GateKind::kH, q);
+  for (int l = 0; l < layers; ++l) {
+    const double gamma = 0.4 + 0.2 * l;
+    const double beta = 0.7 - 0.1 * l;
+    // Cost layer: RZZ on each ring edge, decomposed CX·RZ·CX.
+    for (int q = 0; q < n; ++q) {
+      const int r = (q + 1) % n;
+      c.add(GateKind::kCX, q, r);
+      c.add(GateKind::kRZ, r, -1, 2 * gamma);
+      c.add(GateKind::kCX, q, r);
+    }
+    // Mixer layer.
+    for (int q = 0; q < n; ++q) c.add(GateKind::kRX, q, -1, 2 * beta);
+  }
+  return c;
+}
+
+Circuit make_ising_chain(int n, int trotter_steps) {
+  Circuit c("ising-" + std::to_string(n), n);
+  const double dt = 0.1;
+  for (int q = 0; q < n; ++q) c.add(GateKind::kH, q);
+  for (int s = 0; s < trotter_steps; ++s) {
+    for (int q = 0; q + 1 < n; ++q) {
+      c.add(GateKind::kCX, q, q + 1);
+      c.add(GateKind::kRZ, q + 1, -1, 2 * dt);
+      c.add(GateKind::kCX, q, q + 1);
+    }
+    for (int q = 0; q < n; ++q) c.add(GateKind::kRX, q, -1, 2 * dt);
+  }
+  return c;
+}
+
+Circuit make_qgan(int n, int layers) {
+  Circuit c("qgan-" + std::to_string(n), n);
+  for (int l = 0; l < layers; ++l) {
+    for (int q = 0; q < n; ++q) {
+      c.add(GateKind::kRY, q, -1, kPi * (0.21 + 0.13 * l + 0.05 * q));
+    }
+    for (int q = 0; q < n; ++q) {
+      c.add(GateKind::kCX, q, (q + 1) % n);
+    }
+  }
+  for (int q = 0; q < n; ++q) c.add(GateKind::kRY, q, -1, kPi * 0.37);
+  return c;
+}
+
+Circuit make_qft(int n) {
+  Circuit c("qft-" + std::to_string(n), n);
+  for (int q = 0; q < n; ++q) {
+    c.add(GateKind::kH, q);
+    for (int t = q + 1; t < n; ++t) {
+      // Controlled-phase CP(θ) decomposed as RZ/CX/RZ/CX/RZ.
+      const double theta = kPi / static_cast<double>(1 << (t - q));
+      c.add(GateKind::kRZ, q, -1, theta / 2);
+      c.add(GateKind::kCX, t, q);
+      c.add(GateKind::kRZ, q, -1, -theta / 2);
+      c.add(GateKind::kCX, t, q);
+      c.add(GateKind::kRZ, t, -1, theta / 2);
+    }
+  }
+  for (int q = 0; q < n / 2; ++q) {
+    c.add(GateKind::kSwap, q, n - 1 - q);
+  }
+  return c;
+}
+
+Circuit make_ghz(int n) {
+  Circuit c("ghz-" + std::to_string(n), n);
+  c.add(GateKind::kH, 0);
+  for (int q = 0; q + 1 < n; ++q) c.add(GateKind::kCX, q, q + 1);
+  return c;
+}
+
+Circuit make_vqe(int n, int layers) {
+  Circuit c("vqe-" + std::to_string(n), n);
+  for (int l = 0; l < layers; ++l) {
+    for (int q = 0; q < n; ++q) {
+      c.add(GateKind::kRY, q, -1, 0.3 + 0.11 * l + 0.07 * q);
+      c.add(GateKind::kRZ, q, -1, 0.5 - 0.09 * l + 0.04 * q);
+    }
+    for (int q = 0; q + 1 < n; ++q) c.add(GateKind::kCX, q, q + 1);
+  }
+  for (int q = 0; q < n; ++q) c.add(GateKind::kRY, q, -1, 0.21 + 0.05 * q);
+  return c;
+}
+
+std::vector<Circuit> extended_benchmarks() {
+  auto out = paper_benchmarks();
+  out.push_back(make_qft(5));
+  out.push_back(make_ghz(8));
+  out.push_back(make_vqe(6));
+  return out;
+}
+
+std::vector<Circuit> paper_benchmarks() {
+  std::vector<Circuit> out;
+  out.push_back(make_bv(4));
+  out.push_back(make_bv(9));
+  out.push_back(make_bv(16));
+  out.push_back(make_qaoa_ring(4));
+  out.push_back(make_ising_chain(4));
+  out.push_back(make_qgan(4));
+  out.push_back(make_qgan(9));
+  return out;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,48 @@
+// NISQ benchmark generators (paper Table I):
+//   BV     Bernstein-Vazirani on n qubits (n-1 data + 1 ancilla)
+//   QAOA   MaxCut QAOA on a 4-qubit ring, p layers
+//   Ising  trotterized transverse-field Ising spin chain
+//   QGAN   hardware-efficient variational generator ansatz
+#pragma once
+
+#include <vector>
+
+#include "circuits/circuit.h"
+
+namespace qgdp {
+
+/// Bernstein-Vazirani with an alternating hidden string (n ≥ 2 qubits
+/// total; the last qubit is the phase ancilla).
+[[nodiscard]] Circuit make_bv(int total_qubits);
+
+/// MaxCut QAOA on an n-qubit ring with p alternating cost/mixer layers.
+[[nodiscard]] Circuit make_qaoa_ring(int n = 4, int layers = 2);
+
+/// Digitized adiabatic evolution of a linear Ising spin chain
+/// (trotter steps of RZZ couplings + RX transverse field).
+[[nodiscard]] Circuit make_ising_chain(int n = 4, int trotter_steps = 3);
+
+/// QGAN generator ansatz: layers of RY rotations + CX entangling ring.
+[[nodiscard]] Circuit make_qgan(int n, int layers = 3);
+
+/// The seven benchmark instances of the paper's evaluation, in order:
+/// bv-4, bv-9, bv-16, qaoa-4, ising-4, qgan-4, qgan-9.
+[[nodiscard]] std::vector<Circuit> paper_benchmarks();
+
+// ---- extended suite (beyond the paper's Table I) --------------------
+
+/// Quantum Fourier transform on n qubits (controlled-phase ladder
+/// decomposed into CX + RZ, with the final qubit-reversal swaps).
+[[nodiscard]] Circuit make_qft(int n);
+
+/// GHZ state preparation: H + CX fan-out chain.
+[[nodiscard]] Circuit make_ghz(int n);
+
+/// Hardware-efficient VQE ansatz: RY/RZ layers + linear CX
+/// entanglers (the typical chemistry workload shape).
+[[nodiscard]] Circuit make_vqe(int n, int layers = 2);
+
+/// Extended suite: paper benchmarks + qft-5, ghz-8, vqe-6.
+[[nodiscard]] std::vector<Circuit> extended_benchmarks();
+
+}  // namespace qgdp

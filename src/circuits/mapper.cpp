@@ -1,0 +1,201 @@
+#include "circuits/mapper.h"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace qgdp {
+
+SabreLiteMapper::SabreLiteMapper(const QuantumNetlist& nl, MapperParams params)
+    : nl_(&nl), params_(params) {
+  const int n = static_cast<int>(nl.qubit_count());
+  adj_.assign(static_cast<std::size_t>(n), {});
+  for (const auto& e : nl.edges()) {
+    adj_[static_cast<std::size_t>(e.q0)].push_back(e.q1);
+    adj_[static_cast<std::size_t>(e.q1)].push_back(e.q0);
+  }
+  // All-pairs BFS (n ≤ a few hundred).
+  dist_.assign(static_cast<std::size_t>(n), std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int s = 0; s < n; ++s) {
+    auto& d = dist_[static_cast<std::size_t>(s)];
+    std::queue<int> q;
+    d[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (const int v : adj_[static_cast<std::size_t>(u)]) {
+        if (d[static_cast<std::size_t>(v)] < 0) {
+          d[static_cast<std::size_t>(v)] = d[static_cast<std::size_t>(u)] + 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+}
+
+MappedCircuit SabreLiteMapper::map(const Circuit& c, unsigned seed) const {
+  const int n_phys = static_cast<int>(nl_->qubit_count());
+  const int n_log = c.qubit_count();
+  if (n_log > n_phys) throw std::invalid_argument("SabreLiteMapper: circuit too large for device");
+  std::mt19937 rng(seed);
+
+  // Random connected region of n_log physical qubits (randomized BFS
+  // from a random seed qubit — this is what varies across the paper's
+  // 50 mappings).
+  std::uniform_int_distribution<int> pick(0, n_phys - 1);
+  std::vector<int> region;
+  std::set<int> in_region;
+  const int start = pick(rng);
+  in_region.insert(start);
+  region.push_back(start);
+  while (static_cast<int>(region.size()) < n_log) {
+    std::vector<int> cands;
+    for (const int u : region) {
+      for (const int v : adj_[static_cast<std::size_t>(u)]) {
+        if (!in_region.count(v)) cands.push_back(v);
+      }
+    }
+    if (cands.empty()) {
+      // Disconnected device fragment smaller than the circuit; extend
+      // with the globally nearest unused qubit.
+      for (int v = 0; v < n_phys; ++v) {
+        if (!in_region.count(v)) cands.push_back(v);
+      }
+    }
+    const int chosen = cands[static_cast<std::size_t>(
+        std::uniform_int_distribution<int>(0, static_cast<int>(cands.size()) - 1)(rng))];
+    in_region.insert(chosen);
+    region.push_back(chosen);
+  }
+
+  // Interaction-aware assignment within the region (SABRE-style
+  // initial layout): process logical qubits in interaction-graph BFS
+  // order, placing each on the free region qubit that minimizes the
+  // hop distance to its already-placed interaction partners.
+  std::vector<std::set<int>> interacts(static_cast<std::size_t>(n_log));
+  for (const auto& g : c.gates()) {
+    if (is_two_qubit(g.kind)) {
+      interacts[static_cast<std::size_t>(g.q0)].insert(g.q1);
+      interacts[static_cast<std::size_t>(g.q1)].insert(g.q0);
+    }
+  }
+  std::vector<int> logical_order;
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(n_log), false);
+    std::vector<int> queue;
+    for (int root = 0; root < n_log; ++root) {
+      if (seen[static_cast<std::size_t>(root)]) continue;
+      queue.push_back(root);
+      seen[static_cast<std::size_t>(root)] = true;
+      while (!queue.empty()) {
+        const int l = queue.front();
+        queue.erase(queue.begin());
+        logical_order.push_back(l);
+        for (const int nb : interacts[static_cast<std::size_t>(l)]) {
+          if (!seen[static_cast<std::size_t>(nb)]) {
+            seen[static_cast<std::size_t>(nb)] = true;
+            queue.push_back(nb);
+          }
+        }
+      }
+    }
+  }
+  MappedCircuit mc;
+  mc.initial_mapping.assign(static_cast<std::size_t>(n_log), -1);
+  std::set<int> free_region(region.begin(), region.end());
+  for (const int l : logical_order) {
+    int best_p = -1;
+    long best_cost = std::numeric_limits<long>::max();
+    for (const int p : free_region) {
+      long cost = 0;
+      for (const int nb : interacts[static_cast<std::size_t>(l)]) {
+        const int pp = mc.initial_mapping[static_cast<std::size_t>(nb)];
+        if (pp >= 0) cost += coupling_distance(p, pp);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_p = p;
+      }
+    }
+    mc.initial_mapping[static_cast<std::size_t>(l)] = best_p;
+    free_region.erase(best_p);
+  }
+  std::vector<int> phys_of = mc.initial_mapping;  // evolves with swaps
+
+  mc.one_q_count.assign(static_cast<std::size_t>(n_phys), 0);
+  mc.two_q_count.assign(static_cast<std::size_t>(n_phys), 0);
+  std::vector<double> clock(static_cast<std::size_t>(n_phys), 0.0);
+  std::set<int> active_q(region.begin(), region.end());
+  std::set<int> active_e;
+
+  auto do_1q = [&](int phys) {
+    ++mc.one_q_count[static_cast<std::size_t>(phys)];
+    clock[static_cast<std::size_t>(phys)] += params_.gate_1q_ns;
+  };
+  auto do_2q = [&](int pa, int pb, int cx_equivalents) {
+    mc.two_q_count[static_cast<std::size_t>(pa)] += cx_equivalents;
+    mc.two_q_count[static_cast<std::size_t>(pb)] += cx_equivalents;
+    mc.total_cx += cx_equivalents;
+    const double t =
+        std::max(clock[static_cast<std::size_t>(pa)], clock[static_cast<std::size_t>(pb)]) +
+        params_.gate_2q_ns * cx_equivalents;
+    clock[static_cast<std::size_t>(pa)] = t;
+    clock[static_cast<std::size_t>(pb)] = t;
+    const int e = nl_->edge_between(pa, pb);
+    if (e >= 0) active_e.insert(e);
+    active_q.insert(pa);
+    active_q.insert(pb);
+  };
+
+  for (const auto& g : c.gates()) {
+    if (!is_two_qubit(g.kind)) {
+      do_1q(phys_of[static_cast<std::size_t>(g.q0)]);
+      continue;
+    }
+    // Route: greedily swap q0's token toward q1 until adjacent.
+    int pa = phys_of[static_cast<std::size_t>(g.q0)];
+    const int pb_log = g.q1;
+    while (true) {
+      const int pb = phys_of[static_cast<std::size_t>(pb_log)];
+      if (coupling_distance(pa, pb) <= 1) break;
+      // Best neighbour of pa (ties broken deterministically).
+      int best_nb = -1;
+      int best_d = coupling_distance(pa, pb);
+      for (const int nb : adj_[static_cast<std::size_t>(pa)]) {
+        const int d = coupling_distance(nb, pb);
+        if (d < best_d) {
+          best_d = d;
+          best_nb = nb;
+        }
+      }
+      if (best_nb < 0) throw std::runtime_error("SabreLiteMapper: no route (disconnected)");
+      // SWAP pa ↔ best_nb = 3 CX on that coupling edge.
+      do_2q(pa, best_nb, 3);
+      ++mc.swap_count;
+      // Update logical→physical for whatever logicals sit there.
+      for (auto& p : phys_of) {
+        if (p == pa) {
+          p = best_nb;
+        } else if (p == best_nb) {
+          p = pa;
+        }
+      }
+      pa = best_nb;
+    }
+    const int pb = phys_of[static_cast<std::size_t>(pb_log)];
+    pa = phys_of[static_cast<std::size_t>(g.q0)];
+    // An explicit SWAP gate costs its 3-CX decomposition; other
+    // two-qubit gates are one native CX-class interaction.
+    do_2q(pa, pb, g.kind == GateKind::kSwap ? 3 : 1);
+  }
+
+  mc.active_qubits.assign(active_q.begin(), active_q.end());
+  mc.active_edges.assign(active_e.begin(), active_e.end());
+  mc.duration_ns = *std::max_element(clock.begin(), clock.end());
+  return mc;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,315 @@
+#include "core/detailed_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "metrics/clusters.h"
+#include "routing/maze_router.h"
+
+namespace qgdp {
+
+namespace {
+
+/// Window around the edge: its blocks, both qubits, inflated margin,
+/// clipped to the die (paper Fig. 7-b).
+Rect edge_window(const QuantumNetlist& nl, int eid, double margin) {
+  const auto& e = nl.edge(eid);
+  Rect w = nl.qubit(e.q0).rect().united(nl.qubit(e.q1).rect());
+  for (const int b : e.blocks) w = w.united(nl.block(b).rect());
+  w = w.inflated(margin);
+  return w.intersection(nl.die());
+}
+
+/// Grow `chosen` by `extra` free bins adjacent to the chosen set,
+/// preferring bins closest to the set centroid (compact bulge).
+bool grow_bulge(const BinGrid& grid, const Rect& window, std::vector<BinCoord>& chosen,
+                int extra) {
+  std::set<BinCoord> in_set(chosen.begin(), chosen.end());
+  for (int k = 0; k < extra; ++k) {
+    Point centroid{0, 0};
+    for (const BinCoord b : chosen) centroid += grid.center_of(b);
+    centroid = centroid / static_cast<double>(chosen.size());
+    double best = std::numeric_limits<double>::infinity();
+    std::optional<BinCoord> pick;
+    for (const BinCoord b : chosen) {
+      for (const BinCoord nb : grid.free_neighbors(b)) {
+        if (in_set.count(nb)) continue;
+        if (!window.contains(grid.center_of(nb))) continue;
+        const double d2 = distance2(grid.center_of(nb), centroid);
+        if (d2 < best) {
+          best = d2;
+          pick = nb;
+        }
+      }
+    }
+    if (!pick) return false;
+    chosen.push_back(*pick);
+    in_set.insert(*pick);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DetailedPlacer::try_multi_edge_move(QuantumNetlist& nl, BinGrid& grid,
+                                         int target_edge) const {
+  const auto& e = nl.edge(target_edge);
+  // Window edges: the target plus resonators sharing one of its qubits.
+  std::vector<int> edges{target_edge};
+  for (const int q : {e.q0, e.q1}) {
+    for (const int other : nl.incident_edges(q)) {
+      if (std::find(edges.begin(), edges.end(), other) == edges.end()) {
+        edges.push_back(other);
+      }
+    }
+  }
+  Rect window = edge_window(nl, target_edge, opt_.window_margin + 3.0);
+  for (const int eid : edges) window = window.united(edge_window(nl, eid, 0.0));
+  window = window.intersection(nl.die());
+
+  // Snapshot + objective before.
+  struct EdgeState {
+    int eid;
+    std::vector<BinCoord> bins;
+    std::vector<Point> pos;
+  };
+  std::vector<EdgeState> before;
+  int clusters_before = 0;
+  double hot_before = 0.0;
+  for (const int eid : edges) {
+    EdgeState st;
+    st.eid = eid;
+    for (const int b : nl.edge(eid).blocks) {
+      st.bins.push_back(grid.bin_at(nl.block(b).pos));
+      st.pos.push_back(nl.block(b).pos);
+    }
+    before.push_back(std::move(st));
+    clusters_before += edge_cluster_count(nl, eid);
+    hot_before += edge_hotspot_weight(nl, eid, opt_.hotspots);
+  }
+
+  // Rip everything up.
+  for (const auto& st : before) {
+    for (const BinCoord b : st.bins) grid.release(b);
+  }
+  auto restore_all = [&]() {
+    for (const auto& st : before) {
+      const auto& blocks = nl.edge(st.eid).blocks;
+      for (std::size_t k = 0; k < st.bins.size(); ++k) {
+        grid.occupy(st.bins[k], blocks[k]);
+        nl.block(blocks[k]).pos = st.pos[k];
+      }
+    }
+  };
+
+  // Re-place largest-first with the Baa discipline inside the window.
+  std::vector<int> order = edges;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return nl.edge(a).block_count() > nl.edge(b).block_count();
+  });
+  std::vector<std::pair<int, BinCoord>> placed;  // (block, bin) for rollback
+  bool ok = true;
+  for (const int eid : order) {
+    const auto& edge = nl.edge(eid);
+    const Point mid = (nl.qubit(edge.q0).pos + nl.qubit(edge.q1).pos) / 2;
+    std::set<BinCoord> baa;
+    for (const int bid : edge.blocks) {
+      std::optional<BinCoord> chosen;
+      double best = std::numeric_limits<double>::infinity();
+      for (const BinCoord b : baa) {
+        const double d2 = distance2(grid.center_of(b), mid);
+        if (d2 < best) {
+          best = d2;
+          chosen = b;
+        }
+      }
+      if (!chosen) chosen = grid.nearest_free_in(mid, window);
+      if (!chosen) {
+        ok = false;
+        break;
+      }
+      grid.occupy(*chosen, bid);
+      placed.emplace_back(bid, *chosen);
+      nl.block(bid).pos = grid.center_of(*chosen);
+      baa.erase(*chosen);
+      for (const BinCoord nb : grid.free_neighbors(*chosen)) {
+        if (window.contains(grid.center_of(nb))) baa.insert(nb);
+      }
+    }
+    if (!ok) break;
+  }
+  if (!ok) {
+    for (const auto& [bid, bin] : placed) grid.release(bin);
+    restore_all();
+    return false;
+  }
+
+  int clusters_after = 0;
+  double hot_after = 0.0;
+  for (const int eid : edges) {
+    clusters_after += edge_cluster_count(nl, eid);
+    hot_after += edge_hotspot_weight(nl, eid, opt_.hotspots);
+  }
+  const bool no_worse = clusters_after <= clusters_before && hot_after <= hot_before + 1e-9;
+  const bool better = clusters_after < clusters_before || hot_after < hot_before - 1e-9;
+  if (no_worse && better) return true;
+  for (const auto& [bid, bin] : placed) grid.release(bin);
+  restore_all();
+  return false;
+}
+
+DetailedPlaceResult DetailedPlacer::place(QuantumNetlist& nl, BinGrid& grid) const {
+  DetailedPlaceResult result;
+  MazeRouter router(grid);
+
+  for (int round = 0; round < opt_.max_rounds; ++round) {
+    ++result.rounds;
+    // Algorithm 2 lines 1-2: non-unified resonators and hotspot edges.
+    const auto report = compute_hotspots(nl, opt_.hotspots);
+    const auto he = edge_hotspot_counts(nl, report);
+    std::vector<int> candidates;
+    for (const auto& e : nl.edges()) {
+      if (edge_cluster_count(nl, e.id) > 1 || he[static_cast<std::size_t>(e.id)] > 0) {
+        candidates.push_back(e.id);
+      }
+    }
+    if (candidates.empty()) break;
+
+    bool any_accepted = false;
+    for (const int eid : candidates) {
+      ++result.examined;
+      const auto& e = nl.edge(eid);
+      const int n = e.block_count();
+      if (n == 0) continue;
+
+      // Snapshot for rollback.
+      std::vector<BinCoord> old_bins;
+      std::vector<Point> old_pos;
+      old_bins.reserve(static_cast<std::size_t>(n));
+      for (const int b : e.blocks) {
+        old_bins.push_back(grid.bin_at(nl.block(b).pos));
+        old_pos.push_back(nl.block(b).pos);
+      }
+      const int old_clusters = edge_cluster_count(nl, eid);
+      const double old_hot = edge_hotspot_weight(nl, eid, opt_.hotspots);
+
+      // Old clusters' bins, largest first (Plan B seeds from these).
+      std::vector<std::vector<BinCoord>> old_cluster_bins;
+      {
+        auto clusters = edge_clusters(nl, eid);
+        std::sort(clusters.begin(), clusters.end(),
+                  [](const auto& a, const auto& b) { return a.size() > b.size(); });
+        for (const auto& cluster : clusters) {
+          std::vector<BinCoord> bins;
+          bins.reserve(cluster.size());
+          for (const int b : cluster) bins.push_back(grid.bin_at(nl.block(b).pos));
+          old_cluster_bins.push_back(std::move(bins));
+        }
+      }
+
+      const Rect window = edge_window(nl, eid, opt_.window_margin);
+
+      // Rip up (Fig. 7-c: extract the resonator from the window).
+      for (const BinCoord b : old_bins) grid.release(b);
+
+      auto restore = [&]() {
+        for (std::size_t k = 0; k < old_bins.size(); ++k) {
+          grid.occupy(old_bins[k], e.blocks[k]);
+          nl.block(e.blocks[k]).pos = old_pos[k];
+        }
+        ++result.reverted;
+      };
+
+      // Candidate evaluation: place blocks on `bins`, keep if the
+      // Algorithm 2 line 7 no-degradation test passes, undo otherwise.
+      auto try_plan = [&](const std::vector<BinCoord>& bins) {
+        if (static_cast<int>(bins.size()) != n) return false;
+        for (std::size_t k = 0; k < bins.size(); ++k) {
+          grid.occupy(bins[k], e.blocks[k]);
+          nl.block(e.blocks[k]).pos = grid.center_of(bins[k]);
+        }
+        const int new_clusters = edge_cluster_count(nl, eid);
+        const double new_hot = edge_hotspot_weight(nl, eid, opt_.hotspots);
+        const bool no_worse = new_clusters <= old_clusters && new_hot <= old_hot + 1e-9;
+        const bool strictly_better = new_clusters < old_clusters || new_hot < old_hot - 1e-9;
+        if (no_worse && strictly_better) return true;
+        for (const BinCoord b : bins) grid.release(b);
+        return false;
+      };
+
+      bool committed = false;
+
+      // Plan A — maze route between the two qubits inside the window
+      // and lay the blocks contiguously along the path.
+      {
+        const auto start = grid.nearest_free_in(nl.qubit(e.q0).pos, window);
+        const auto goal = grid.nearest_free_in(nl.qubit(e.q1).pos, window);
+        if (start && goal) {
+          RouteRequest req;
+          req.start = *start;
+          req.goal = *goal;
+          req.window = window;
+          const auto route = router.route(req);
+          if (route.found) {
+            std::vector<BinCoord> bins;
+            if (static_cast<int>(route.path.size()) >= n) {
+              bins.assign(route.path.begin(), route.path.begin() + n);
+            } else {
+              bins = route.path;
+              if (!grow_bulge(grid, window, bins, n - static_cast<int>(bins.size()))) {
+                bins.clear();
+              }
+            }
+            if (!bins.empty()) committed = try_plan(bins);
+          }
+        }
+      }
+
+      // Plan B — cluster merge: seed from the largest old cluster's
+      // bins (now free) and grow a compact n-bin region around it,
+      // re-attaching stray clusters without needing a q0→q1 corridor.
+      if (!committed && !old_cluster_bins.empty()) {
+        std::vector<BinCoord> bins = old_cluster_bins.front();
+        if (static_cast<int>(bins.size()) > n) bins.resize(static_cast<std::size_t>(n));
+        if (grow_bulge(grid, window, bins, n - static_cast<int>(bins.size()))) {
+          committed = try_plan(bins);
+        }
+      }
+
+      // Plan C — fresh compact region near the edge midpoint, with the
+      // window inflated progressively (stubborn split edges in dense
+      // neighbourhoods need room from farther away).
+      for (double extra = 0.0; !committed && extra <= 8.0; extra += 4.0) {
+        const Rect w = window.inflated(extra).intersection(nl.die());
+        const Point mid = (nl.qubit(e.q0).pos + nl.qubit(e.q1).pos) / 2;
+        const auto seed = grid.nearest_free_in(mid, w);
+        if (!seed) continue;
+        std::vector<BinCoord> bins{*seed};
+        if (grow_bulge(grid, w, bins, n - 1)) {
+          committed = try_plan(bins);
+        }
+      }
+
+      if (committed) {
+        ++result.accepted;
+        any_accepted = true;
+      } else {
+        restore();
+        // Plan D — multi-edge window move: extract the adjacent
+        // resonators too (paper Fig. 7-b/c shows the neighbours being
+        // pulled out of the window alongside the problem resonator).
+        if (opt_.multi_edge_windows && try_multi_edge_move(nl, grid, eid)) {
+          --result.reverted;  // the restore() above was provisional
+          ++result.accepted;
+          any_accepted = true;
+        }
+      }
+    }
+    if (!any_accepted) break;
+  }
+  return result;
+}
+
+}  // namespace qgdp

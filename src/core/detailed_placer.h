@@ -1,0 +1,56 @@
+// qGDP detailed placement (paper §III-E, Algorithm 2).
+//
+// Scans the legalized layout for resonators with multiple clusters
+// (|Ce| > 1) or frequency hotspots (He > 0), constructs a focused
+// window around each, rips up the resonator's wire blocks, maze-routes
+// a fresh path between its two qubits inside the window, and lays the
+// blocks contiguously along the path. The move is committed only when
+// the cluster count and hotspot measure do not degrade and at least one
+// strictly improves — otherwise everything is restored ("if the
+// cumulative cluster count or frequency hotspots post-optimization
+// exceed those from the legalization phase, the placements ... are
+// discarded"). Qubit positions are never altered.
+#pragma once
+
+#include "legalization/bin_grid.h"
+#include "metrics/hotspots.h"
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+struct DetailedPlacerOptions {
+  double window_margin{3.0};      ///< inflation of the window bounding box
+  int max_rounds{3};              ///< full scan repetitions
+  bool multi_edge_windows{true};  ///< rip adjacent resonators too (Fig. 7)
+  HotspotParams hotspots{};
+};
+
+struct DetailedPlaceResult {
+  int examined{0};   ///< candidate windows processed
+  int accepted{0};   ///< moves committed
+  int reverted{0};   ///< moves rolled back (no improvement / no route)
+  int rounds{0};
+};
+
+class DetailedPlacer {
+ public:
+  explicit DetailedPlacer(DetailedPlacerOptions opt = {}) : opt_(opt) {}
+
+  /// Optimizes resonator positions in place; `grid` must reflect the
+  /// legalized layout (occupied bins ↔ block positions).
+  DetailedPlaceResult place(QuantumNetlist& nl, BinGrid& grid) const;
+
+  [[nodiscard]] const DetailedPlacerOptions& options() const { return opt_; }
+
+ private:
+  /// Plan D: rip the target edge plus its qubit-adjacent resonators
+  /// inside an enlarged window and re-place them all with the
+  /// integration-aware discipline; commit only when the summed window
+  /// objective (Σ|Ce|, Σ hotspot weight) does not degrade and improves
+  /// in at least one term.
+  bool try_multi_edge_move(QuantumNetlist& nl, BinGrid& grid, int target_edge) const;
+
+  DetailedPlacerOptions opt_;
+};
+
+}  // namespace qgdp

@@ -1,0 +1,164 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <set>
+
+namespace qgdp {
+
+namespace {
+
+/// Nearest lattice center around `target` where the qubit macro fits
+/// legally (bounds + spacing against every other qubit).
+std::optional<Point> find_legal_spot(const QuantumNetlist& nl, int qubit, Point target,
+                                     double min_spacing, double search_radius) {
+  const auto& q = nl.qubit(qubit);
+  const Rect die = nl.die();
+  const double half_w = q.width / 2;
+  const double half_h = q.height / 2;
+  auto legal = [&](Point c) {
+    if (c.x < die.lo.x + half_w || c.x > die.hi.x - half_w || c.y < die.lo.y + half_h ||
+        c.y > die.hi.y - half_h) {
+      return false;
+    }
+    for (const auto& other : nl.qubits()) {
+      if (other.id == qubit) continue;
+      const double need_x = (q.width + other.width) / 2 + min_spacing;
+      const double need_y = (q.height + other.height) / 2 + min_spacing;
+      if (std::abs(c.x - other.pos.x) < need_x - 1e-9 &&
+          std::abs(c.y - other.pos.y) < need_y - 1e-9) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const Point snapped{std::round(target.x - half_w) + half_w,
+                      std::round(target.y - half_h) + half_h};
+  double best = std::numeric_limits<double>::infinity();
+  std::optional<Point> pick;
+  const int max_r = static_cast<int>(std::ceil(search_radius));
+  for (int r = 0; r <= max_r; ++r) {
+    if (pick && static_cast<double>(r - 1) > std::sqrt(best)) break;
+    for (int dx = -r; dx <= r; ++dx) {
+      for (int dy = -r; dy <= r; ++dy) {
+        if (std::max(std::abs(dx), std::abs(dy)) != r) continue;  // ring only
+        const Point c = snapped + Point{static_cast<double>(dx), static_cast<double>(dy)};
+        if (!legal(c)) continue;
+        const double d2 = distance2(c, target);
+        if (d2 < best) {
+          best = d2;
+          pick = c;
+        }
+      }
+    }
+  }
+  return pick;
+}
+
+}  // namespace
+
+EcoResult IncrementalLegalizer::move_qubit(QuantumNetlist& nl, BinGrid& grid, int qubit,
+                                           Point target) const {
+  EcoResult res;
+  const Point old_pos = nl.qubit(qubit).pos;
+  const Rect old_rect = nl.qubit(qubit).rect();
+
+  const auto spot = find_legal_spot(nl, qubit, target, opt_.min_spacing, opt_.search_radius);
+  if (!spot) return res;  // nowhere legal within the search radius
+  res.final_position = *spot;
+  res.qubit_displacement = distance(*spot, target);
+
+  nl.qubit(qubit).pos = *spot;
+  const Rect new_rect = nl.qubit(qubit).rect();
+
+  // Edges to re-place: incident to the qubit, or owning a block that
+  // the moved macro now covers.
+  std::set<int> edges(nl.incident_edges(qubit).begin(), nl.incident_edges(qubit).end());
+  for (const auto& b : nl.blocks()) {
+    if (new_rect.overlaps(b.rect())) edges.insert(b.edge);
+  }
+  res.edges_touched = static_cast<int>(edges.size());
+
+  // Rip up: release every block of the affected edges.
+  struct Snapshot {
+    int block;
+    BinCoord bin;
+    Point pos;
+  };
+  std::vector<Snapshot> snapshots;
+  for (const int eid : edges) {
+    for (const int bid : nl.edge(eid).blocks) {
+      const BinCoord bin = grid.bin_at(nl.block(bid).pos);
+      snapshots.push_back({bid, bin, nl.block(bid).pos});
+      grid.release(bin);
+      ++res.ripped_blocks;
+    }
+  }
+
+  // Rebuild the keep-out: unblocking the old macro area and blocking
+  // the new one. BinGrid has no unblock API by design (blocked cells
+  // are static); emulate by releasing blocked bins of the old rect.
+  // To keep the structure simple we rebuild the grid's qubit blockage
+  // through a fresh grid only when the macro actually moved.
+  BinGrid fresh(nl.die());
+  for (const auto& q : nl.qubits()) fresh.block_rect(q.rect());
+  for (const auto& b : nl.blocks()) {
+    bool ripped = false;
+    for (const auto& s : snapshots) {
+      if (s.block == b.id) {
+        ripped = true;
+        break;
+      }
+    }
+    if (!ripped) fresh.occupy(fresh.bin_at(b.pos), b.id);
+  }
+
+  auto rollback = [&]() {
+    nl.qubit(qubit).pos = old_pos;
+    (void)old_rect;
+    for (const auto& s : snapshots) {
+      grid.occupy(s.bin, s.block);
+      nl.block(s.block).pos = s.pos;
+    }
+  };
+
+  // Re-place the affected edges (largest first) with the Baa discipline.
+  std::vector<int> order(edges.begin(), edges.end());
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return nl.edge(a).block_count() > nl.edge(b).block_count();
+  });
+  for (const int eid : order) {
+    const auto& e = nl.edge(eid);
+    const Point mid = (nl.qubit(e.q0).pos + nl.qubit(e.q1).pos) / 2;
+    std::set<BinCoord> baa;
+    for (const int bid : e.blocks) {
+      std::optional<BinCoord> chosen;
+      double best = std::numeric_limits<double>::infinity();
+      for (const BinCoord b : baa) {
+        const double d2 = distance2(fresh.center_of(b), mid);
+        if (d2 < best) {
+          best = d2;
+          chosen = b;
+        }
+      }
+      if (!chosen) chosen = fresh.nearest_free(mid);
+      if (!chosen) {
+        rollback();
+        return res;  // success stays false
+      }
+      fresh.occupy(*chosen, bid);
+      nl.block(bid).pos = fresh.center_of(*chosen);
+      ++res.replaced_blocks;
+      baa.erase(*chosen);
+      for (const BinCoord nb : fresh.free_neighbors(*chosen)) baa.insert(nb);
+    }
+  }
+
+  grid = std::move(fresh);
+  res.success = true;
+  return res;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,49 @@
+// Incremental (ECO) legalization: move one qubit on an already
+// legalized layout and repair the damage locally, without re-running
+// the full flow. The workflow a designer iterating on a floorplan
+// needs: nudge a qubit, keep everything legal, watch the metrics.
+//
+// Procedure:
+//  1. the qubit snaps to the nearest lattice position around the
+//     requested target that respects spacing against all other qubits;
+//  2. wire blocks now underneath the moved macro, plus all blocks of
+//     its incident resonators, are ripped up;
+//  3. the ripped resonators are re-placed with the integration-aware
+//     Baa discipline (Algorithm 1 restricted to the affected edges).
+#pragma once
+
+#include "legalization/bin_grid.h"
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+struct EcoOptions {
+  double min_spacing{1.0};   ///< spacing rule for the moved qubit
+  double search_radius{16.0};  ///< how far from the target to search
+};
+
+struct EcoResult {
+  bool success{false};
+  Point final_position;      ///< where the qubit actually landed
+  double qubit_displacement{0.0};  ///< |final − requested|
+  int ripped_blocks{0};
+  int replaced_blocks{0};
+  int edges_touched{0};
+};
+
+class IncrementalLegalizer {
+ public:
+  explicit IncrementalLegalizer(EcoOptions opt = {}) : opt_(opt) {}
+
+  /// Moves `qubit` toward `target` on a legalized layout. `grid` must
+  /// be the layout's bin grid (qubits blocked, blocks occupied); it is
+  /// updated in place. On failure the layout is left unchanged.
+  EcoResult move_qubit(QuantumNetlist& nl, BinGrid& grid, int qubit, Point target) const;
+
+  [[nodiscard]] const EcoOptions& options() const { return opt_; }
+
+ private:
+  EcoOptions opt_;
+};
+
+}  // namespace qgdp

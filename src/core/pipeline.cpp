@@ -1,0 +1,100 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "legalization/abacus_legalizer.h"
+#include "legalization/tetris_legalizer.h"
+
+namespace qgdp {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::string legalizer_name(LegalizerKind kind) {
+  switch (kind) {
+    case LegalizerKind::kTetris:
+      return "Tetris";
+    case LegalizerKind::kAbacus:
+      return "Abacus";
+    case LegalizerKind::kQTetris:
+      return "Q-Tetris";
+    case LegalizerKind::kQAbacus:
+      return "Q-Abacus";
+    case LegalizerKind::kQgdp:
+      return "qGDP";
+  }
+  return "?";
+}
+
+const std::vector<LegalizerKind>& all_legalizer_kinds() {
+  static const std::vector<LegalizerKind> kinds = {
+      LegalizerKind::kQgdp, LegalizerKind::kQAbacus, LegalizerKind::kQTetris,
+      LegalizerKind::kAbacus, LegalizerKind::kTetris};
+  return kinds;
+}
+
+PipelineOutput Pipeline::run(QuantumNetlist& nl) const {
+  PipelineResult stats;
+
+  // Stage 1: global placement (shared upstream of every flow).
+  if (opt_.run_gp) {
+    const auto t0 = std::chrono::steady_clock::now();
+    GlobalPlacer gp(opt_.gp);
+    stats.gp = gp.place(nl);
+    stats.gp_ms = ms_since(t0);
+  }
+
+  // Stage 2: qubit legalization.
+  const bool quantum_qubits = opt_.legalizer == LegalizerKind::kQTetris ||
+                              opt_.legalizer == LegalizerKind::kQAbacus ||
+                              opt_.legalizer == LegalizerKind::kQgdp;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    QubitLegalizer ql(quantum_qubits);
+    stats.qubit = ql.legalize(nl);
+    stats.qubit_ms = ms_since(t0);
+  }
+  if (!stats.qubit.success) {
+    throw std::runtime_error("Pipeline: qubit legalization failed (die too small?)");
+  }
+
+  // Stage 3: resonator (wire-block) legalization on the bin grid.
+  BinGrid grid(nl.die());
+  for (const auto& q : nl.qubits()) grid.block_rect(q.rect());
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    switch (opt_.legalizer) {
+      case LegalizerKind::kTetris:
+      case LegalizerKind::kQTetris:
+        stats.blocks = TetrisLegalizer{}.legalize(nl, grid);
+        break;
+      case LegalizerKind::kAbacus:
+      case LegalizerKind::kQAbacus:
+        stats.blocks = AbacusLegalizer{}.legalize(nl, grid);
+        break;
+      case LegalizerKind::kQgdp:
+        stats.blocks = ResonatorLegalizer{opt_.resonator}.legalize(nl, grid);
+        break;
+    }
+    stats.resonator_ms = ms_since(t0);
+  }
+
+  // Stage 4: detailed placement (qGDP-DP).
+  if (opt_.run_detailed) {
+    const auto t0 = std::chrono::steady_clock::now();
+    DetailedPlacer dp(opt_.dp);
+    stats.dp = dp.place(nl, grid);
+    stats.dp_ms = ms_since(t0);
+  }
+
+  return {stats, std::move(grid)};
+}
+
+}  // namespace qgdp

@@ -1,0 +1,110 @@
+#include "core/resonator_legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+namespace qgdp {
+
+namespace {
+
+Point edge_gp_centroid(const QuantumNetlist& nl, const ResonatorEdge& e) {
+  Point c{0, 0};
+  for (const int b : e.blocks) c += nl.block(b).pos;
+  return e.blocks.empty() ? c : c / static_cast<double>(e.blocks.size());
+}
+
+}  // namespace
+
+BlockLegalizeResult ResonatorLegalizer::legalize(QuantumNetlist& nl, BinGrid& grid) const {
+  BlockLegalizeResult res;
+
+  // Edge processing order.
+  std::vector<int> edge_order(nl.edge_count());
+  std::iota(edge_order.begin(), edge_order.end(), 0);
+  switch (opt_.order) {
+    case ResonatorLegalizerOptions::EdgeOrder::kIndex:
+      break;
+    case ResonatorLegalizerOptions::EdgeOrder::kSizeDesc:
+      std::stable_sort(edge_order.begin(), edge_order.end(), [&](int a, int b) {
+        return nl.edge(a).block_count() > nl.edge(b).block_count();
+      });
+      break;
+    case ResonatorLegalizerOptions::EdgeOrder::kContention: {
+      // Crowding = blocks of other edges whose GP centroid falls within
+      // 4 cells of this edge's centroid. Most crowded first.
+      std::vector<double> crowd(nl.edge_count(), 0.0);
+      std::vector<Point> centroids(nl.edge_count());
+      for (const auto& e : nl.edges()) centroids[static_cast<std::size_t>(e.id)] = edge_gp_centroid(nl, e);
+      for (const auto& e : nl.edges()) {
+        for (const auto& f : nl.edges()) {
+          if (e.id == f.id) continue;
+          const double d = distance(centroids[static_cast<std::size_t>(e.id)],
+                                    centroids[static_cast<std::size_t>(f.id)]);
+          if (d < 4.0) crowd[static_cast<std::size_t>(e.id)] += f.block_count();
+        }
+      }
+      std::stable_sort(edge_order.begin(), edge_order.end(), [&](int a, int b) {
+        return crowd[static_cast<std::size_t>(a)] > crowd[static_cast<std::size_t>(b)];
+      });
+      break;
+    }
+  }
+
+  for (const int eid : edge_order) {
+    const auto& e = nl.edge(eid);
+    // Blocks ordered by distance to the edge's GP centroid: grow the
+    // placed region outward from the densest part of the GP blob.
+    std::vector<int> blocks = e.blocks;
+    const Point centroid = edge_gp_centroid(nl, e);
+    std::stable_sort(blocks.begin(), blocks.end(), [&](int a, int b) {
+      return distance2(nl.block(a).pos, centroid) < distance2(nl.block(b).pos, centroid);
+    });
+
+    std::set<BinCoord> baa;  // adjacent available bins of this resonator
+    for (const int bid : blocks) {
+      WireBlock& blk = nl.block(bid);
+      std::optional<BinCoord> chosen;
+      if (opt_.integration_aware && !baa.empty()) {
+        // Algorithm 1 line 10: nearest bin from Baa.
+        double best = std::numeric_limits<double>::infinity();
+        for (auto it = baa.begin(); it != baa.end();) {
+          if (!grid.is_free(*it)) {
+            it = baa.erase(it);  // stale entry (should not happen intra-edge)
+            continue;
+          }
+          const double d2 = distance2(grid.center_of(*it), blk.pos);
+          if (d2 < best) {
+            best = d2;
+            chosen = *it;
+          }
+          ++it;
+        }
+      }
+      if (!chosen) {
+        // Algorithm 1 line 8: nearest free bin overall.
+        chosen = grid.nearest_free(blk.pos);
+      }
+      if (!chosen) {
+        ++res.failed;
+        continue;
+      }
+      grid.occupy(*chosen, bid);
+      baa.erase(*chosen);
+      const Point c = grid.center_of(*chosen);
+      const double d = distance(c, blk.pos);
+      res.total_displacement += d;
+      res.max_displacement = std::max(res.max_displacement, d);
+      blk.pos = c;
+      ++res.placed;
+      // Algorithm 1 line 14: update adjacent available bins.
+      for (const BinCoord nb : grid.free_neighbors(*chosen)) baa.insert(nb);
+    }
+  }
+  res.success = (res.failed == 0);
+  return res;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,42 @@
+// Integration-aware resonator legalization (paper §III-D, Algorithm 1).
+//
+// After qubits are fixed, each resonator's wire blocks are legalized as
+// a group: the first block goes to the globally nearest free bin (Ba);
+// every subsequent block prefers the *adjacent available* set Baa —
+// free bins 4-adjacent to the blocks of the same resonator already
+// placed — falling back to Ba only when Baa is empty (which is what
+// opens a new cluster). Minimizing displacement within this discipline
+// keeps each resonator unified (|Ce| → 1) while staying close to the
+// GP solution.
+#pragma once
+
+#include "legalization/block_legalizer.h"
+
+namespace qgdp {
+
+struct ResonatorLegalizerOptions {
+  enum class EdgeOrder {
+    kIndex,        ///< netlist order (deterministic default)
+    kSizeDesc,     ///< largest resonators first (need contiguous room)
+    kContention,   ///< most-crowded GP neighbourhoods first
+  };
+  EdgeOrder order{EdgeOrder::kSizeDesc};
+  /// Disables the Baa discipline entirely — every block goes to its
+  /// individually nearest free bin. Used by the integration ablation.
+  bool integration_aware{true};
+};
+
+class ResonatorLegalizer final : public BlockLegalizer {
+ public:
+  explicit ResonatorLegalizer(ResonatorLegalizerOptions opt = {}) : opt_(opt) {}
+
+  BlockLegalizeResult legalize(QuantumNetlist& nl, BinGrid& grid) const override;
+  [[nodiscard]] std::string name() const override { return "qGDP-LG"; }
+
+  [[nodiscard]] const ResonatorLegalizerOptions& options() const { return opt_; }
+
+ private:
+  ResonatorLegalizerOptions opt_;
+};
+
+}  // namespace qgdp

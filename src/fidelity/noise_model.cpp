@@ -1,0 +1,125 @@
+#include "fidelity/noise_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <sstream>
+
+namespace qgdp {
+
+double effective_coupling_ghz(double cc_fF, double fa, double fb, const NoiseParams& p) {
+  const double g = 0.5 * (cc_fF / p.comp_cap_fF) * std::sqrt(fa * fb);
+  const double detuning = std::abs(fa - fb);
+  return g * g / (detuning + g);
+}
+
+double rabi_error(double geff_ghz, double t_ns) {
+  // GHz · ns is dimensionless; 2π converts to angular phase.
+  const double phase = 2.0 * std::numbers::pi * geff_ghz * t_ns;
+  return 0.5 * (1.0 - std::exp(-2.0 * phase * phase));
+}
+
+double rabi_error_worst_case(double geff_ghz, double t_ns) {
+  const double phase = 2.0 * std::numbers::pi * geff_ghz * t_ns;
+  return 1.0 - std::exp(-phase * phase);
+}
+
+FidelityEstimator::FidelityEstimator(const QuantumNetlist& nl, HotspotParams hotspot_params,
+                                     NoiseParams noise)
+    : nl_(&nl),
+      noise_(noise),
+      hotspots_(compute_hotspots(nl, hotspot_params)),
+      crossings_(compute_crossings(nl)) {}
+
+FidelityEstimator::Breakdown FidelityEstimator::breakdown(const MappedCircuit& mc) const {
+  Breakdown out;
+
+  // --- Π(1−ϵq): gate + decoherence error per active qubit -----------
+  const double gamma_per_ns =
+      1.0 / (noise_.t1_us * 1000.0) + 1.0 / (noise_.t2_us * 1000.0);
+  for (const int q : mc.active_qubits) {
+    const int n1 = mc.one_q_count[static_cast<std::size_t>(q)];
+    const int n2 = mc.two_q_count[static_cast<std::size_t>(q)];
+    const double gate_ok =
+        std::pow(1.0 - noise_.err_1q, n1) * std::pow(1.0 - noise_.err_2q, n2);
+    const double decoh_ok = std::exp(-mc.duration_ns * gamma_per_ns);
+    out.gate_factor *= gate_ok * decoh_ok;
+  }
+
+  const std::set<int> active_q(mc.active_qubits.begin(), mc.active_qubits.end());
+  const std::set<int> active_e(mc.active_edges.begin(), mc.active_edges.end());
+
+  // --- Π(1−ϵg): qubit crosstalk under spatial violation --------------
+  // Every spacing violation between two *active* qubits acts like a
+  // direct capacitive coupling; detuning only attenuates geff (Eq. 8),
+  // it does not gate the term.
+  // Eq. 8 models the error on *idle* qubits driven by an active
+  // neighbour, so a violation is charged when either endpoint is
+  // engaged by the program.
+  for (const auto& v : hotspots_.qubit_violations) {
+    if (!active_q.count(v.qa) && !active_q.count(v.qb)) continue;
+    const double proximity = std::max(0.0, 1.0 - v.gap / 2.0);
+    const double cc = noise_.adj_cap_fF_per_cell * v.adj_len * proximity;
+    const double geff = effective_coupling_ghz(cc, nl_->qubit(v.qa).frequency,
+                                               nl_->qubit(v.qb).frequency, noise_);
+    out.qubit_crosstalk_factor *= (1.0 - rabi_error_worst_case(geff, mc.duration_ns));
+  }
+
+  // --- frequency-matched proximate pairs (hotspots) -------------------
+  // Qubit-qubit hotspot pairs beyond the spacing rule and all
+  // resonator-involved pairs contribute per their adjacency coupling.
+  for (const auto& hp : hotspots_.pairs) {
+    const bool a_qubit = hp.a.kind == NodeRef::Kind::kQubit;
+    const bool b_qubit = hp.b.kind == NodeRef::Kind::kQubit;
+    auto active_of = [&](NodeRef r) {
+      return r.kind == NodeRef::Kind::kQubit
+                 ? active_q.count(r.id) > 0
+                 : active_e.count(nl_->block(r.id).edge) > 0;
+    };
+    if (!active_of(hp.a) && !active_of(hp.b)) continue;
+    // Spacing-violating qubit pairs were charged above; skip doubles.
+    if (a_qubit && b_qubit && hp.gap < hotspots_.spacing_rule - 1e-9) continue;
+    auto freq_of = [&](NodeRef r) {
+      return r.kind == NodeRef::Kind::kQubit ? nl_->qubit(r.id).frequency
+                                             : nl_->edge(nl_->block(r.id).edge).frequency;
+    };
+    const double proximity = std::max(0.0, 1.0 - hp.gap / 2.0);
+    const double cc = noise_.adj_cap_fF_per_cell * hp.adj_len * proximity;
+    double geff = effective_coupling_ghz(cc, freq_of(hp.a), freq_of(hp.b), noise_);
+    if (!(a_qubit && b_qubit)) geff *= noise_.resonator_mediation;
+    const double eps = rabi_error(geff, mc.duration_ns);
+    if (a_qubit && b_qubit) {
+      out.qubit_crosstalk_factor *= (1.0 - rabi_error_worst_case(geff, mc.duration_ns));
+    } else {
+      out.resonator_crosstalk_factor *= (1.0 - eps);
+    }
+  }
+
+  // --- Π(1−ϵe): resonator crossing points ---------------------------
+  for (const auto& cp : crossings_.points) {
+    if (!active_e.count(cp.edge_a) && !active_e.count(cp.edge_b)) continue;
+    const double fa = nl_->edge(cp.edge_a).frequency;
+    const double fb = nl_->edge(cp.edge_b).frequency;
+    const double geff =
+        noise_.resonator_mediation * effective_coupling_ghz(noise_.cross_cap_fF, fa, fb, noise_);
+    const double eps = rabi_error(geff, mc.duration_ns);
+    out.resonator_crosstalk_factor *= (1.0 - eps);
+  }
+  return out;
+}
+
+double FidelityEstimator::program_fidelity(const MappedCircuit& mc) const {
+  const Breakdown b = breakdown(mc);
+  return b.gate_factor * b.qubit_crosstalk_factor * b.resonator_crosstalk_factor;
+}
+
+std::string format_fidelity(double f, double floor) {
+  if (f < floor) return "<1e-4";
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed << f;
+  return os.str();
+}
+
+}  // namespace qgdp

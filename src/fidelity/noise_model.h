@@ -1,0 +1,99 @@
+// Noise and crosstalk model behind the paper's program-fidelity metric
+// (Eq. 7):   F = Π(1−ϵq) · Π(1−ϵg) · Π(1−ϵe)
+//
+//  ϵq  per-qubit error: single/two-qubit gate infidelity plus T1/T2
+//      decoherence over the transpiled circuit duration;
+//  ϵg  crosstalk between qubits in spatial violation — residual
+//      capacitive coupling drives Rabi oscillations with effective
+//      strength g_eff (Eq. 8);
+//  ϵe  crosstalk between resonators in spatial violation or at
+//      crossing points (parasitic capacitance 3.5 fF per crossing, as
+//      EM-simulated in the paper; violation capacitance scales with
+//      adjacent length).
+//
+// Only actively engaged qubits/resonators contribute ("errors in
+// inactive elements do not affect overall program fidelity").
+#pragma once
+
+#include "circuits/mapper.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+struct NoiseParams {
+  // Decoherence and gate errors (IBM-class fixed-frequency transmons).
+  double t1_us{100.0};
+  double t2_us{80.0};
+  double err_1q{5e-4};
+  double err_2q{8e-3};
+
+  // Crosstalk electricals.
+  double cross_cap_fF{3.5};          ///< parasitic C per crossing point (paper §IV)
+  double adj_cap_fF_per_cell{1.2};   ///< violation C per unit adjacent length
+  double comp_cap_fF{70.0};          ///< component self-capacitance
+  /// Resonator-mediated parasitics reach the qubits only through two
+  /// dispersive conversions (resonator↔resonator↔qubit), suppressing
+  /// the effective qubit-level coupling by roughly (g/Δ)² per hop —
+  /// modelled as a constant participation factor on g_eff.
+  double resonator_mediation{2e-4};
+
+  /// Fidelity values below this floor are reported as "<1e-4"
+  /// (the paper's table convention).
+  double report_floor{1e-4};
+};
+
+/// Effective coupling (GHz) from a parasitic capacitance between two
+/// components at frequencies fa, fb (GHz): g = ½·(Cc/C)·√(fa·fb),
+/// reduced dispersively by the detuning: g_eff = g² / (|Δ| + g).
+[[nodiscard]] double effective_coupling_ghz(double cc_fF, double fa, double fb,
+                                            const NoiseParams& p);
+
+/// Time-averaged Rabi transition error for exposure time t_ns:
+/// ε = ½·(1 − exp(−2·(2π·g_eff·t)²)) — the small-angle limit matches
+/// sin²(g_eff·t), the long-time limit its mean ½ (Eq. 8, sign typo in
+/// the paper corrected; see DESIGN.md §8).
+[[nodiscard]] double rabi_error(double geff_ghz, double t_ns);
+
+/// Worst-case Rabi transition error (the paper evaluates *worst-case*
+/// fidelity): the envelope of sin²(g_eff·t), saturating at 1 —
+/// a spacing-violating qubit pair that stays exposed for long enough
+/// fully depolarizes the pair.
+[[nodiscard]] double rabi_error_worst_case(double geff_ghz, double t_ns);
+
+/// Layout-dependent crosstalk summary shared by all mappings of one
+/// layout (precompute once, evaluate many mapped circuits cheaply).
+class FidelityEstimator {
+ public:
+  FidelityEstimator(const QuantumNetlist& nl, HotspotParams hotspot_params = {},
+                    NoiseParams noise = {});
+
+  /// Worst-case program fidelity of one transpiled circuit on the
+  /// current layout (Eq. 7).
+  [[nodiscard]] double program_fidelity(const MappedCircuit& mc) const;
+
+  /// Decomposition for diagnostics: {gate+decoherence, qubit crosstalk,
+  /// resonator crosstalk} factors whose product is program_fidelity().
+  struct Breakdown {
+    double gate_factor{1.0};
+    double qubit_crosstalk_factor{1.0};
+    double resonator_crosstalk_factor{1.0};
+  };
+  [[nodiscard]] Breakdown breakdown(const MappedCircuit& mc) const;
+
+  [[nodiscard]] const NoiseParams& noise() const { return noise_; }
+  [[nodiscard]] const HotspotReport& hotspots() const { return hotspots_; }
+  [[nodiscard]] const CrossingReport& crossings() const { return crossings_; }
+
+ private:
+  const QuantumNetlist* nl_;
+  NoiseParams noise_;
+  HotspotReport hotspots_;
+  CrossingReport crossings_;
+};
+
+/// Clamp-and-format helper matching the paper's "<1e-4" convention.
+[[nodiscard]] std::string format_fidelity(double f, double floor = 1e-4);
+
+}  // namespace qgdp

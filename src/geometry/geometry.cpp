@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/segment.h"
+
+namespace qgdp {
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << " - " << r.hi << ']';
+}
+
+namespace {
+
+/// 1-D overlap extent of [a0,a1] and [b0,b1]; negative means a gap.
+double interval_overlap(double a0, double a1, double b0, double b1) {
+  return std::min(a1, b1) - std::max(a0, b0);
+}
+
+}  // namespace
+
+double adjacent_length(const Rect& a, const Rect& b, double gap) {
+  const double ox = interval_overlap(a.lo.x, a.hi.x, b.lo.x, b.hi.x);
+  const double oy = interval_overlap(a.lo.y, a.hi.y, b.lo.y, b.hi.y);
+  // Facing horizontally (side by side): x-gap within `gap`, y-ranges overlap.
+  const double x_gap = -ox;
+  const double y_gap = -oy;
+  double len = 0.0;
+  if (x_gap <= gap && oy > 0.0) len = std::max(len, oy);
+  if (y_gap <= gap && ox > 0.0) len = std::max(len, ox);
+  // Fully overlapping rectangles: adjacent along the larger shared extent.
+  if (ox > 0.0 && oy > 0.0) len = std::max(ox, oy);
+  return len;
+}
+
+double rect_distance(const Rect& a, const Rect& b) {
+  const double dx = std::max({0.0, b.lo.x - a.hi.x, a.lo.x - b.hi.x});
+  const double dy = std::max({0.0, b.lo.y - a.hi.y, a.lo.y - b.hi.y});
+  return std::hypot(dx, dy);
+}
+
+int orientation(Point a, Point b, Point c, double eps) {
+  const double v = (b - a).cross(c - a);
+  if (v > eps) return 1;
+  if (v < -eps) return -1;
+  return 0;
+}
+
+namespace {
+
+bool on_segment(Point p, const Segment& s, double eps = 1e-12) {
+  if (orientation(s.a, s.b, p, eps) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - eps && p.x <= std::max(s.a.x, s.b.x) + eps &&
+         p.y >= std::min(s.a.y, s.b.y) - eps && p.y <= std::max(s.a.y, s.b.y) + eps;
+}
+
+}  // namespace
+
+bool segments_intersect(const Segment& s, const Segment& t) {
+  const int o1 = orientation(s.a, s.b, t.a);
+  const int o2 = orientation(s.a, s.b, t.b);
+  const int o3 = orientation(t.a, t.b, s.a);
+  const int o4 = orientation(t.a, t.b, s.b);
+  if (o1 != o2 && o3 != o4) return true;
+  return (o1 == 0 && on_segment(t.a, s)) || (o2 == 0 && on_segment(t.b, s)) ||
+         (o3 == 0 && on_segment(s.a, t)) || (o4 == 0 && on_segment(s.b, t));
+}
+
+bool segments_properly_intersect(const Segment& s, const Segment& t) {
+  const int o1 = orientation(s.a, s.b, t.a);
+  const int o2 = orientation(s.a, s.b, t.b);
+  const int o3 = orientation(t.a, t.b, s.a);
+  const int o4 = orientation(t.a, t.b, s.b);
+  return o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 && o1 != o2 && o3 != o4;
+}
+
+std::optional<Point> segment_intersection_point(const Segment& s, const Segment& t) {
+  const Point r = s.b - s.a;
+  const Point q = t.b - t.a;
+  const double denom = r.cross(q);
+  if (std::abs(denom) < 1e-15) return std::nullopt;  // parallel or collinear
+  const double u = (t.a - s.a).cross(q) / denom;
+  const double v = (t.a - s.a).cross(r) / denom;
+  if (u < 0.0 || u > 1.0 || v < 0.0 || v > 1.0) return std::nullopt;
+  return s.a + r * u;
+}
+
+std::optional<Segment> clip_segment(const Segment& s, const Rect& r) {
+  // Liang-Barsky parametric clipping.
+  const double dx = s.b.x - s.a.x;
+  const double dy = s.b.y - s.a.y;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {s.a.x - r.lo.x, r.hi.x - s.a.x, s.a.y - r.lo.y, r.hi.y - s.a.y};
+  for (int i = 0; i < 4; ++i) {
+    if (std::abs(p[i]) < 1e-15) {
+      if (q[i] < 0.0) return std::nullopt;  // parallel outside
+      continue;
+    }
+    const double t = q[i] / p[i];
+    if (p[i] < 0.0) {
+      t0 = std::max(t0, t);
+    } else {
+      t1 = std::min(t1, t);
+    }
+  }
+  if (t0 > t1) return std::nullopt;
+  const Point a{s.a.x + t0 * dx, s.a.y + t0 * dy};
+  const Point b{s.a.x + t1 * dx, s.a.y + t1 * dy};
+  return Segment{a, b};
+}
+
+bool segment_crosses_rect(const Segment& s, const Rect& r) {
+  const auto clipped = clip_segment(s, r);
+  if (!clipped) return false;
+  // Require a non-degenerate run through the interior: the clipped piece
+  // must have positive length and its midpoint must be strictly inside.
+  if (clipped->length() < 1e-12) {
+    return r.lo.x < s.a.x && s.a.x < r.hi.x && r.lo.y < s.a.y && s.a.y < r.hi.y;
+  }
+  const Point mid = (clipped->a + clipped->b) / 2;
+  return mid.x > r.lo.x && mid.x < r.hi.x && mid.y > r.lo.y && mid.y < r.hi.y;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,57 @@
+// Basic 2-D point/vector type used throughout qGDP.
+//
+// Layout coordinates are in multiples of the standard-cell (wire-block)
+// edge length lb = 1.0 (see DESIGN.md §4). Positions refer to component
+// centers unless a function documents otherwise.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace qgdp {
+
+struct Point {
+  double x{0.0};
+  double y{0.0};
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr Point operator/(Point a, double s) { return {a.x / s, a.y / s}; }
+  constexpr Point& operator+=(Point b) { x += b.x; y += b.y; return *this; }
+  constexpr Point& operator-=(Point b) { x -= b.x; y -= b.y; return *this; }
+  constexpr Point& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  friend constexpr bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  /// Squared Euclidean norm (cheap; preferred for comparisons).
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  /// Dot product.
+  [[nodiscard]] constexpr double dot(Point b) const { return x * b.x + y * b.y; }
+  /// z-component of the cross product (signed parallelogram area).
+  [[nodiscard]] constexpr double cross(Point b) const { return x * b.y - y * b.x; }
+};
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(Point a, Point b) { return (a - b).norm(); }
+
+/// Squared Euclidean distance (no sqrt).
+[[nodiscard]] constexpr double distance2(Point a, Point b) { return (a - b).norm2(); }
+
+/// Manhattan (L1) distance; the displacement metric used by legalizers.
+[[nodiscard]] constexpr double manhattan(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+}  // namespace qgdp

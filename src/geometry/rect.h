@@ -1,0 +1,82 @@
+// Axis-aligned rectangle. Components in qGDP occupy axis-aligned
+// bounding polygons (paper §III-B); rectangles are sufficient for qubit
+// macros and unit wire blocks.
+#pragma once
+
+#include <algorithm>
+#include <iosfwd>
+
+#include "geometry/point.h"
+
+namespace qgdp {
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct Rect {
+  Point lo;
+  Point hi;
+
+  constexpr Rect() = default;
+  constexpr Rect(Point l, Point h) : lo(l), hi(h) {}
+  constexpr Rect(double x0, double y0, double x1, double y1) : lo(x0, y0), hi(x1, y1) {}
+
+  /// Rectangle from center position and dimensions (the component
+  /// convention used by the placement formulation, Eq. 1-2).
+  [[nodiscard]] static constexpr Rect from_center(Point c, double w, double h) {
+    return {c - Point{w / 2, h / 2}, c + Point{w / 2, h / 2}};
+  }
+
+  [[nodiscard]] constexpr double width() const { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const { return hi.y - lo.y; }
+  [[nodiscard]] constexpr double area() const { return width() * height(); }
+  [[nodiscard]] constexpr Point center() const { return (lo + hi) / 2; }
+  [[nodiscard]] constexpr bool empty() const { return hi.x <= lo.x || hi.y <= lo.y; }
+
+  /// True when the point lies inside or on the border.
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// True when `r` lies entirely inside this rectangle (borders allowed).
+  [[nodiscard]] constexpr bool contains(const Rect& r) const {
+    return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y && r.hi.y <= hi.y;
+  }
+
+  /// True when interiors intersect (touching borders do NOT overlap;
+  /// Eq. 1 permits abutting components).
+  [[nodiscard]] constexpr bool overlaps(const Rect& r) const {
+    return lo.x < r.hi.x && r.lo.x < hi.x && lo.y < r.hi.y && r.lo.y < hi.y;
+  }
+
+  /// Intersection rectangle; empty() if the rectangles do not meet.
+  [[nodiscard]] constexpr Rect intersection(const Rect& r) const {
+    return {{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y)},
+            {std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)}};
+  }
+
+  /// Smallest rectangle containing both.
+  [[nodiscard]] constexpr Rect united(const Rect& r) const {
+    return {{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y)},
+            {std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)}};
+  }
+
+  /// Rectangle grown by `m` on every side (negative m shrinks).
+  [[nodiscard]] constexpr Rect inflated(double m) const {
+    return {lo - Point{m, m}, hi + Point{m, m}};
+  }
+
+  friend constexpr bool operator==(const Rect& a, const Rect& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// Length along which two rectangles' boundaries run next to each other
+/// when separated by less than `gap` — the "adjacent length" that scales
+/// the parasitic capacitance of a spatial violation (paper §IV metrics).
+/// Overlapping rectangles report the overlap extent of the shared axis.
+[[nodiscard]] double adjacent_length(const Rect& a, const Rect& b, double gap);
+
+/// Minimum distance between two rectangles (0 when they touch/overlap).
+[[nodiscard]] double rect_distance(const Rect& a, const Rect& b);
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace qgdp

@@ -1,0 +1,46 @@
+// Line-segment predicates used by the crossing model (DESIGN.md §6.4)
+// and the maze-router sanity checks.
+#pragma once
+
+#include <optional>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace qgdp {
+
+/// Straight segment between two layout points.
+struct Segment {
+  Point a;
+  Point b;
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+  [[nodiscard]] Rect bounding_box() const {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)}, {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+};
+
+/// Orientation of the triple (a, b, c): +1 counter-clockwise, -1
+/// clockwise, 0 collinear (within eps of exact arithmetic).
+[[nodiscard]] int orientation(Point a, Point b, Point c, double eps = 1e-12);
+
+/// True when the two segments share at least one point (proper or
+/// improper intersection). Used to count resonator connector crossings.
+[[nodiscard]] bool segments_intersect(const Segment& s, const Segment& t);
+
+/// True when the segments cross at a single interior point of both
+/// (a "proper" crossing — the situation requiring an airbridge).
+[[nodiscard]] bool segments_properly_intersect(const Segment& s, const Segment& t);
+
+/// Intersection point of two properly crossing segments.
+[[nodiscard]] std::optional<Point> segment_intersection_point(const Segment& s, const Segment& t);
+
+/// True when the segment passes through the rectangle's interior
+/// (touching only the border does not count).
+[[nodiscard]] bool segment_crosses_rect(const Segment& s, const Rect& r);
+
+/// Clip the segment to a rectangle (Liang-Barsky). Returns the clipped
+/// segment, or nullopt when the segment misses the rectangle.
+[[nodiscard]] std::optional<Segment> clip_segment(const Segment& s, const Rect& r);
+
+}  // namespace qgdp

@@ -1,0 +1,369 @@
+#include "graph/constraint_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/min_cost_flow.h"
+#include "graph/union_find.h"
+
+namespace qgdp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ConstraintGraph::ConstraintGraph(std::size_t node_count)
+    : lower_(node_count, -kInf), upper_(node_count, kInf) {}
+
+void ConstraintGraph::add_constraint(int from, int to, double gap) {
+  assert(from >= 0 && static_cast<std::size_t>(from) < node_count());
+  assert(to >= 0 && static_cast<std::size_t>(to) < node_count());
+  assert(from != to);
+  arcs_.push_back({from, to, gap});
+  adjacency_dirty_ = true;
+}
+
+void ConstraintGraph::set_bounds(int node, double lower, double upper) {
+  lower_[static_cast<std::size_t>(node)] = lower;
+  upper_[static_cast<std::size_t>(node)] = upper;
+}
+
+void ConstraintGraph::build_adjacency_() const {
+  if (!adjacency_dirty_) return;
+  out_arcs_.assign(node_count(), {});
+  in_arcs_.assign(node_count(), {});
+  for (std::size_t k = 0; k < arcs_.size(); ++k) {
+    out_arcs_[static_cast<std::size_t>(arcs_[k].from)].push_back(static_cast<int>(k));
+    in_arcs_[static_cast<std::size_t>(arcs_[k].to)].push_back(static_cast<int>(k));
+  }
+  adjacency_dirty_ = false;
+}
+
+const std::vector<std::vector<int>>& ConstraintGraph::out_arcs() const {
+  build_adjacency_();
+  return out_arcs_;
+}
+
+const std::vector<std::vector<int>>& ConstraintGraph::in_arcs() const {
+  build_adjacency_();
+  return in_arcs_;
+}
+
+std::vector<int> ConstraintGraph::topological_order() const {
+  build_adjacency_();
+  std::vector<int> indegree(node_count(), 0);
+  for (const auto& a : arcs_) ++indegree[static_cast<std::size_t>(a.to)];
+  std::queue<int> q;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (indegree[i] == 0) q.push(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  order.reserve(node_count());
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (const int k : out_arcs_[static_cast<std::size_t>(u)]) {
+      const int v = arcs_[static_cast<std::size_t>(k)].to;
+      if (--indegree[static_cast<std::size_t>(v)] == 0) q.push(v);
+    }
+  }
+  if (order.size() != node_count()) return {};  // cycle
+  return order;
+}
+
+std::vector<double> ConstraintGraph::tightest_lower_bounds() const {
+  const auto order = topological_order();
+  if (order.empty() && node_count() > 0) {
+    throw std::logic_error("ConstraintGraph: cycle detected in tightest_lower_bounds");
+  }
+  std::vector<double> L(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) L[i] = lower_[i];
+  for (const int u : order) {
+    for (const int k : out_arcs()[static_cast<std::size_t>(u)]) {
+      const auto& a = arcs_[static_cast<std::size_t>(k)];
+      L[static_cast<std::size_t>(a.to)] =
+          std::max(L[static_cast<std::size_t>(a.to)], L[static_cast<std::size_t>(u)] + a.gap);
+    }
+  }
+  return L;
+}
+
+std::vector<double> ConstraintGraph::tightest_upper_bounds() const {
+  const auto order = topological_order();
+  if (order.empty() && node_count() > 0) {
+    throw std::logic_error("ConstraintGraph: cycle detected in tightest_upper_bounds");
+  }
+  std::vector<double> U(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) U[i] = upper_[i];
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (const int k : in_arcs()[static_cast<std::size_t>(*it)]) {
+      const auto& a = arcs_[static_cast<std::size_t>(k)];
+      U[static_cast<std::size_t>(a.from)] =
+          std::min(U[static_cast<std::size_t>(a.from)], U[static_cast<std::size_t>(*it)] - a.gap);
+    }
+  }
+  return U;
+}
+
+bool ConstraintGraph::feasible(double eps) const {
+  return infeasible_nodes(eps).empty();
+}
+
+std::vector<int> ConstraintGraph::infeasible_nodes(double eps) const {
+  if (topological_order().empty() && !arcs_.empty()) {
+    // A cyclic graph is treated as fully infeasible.
+    std::vector<int> all(node_count());
+    for (std::size_t i = 0; i < node_count(); ++i) all[i] = static_cast<int>(i);
+    return all;
+  }
+  const auto L = tightest_lower_bounds();
+  const auto U = tightest_upper_bounds();
+  std::vector<int> bad;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    if (L[i] > U[i] + eps) bad.push_back(static_cast<int>(i));
+  }
+  return bad;
+}
+
+DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
+                                                       const std::vector<double>& target,
+                                                       const std::vector<double>& weight) const {
+  const std::size_t n = g.node_count();
+  assert(target.size() == n);
+  Solution sol;
+  sol.position.assign(n, 0.0);
+  const auto order = g.topological_order();
+  if (order.empty() && n > 0) return sol;  // cyclic: infeasible
+  if (!g.feasible()) return sol;
+
+  const auto L = g.tightest_lower_bounds();
+  const auto U = g.tightest_upper_bounds();
+  const auto& arcs = g.constraints();
+  auto& x = sol.position;
+
+  // Forward init: feasible by construction (see DESIGN.md §6.1) —
+  // every node is pushed right just enough to clear its predecessors,
+  // and clamping to the tightest upper bound cannot violate them.
+  std::vector<double> x_fwd(n);
+  for (const int u : order) {
+    double lo = g.lower(u);
+    for (const int k : g.in_arcs()[static_cast<std::size_t>(u)]) {
+      const auto& a = arcs[static_cast<std::size_t>(k)];
+      lo = std::max(lo, x_fwd[static_cast<std::size_t>(a.from)] + a.gap);
+    }
+    x_fwd[static_cast<std::size_t>(u)] = std::clamp(
+        target[static_cast<std::size_t>(u)], lo, std::max(lo, U[static_cast<std::size_t>(u)]));
+  }
+  // Backward init: symmetric, pulled left just enough to clear
+  // successors; also feasible.
+  std::vector<double> x_bwd(n);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    double hi = g.upper(u);
+    for (const int k : g.out_arcs()[static_cast<std::size_t>(u)]) {
+      const auto& a = arcs[static_cast<std::size_t>(k)];
+      hi = std::min(hi, x_bwd[static_cast<std::size_t>(a.to)] - a.gap);
+    }
+    x_bwd[static_cast<std::size_t>(u)] = std::clamp(
+        target[static_cast<std::size_t>(u)], std::min(L[static_cast<std::size_t>(u)], hi), hi);
+  }
+
+  // Refinement: alternate (a) coordinate-wise sweeps — optimal move of
+  // one node given fixed neighbours — with (b) clump moves: nodes
+  // connected by *tight* constraints shift jointly to the weighted
+  // median of their residuals (the L1 analogue of Abacus clumping;
+  // single-node descent alone stalls on tight chains).
+  constexpr double kTightEps = 1e-7;
+  auto relax_node = [&](int u, double& moved) {
+    double lo = g.lower(u);
+    double hi = g.upper(u);
+    for (const int k : g.in_arcs()[static_cast<std::size_t>(u)]) {
+      const auto& a = arcs[static_cast<std::size_t>(k)];
+      lo = std::max(lo, x[static_cast<std::size_t>(a.from)] + a.gap);
+    }
+    for (const int k : g.out_arcs()[static_cast<std::size_t>(u)]) {
+      const auto& a = arcs[static_cast<std::size_t>(k)];
+      hi = std::min(hi, x[static_cast<std::size_t>(a.to)] - a.gap);
+    }
+    if (lo > hi) return;  // neighbours pin this node; keep position
+    const double nx = std::clamp(target[static_cast<std::size_t>(u)], lo, hi);
+    moved += std::abs(nx - x[static_cast<std::size_t>(u)]);
+    x[static_cast<std::size_t>(u)] = nx;
+  };
+  auto clump_pass = [&]() {
+    double moved = 0.0;
+    UnionFind uf(n);
+    for (const auto& a : arcs) {
+      if (std::abs(x[static_cast<std::size_t>(a.to)] - x[static_cast<std::size_t>(a.from)] -
+                   a.gap) <= kTightEps) {
+        uf.unite(static_cast<std::size_t>(a.from), static_cast<std::size_t>(a.to));
+      }
+    }
+    // Members per cluster root.
+    std::vector<std::vector<int>> members(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      members[uf.find(i)].push_back(static_cast<int>(i));
+    }
+    for (const auto& cluster : members) {
+      if (cluster.size() < 2) continue;
+      // Allowed uniform shift range from bounds and non-tight external
+      // constraints (tight intra-cluster arcs shift rigidly).
+      double shift_lo = -kInf;
+      double shift_hi = kInf;
+      for (const int u : cluster) {
+        shift_lo = std::max(shift_lo, g.lower(u) - x[static_cast<std::size_t>(u)]);
+        shift_hi = std::min(shift_hi, g.upper(u) - x[static_cast<std::size_t>(u)]);
+      }
+      const std::size_t root = uf.find(static_cast<std::size_t>(cluster.front()));
+      for (const auto& a : arcs) {
+        const bool from_in = uf.find(static_cast<std::size_t>(a.from)) == root;
+        const bool to_in = uf.find(static_cast<std::size_t>(a.to)) == root;
+        if (from_in == to_in) continue;
+        const double slack = x[static_cast<std::size_t>(a.to)] -
+                             x[static_cast<std::size_t>(a.from)] - a.gap;
+        if (from_in) {
+          shift_hi = std::min(shift_hi, slack);  // moving right eats slack
+        } else {
+          shift_lo = std::max(shift_lo, -slack);
+        }
+      }
+      if (shift_lo > shift_hi) continue;
+      // Optimal shift: weighted median of residuals (the L1 optimum of
+      // a rigid translation).
+      std::vector<std::pair<double, double>> residual;  // (value, weight)
+      residual.reserve(cluster.size());
+      double total_w = 0.0;
+      for (const int u : cluster) {
+        const double w = weight.empty() ? 1.0 : weight[static_cast<std::size_t>(u)];
+        residual.emplace_back(
+            target[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(u)], w);
+        total_w += w;
+      }
+      std::sort(residual.begin(), residual.end());
+      double acc = 0.0;
+      double median = residual.back().first;
+      for (const auto& [v, w] : residual) {
+        acc += w;
+        if (acc >= total_w / 2) {
+          median = v;
+          break;
+        }
+      }
+      const double s = std::clamp(median, shift_lo, shift_hi);
+      if (std::abs(s) <= kTightEps) continue;
+      for (const int u : cluster) x[static_cast<std::size_t>(u)] += s;
+      moved += std::abs(s) * static_cast<double>(cluster.size());
+    }
+    return moved;
+  };
+
+  auto objective_of = [&](const std::vector<double>& pos) {
+    double o = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = weight.empty() ? 1.0 : weight[i];
+      o += w * std::abs(pos[i] - target[i]);
+    }
+    return o;
+  };
+
+  int sweeps = 0;
+  auto refine = [&](std::vector<double> init) {
+    x = std::move(init);
+    for (int s = 0; s < opt_.max_sweeps; ++s, ++sweeps) {
+      double moved = 0.0;
+      const bool backward = (s % 2 == 0);
+      if (backward) {
+        for (auto it = order.rbegin(); it != order.rend(); ++it) relax_node(*it, moved);
+      } else {
+        for (const int u : order) relax_node(u, moved);
+      }
+      moved += clump_pass();
+      if (moved < opt_.convergence_eps) break;
+    }
+    return x;
+  };
+  const std::vector<double> sol_fwd = refine(x_fwd);
+  const std::vector<double> sol_bwd = refine(x_bwd);
+  x = objective_of(sol_fwd) <= objective_of(sol_bwd) ? sol_fwd : sol_bwd;
+  sol.sweeps_used = sweeps;
+
+  // Verify feasibility and compute the objective.
+  sol.feasible = true;
+  for (const auto& a : arcs) {
+    if (x[static_cast<std::size_t>(a.to)] - x[static_cast<std::size_t>(a.from)] < a.gap - 1e-7) {
+      sol.feasible = false;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < n && sol.feasible; ++i) {
+    if (x[i] < g.lower(static_cast<int>(i)) - 1e-7 || x[i] > g.upper(static_cast<int>(i)) + 1e-7) {
+      sol.feasible = false;
+    }
+  }
+  sol.objective = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weight.empty() ? 1.0 : weight[i];
+    sol.objective += w * std::abs(x[i] - target[i]);
+  }
+  return sol;
+}
+
+double DisplacementSolver::dual_lower_bound(const ConstraintGraph& g,
+                                            const std::vector<double>& target,
+                                            const std::vector<double>& weight) const {
+  // LP dual (see min_cost_flow.h): maximize Σ s_a · y_a over flows y ≥ 0
+  // with per-node net-outflow capacity weight[i]. Bounds are modelled as
+  // constraints against two heavy wall nodes pinned at their targets.
+  const int n = static_cast<int>(g.node_count());
+  if (n == 0) return 0.0;
+  constexpr std::int64_t kScale = 1 << 20;
+  const int wall_lo = n;
+  const int wall_hi = n + 1;
+  const int S = n + 2;
+  const int T = n + 3;
+  MinCostFlow mcf(n + 4);
+
+  const std::int64_t heavy = 64LL * (n + 2);
+  auto node_weight = [&](int i) -> std::int64_t {
+    if (i == wall_lo || i == wall_hi) return heavy;
+    const double w = weight.empty() ? 1.0 : weight[static_cast<std::size_t>(i)];
+    return static_cast<std::int64_t>(std::llround(w));
+  };
+  for (int i = 0; i < n + 2; ++i) {
+    mcf.add_arc(S, i, node_weight(i), 0);
+    mcf.add_arc(i, T, node_weight(i), 0);
+  }
+  auto add_dual_arc = [&](int from, int to, double gap, double g_from, double g_to) {
+    const double s = gap - (g_to - g_from);
+    const auto sc = static_cast<std::int64_t>(std::llround(s * kScale));
+    mcf.add_arc(from, to, 16LL * heavy, -sc);
+  };
+  // Wall targets: pin at the extreme bounds actually present.
+  double lo_pos = 0.0;
+  double hi_pos = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (std::isfinite(g.lower(i))) lo_pos = std::min(lo_pos, g.lower(i));
+    if (std::isfinite(g.upper(i))) hi_pos = std::max(hi_pos, g.upper(i));
+  }
+  for (const auto& a : g.constraints()) {
+    add_dual_arc(a.from, a.to, a.gap, target[static_cast<std::size_t>(a.from)],
+                 target[static_cast<std::size_t>(a.to)]);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (std::isfinite(g.lower(i))) {
+      add_dual_arc(wall_lo, i, g.lower(i) - lo_pos, lo_pos, target[static_cast<std::size_t>(i)]);
+    }
+    if (std::isfinite(g.upper(i))) {
+      add_dual_arc(i, wall_hi, hi_pos - g.upper(i), target[static_cast<std::size_t>(i)], hi_pos);
+    }
+  }
+  const auto res = mcf.solve_min_cost(S, T);
+  return static_cast<double>(-res.cost) / static_cast<double>(kScale);
+}
+
+}  // namespace qgdp

@@ -1,0 +1,164 @@
+#include "graph/min_cost_flow.h"
+
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace qgdp {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}
+
+MinCostFlow::MinCostFlow(int node_count)
+    : head_(static_cast<std::size_t>(node_count), -1),
+      potential_(static_cast<std::size_t>(node_count), 0),
+      dist_(static_cast<std::size_t>(node_count), 0) {
+  if (node_count <= 0) throw std::invalid_argument("MinCostFlow: node_count must be positive");
+}
+
+int MinCostFlow::add_arc(int from, int to, std::int64_t capacity, std::int64_t cost) {
+  assert(from >= 0 && from < node_count() && to >= 0 && to < node_count());
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back({to, capacity, cost, head_[static_cast<std::size_t>(from)]});
+  head_[static_cast<std::size_t>(from)] = id;
+  edges_.push_back({from, 0, -cost, head_[static_cast<std::size_t>(to)]});
+  head_[static_cast<std::size_t>(to)] = id + 1;
+  return id;
+}
+
+bool MinCostFlow::bellman_ford(int s) {
+  // Initializes potentials so that reduced costs become non-negative,
+  // allowing Dijkstra afterwards even with negative arc costs.
+  const std::size_t n = head_.size();
+  std::vector<std::int64_t>& d = potential_;
+  d.assign(n, kInf);
+  d[static_cast<std::size_t>(s)] = 0;
+  std::vector<bool> in_queue(n, false);
+  std::vector<int> relax_count(n, 0);
+  std::queue<int> q;
+  q.push(s);
+  in_queue[static_cast<std::size_t>(s)] = true;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    in_queue[static_cast<std::size_t>(u)] = false;
+    for (int e = head_[static_cast<std::size_t>(u)]; e != -1; e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      if (ed.cap <= 0) continue;
+      const std::int64_t nd = d[static_cast<std::size_t>(u)] + ed.cost;
+      if (nd < d[static_cast<std::size_t>(ed.to)]) {
+        d[static_cast<std::size_t>(ed.to)] = nd;
+        if (!in_queue[static_cast<std::size_t>(ed.to)]) {
+          if (++relax_count[static_cast<std::size_t>(ed.to)] > static_cast<int>(n) + 1) {
+            throw std::runtime_error("MinCostFlow: negative cycle detected");
+          }
+          in_queue[static_cast<std::size_t>(ed.to)] = true;
+          q.push(ed.to);
+        }
+      }
+    }
+  }
+  // Unreachable nodes keep kInf; normalize to 0 so reduced costs stay finite.
+  for (auto& v : d)
+    if (v >= kInf) v = 0;
+  return true;
+}
+
+bool MinCostFlow::dijkstra(int s, int t, std::vector<int>& parent_edge) {
+  const std::size_t n = head_.size();
+  dist_.assign(n, kInf);
+  parent_edge.assign(n, -1);
+  using Item = std::pair<std::int64_t, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist_[static_cast<std::size_t>(s)] = 0;
+  pq.emplace(0, s);
+  while (!pq.empty()) {
+    auto [du, u] = pq.top();
+    pq.pop();
+    if (du > dist_[static_cast<std::size_t>(u)]) continue;
+    for (int e = head_[static_cast<std::size_t>(u)]; e != -1; e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      if (ed.cap <= 0) continue;
+      const std::int64_t rc = ed.cost + potential_[static_cast<std::size_t>(u)] -
+                              potential_[static_cast<std::size_t>(ed.to)];
+      assert(rc >= 0 && "reduced cost must be non-negative under valid potentials");
+      const std::int64_t nd = du + rc;
+      if (nd < dist_[static_cast<std::size_t>(ed.to)]) {
+        dist_[static_cast<std::size_t>(ed.to)] = nd;
+        parent_edge[static_cast<std::size_t>(ed.to)] = e;
+        pq.emplace(nd, ed.to);
+      }
+    }
+  }
+  return dist_[static_cast<std::size_t>(t)] < kInf;
+}
+
+MinCostFlow::Result MinCostFlow::solve(int source, int sink, std::int64_t max_flow) {
+  bellman_ford(source);
+  Result res;
+  std::vector<int> parent_edge;
+  while (res.flow < max_flow && dijkstra(source, sink, parent_edge)) {
+    // Update potentials with the new distances.
+    for (std::size_t i = 0; i < head_.size(); ++i) {
+      if (dist_[i] < kInf) potential_[i] += dist_[i];
+    }
+    // Bottleneck along the path.
+    std::int64_t push = max_flow - res.flow;
+    for (int v = sink; v != source;) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      push = std::min(push, edges_[static_cast<std::size_t>(e)].cap);
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    // Apply.
+    std::int64_t path_cost = 0;
+    for (int v = sink; v != source;) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      edges_[static_cast<std::size_t>(e)].cap -= push;
+      edges_[static_cast<std::size_t>(e ^ 1)].cap += push;
+      path_cost += edges_[static_cast<std::size_t>(e)].cost;
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    res.flow += push;
+    res.cost += push * path_cost;
+  }
+  return res;
+}
+
+MinCostFlow::Result MinCostFlow::solve_min_cost(int source, int sink) {
+  bellman_ford(source);
+  Result res;
+  std::vector<int> parent_edge;
+  while (dijkstra(source, sink, parent_edge)) {
+    // True (non-reduced) cost of the found shortest path.
+    const std::int64_t real_cost = dist_[static_cast<std::size_t>(sink)] -
+                                   potential_[static_cast<std::size_t>(source)] +
+                                   potential_[static_cast<std::size_t>(sink)];
+    if (real_cost >= 0) break;  // no profitable augmentation remains
+    for (std::size_t i = 0; i < head_.size(); ++i) {
+      if (dist_[i] < kInf) potential_[i] += dist_[i];
+    }
+    std::int64_t push = kInf;
+    for (int v = sink; v != source;) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      push = std::min(push, edges_[static_cast<std::size_t>(e)].cap);
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    for (int v = sink; v != source;) {
+      const int e = parent_edge[static_cast<std::size_t>(v)];
+      edges_[static_cast<std::size_t>(e)].cap -= push;
+      edges_[static_cast<std::size_t>(e ^ 1)].cap += push;
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    res.flow += push;
+    res.cost += push * real_cost;
+  }
+  return res;
+}
+
+std::int64_t MinCostFlow::flow_on(int arc_id) const {
+  // Flow equals the residual capacity accumulated on the reverse arc.
+  return edges_[static_cast<std::size_t>(arc_id ^ 1)].cap;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,72 @@
+// Min-cost max-flow via successive shortest paths with node potentials
+// (Bellman-Ford initialization, Dijkstra iterations).
+//
+// qGDP uses this solver as the *dual* of the qubit-legalization LP
+// (Tang et al., ASP-DAC'05; paper §III-C "dual min-cost flow"):
+//
+//   primal:  min Σ|xi − gi|  s.t.  xj − xi ≥ δij        (difference DAG)
+//   dual:    max Σ sij·yij   s.t.  yij ≥ 0, |net outflow of i| ≤ 1
+//
+// with sij = δij − (gj − gi). The dual is a min-cost circulation; see
+// lp_displacement.h for the wrapper that builds it and certifies the
+// duality gap.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace qgdp {
+
+class MinCostFlow {
+ public:
+  /// Creates a network with `node_count` nodes (ids 0..node_count-1).
+  explicit MinCostFlow(int node_count);
+
+  /// Adds a directed arc; returns its id for flow_on() queries.
+  /// Costs may be negative; the graph must not contain a negative cycle.
+  int add_arc(int from, int to, std::int64_t capacity, std::int64_t cost);
+
+  /// Sends up to `max_flow` units from s to t along successive shortest
+  /// (cheapest) paths. Returns {flow shipped, total cost}.
+  struct Result {
+    std::int64_t flow{0};
+    std::int64_t cost{0};
+  };
+  Result solve(int source, int sink,
+               std::int64_t max_flow = std::numeric_limits<std::int64_t>::max());
+
+  /// Like solve(), but stops as soon as the next augmenting path has
+  /// non-negative cost — i.e. computes the flow of minimum total cost
+  /// regardless of its value (what the LP dual needs: only profitable
+  /// augmentations are taken).
+  Result solve_min_cost(int source, int sink);
+
+  /// Flow currently on arc `arc_id` (after solve*).
+  [[nodiscard]] std::int64_t flow_on(int arc_id) const;
+
+  /// Node potentials after the last solve; for nodes unreachable in the
+  /// final residual graph the potential of the last reaching iteration
+  /// is retained.
+  [[nodiscard]] const std::vector<std::int64_t>& potentials() const { return potential_; }
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t cap;
+    std::int64_t cost;
+    int next;
+  };
+
+  bool bellman_ford(int s);
+  bool dijkstra(int s, int t, std::vector<int>& parent_edge);
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<std::int64_t> potential_;
+  std::vector<std::int64_t> dist_;
+};
+
+}  // namespace qgdp

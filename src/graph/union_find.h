@@ -1,0 +1,51 @@
+// Disjoint-set forest with union by size and path compression.
+// Used for cluster counting over touching wire blocks (paper §III-B:
+// "wire blocks are grouped into clusters if they physically touch").
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace qgdp {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  /// Representative of x's set (with path compression).
+  [[nodiscard]] std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets of a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  [[nodiscard]] std::size_t set_size(std::size_t x) { return size_[find(x)]; }
+  [[nodiscard]] std::size_t component_count() const { return components_; }
+  [[nodiscard]] std::size_t element_count() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace qgdp

@@ -1,0 +1,227 @@
+#include "io/serialization.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace qgdp {
+
+namespace {
+
+[[noreturn]] void parse_error(const std::string& what) {
+  throw std::runtime_error("qgdp serialization: " + what);
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) parse_error("cannot open " + path);
+  return f;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) parse_error("cannot open " + path + " for writing");
+  return f;
+}
+
+/// Reads one non-empty, non-comment line; returns false at EOF.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '#') return true;
+  }
+  return false;
+}
+
+std::istringstream expect(const std::string& line, const std::string& keyword) {
+  std::istringstream ss(line);
+  std::string kw;
+  ss >> kw;
+  if (kw != keyword) parse_error("expected '" + keyword + "', got '" + kw + "'");
+  return ss;
+}
+
+}  // namespace
+
+// ---- DeviceSpec ------------------------------------------------------
+
+void write_device(const DeviceSpec& spec, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "qdev 1\n";
+  os << "name " << spec.name << "\n";
+  os << "qubits " << spec.qubit_count << "\n";
+  for (int q = 0; q < spec.qubit_count; ++q) {
+    const Point c = spec.coords[static_cast<std::size_t>(q)];
+    os << "coord " << q << ' ' << c.x << ' ' << c.y << "\n";
+  }
+  os << "couplings " << spec.couplings.size() << "\n";
+  for (const auto& [a, b] : spec.couplings) {
+    os << "c " << a << ' ' << b << "\n";
+  }
+}
+
+void write_device_file(const DeviceSpec& spec, const std::string& path) {
+  auto f = open_out(path);
+  write_device(spec, f);
+}
+
+DeviceSpec read_device(std::istream& is) {
+  DeviceSpec spec;
+  std::string line;
+  if (!next_line(is, line)) parse_error("empty device stream");
+  int version = 0;
+  expect(line, "qdev") >> version;
+  if (version != 1) parse_error("unsupported qdev version");
+
+  if (!next_line(is, line)) parse_error("missing name");
+  {
+    auto ss = expect(line, "name");
+    std::getline(ss >> std::ws, spec.name);
+  }
+  if (!next_line(is, line)) parse_error("missing qubits");
+  expect(line, "qubits") >> spec.qubit_count;
+  if (spec.qubit_count <= 0) parse_error("qubit count must be positive");
+  spec.coords.assign(static_cast<std::size_t>(spec.qubit_count), Point{});
+  for (int i = 0; i < spec.qubit_count; ++i) {
+    if (!next_line(is, line)) parse_error("missing coord line");
+    int q = 0;
+    Point c;
+    expect(line, "coord") >> q >> c.x >> c.y;
+    if (q < 0 || q >= spec.qubit_count) parse_error("coord qubit id out of range");
+    spec.coords[static_cast<std::size_t>(q)] = c;
+  }
+  if (!next_line(is, line)) parse_error("missing couplings");
+  std::size_t m = 0;
+  expect(line, "couplings") >> m;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!next_line(is, line)) parse_error("missing coupling line");
+    int a = 0;
+    int b = 0;
+    expect(line, "c") >> a >> b;
+    if (a < 0 || a >= spec.qubit_count || b < 0 || b >= spec.qubit_count || a == b) {
+      parse_error("bad coupling " + std::to_string(a) + "-" + std::to_string(b));
+    }
+    spec.couplings.emplace_back(a, b);
+  }
+  return spec;
+}
+
+DeviceSpec read_device_file(const std::string& path) {
+  auto f = open_in(path);
+  return read_device(f);
+}
+
+// ---- QuantumNetlist --------------------------------------------------
+
+void write_layout(const QuantumNetlist& nl, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "qlay 1\n";
+  os << "name " << nl.name() << "\n";
+  const Rect die = nl.die();
+  os << "die " << die.lo.x << ' ' << die.lo.y << ' ' << die.hi.x << ' ' << die.hi.y << "\n";
+  os << "qubits " << nl.qubit_count() << "\n";
+  for (const auto& q : nl.qubits()) {
+    os << "q " << q.id << ' ' << q.pos.x << ' ' << q.pos.y << ' ' << q.width << ' ' << q.height
+       << ' ' << q.frequency << "\n";
+  }
+  os << "edges " << nl.edge_count() << "\n";
+  for (const auto& e : nl.edges()) {
+    os << "e " << e.id << ' ' << e.q0 << ' ' << e.q1 << ' ' << e.frequency << ' '
+       << e.wire_length << ' ' << e.padding << ' ' << e.block_count() << "\n";
+  }
+  os << "blocks " << nl.block_count() << "\n";
+  for (const auto& b : nl.blocks()) {
+    os << "b " << b.id << ' ' << b.edge << ' ' << b.pos.x << ' ' << b.pos.y << ' ' << b.size
+       << "\n";
+  }
+}
+
+void write_layout_file(const QuantumNetlist& nl, const std::string& path) {
+  auto f = open_out(path);
+  write_layout(nl, f);
+}
+
+QuantumNetlist read_layout(std::istream& is) {
+  QuantumNetlist nl;
+  std::string line;
+  if (!next_line(is, line)) parse_error("empty layout stream");
+  int version = 0;
+  expect(line, "qlay") >> version;
+  if (version != 1) parse_error("unsupported qlay version");
+
+  if (!next_line(is, line)) parse_error("missing name");
+  {
+    auto ss = expect(line, "name");
+    std::string name;
+    std::getline(ss >> std::ws, name);
+    nl.set_name(name);
+  }
+  if (!next_line(is, line)) parse_error("missing die");
+  {
+    Rect die;
+    expect(line, "die") >> die.lo.x >> die.lo.y >> die.hi.x >> die.hi.y;
+    nl.set_die(die);
+  }
+  std::size_t nq = 0;
+  if (!next_line(is, line)) parse_error("missing qubits");
+  expect(line, "qubits") >> nq;
+  for (std::size_t i = 0; i < nq; ++i) {
+    if (!next_line(is, line)) parse_error("missing qubit line");
+    int id = 0;
+    Point pos;
+    double w = 0;
+    double h = 0;
+    double f = 0;
+    expect(line, "q") >> id >> pos.x >> pos.y >> w >> h >> f;
+    const int got = nl.add_qubit(pos, w, h, f);
+    if (got != id) parse_error("qubit ids must be dense and ordered");
+  }
+  std::size_t ne = 0;
+  if (!next_line(is, line)) parse_error("missing edges");
+  expect(line, "edges") >> ne;
+  std::vector<int> block_counts;
+  for (std::size_t i = 0; i < ne; ++i) {
+    if (!next_line(is, line)) parse_error("missing edge line");
+    int id = 0;
+    int q0 = 0;
+    int q1 = 0;
+    double f = 0;
+    double len = 0;
+    double pad = 0;
+    int nblocks = 0;
+    expect(line, "e") >> id >> q0 >> q1 >> f >> len >> pad >> nblocks;
+    const int got = nl.add_edge(q0, q1, f, len, pad);
+    if (got != id) parse_error("edge ids must be dense and ordered");
+    block_counts.push_back(nblocks);
+  }
+  for (std::size_t e = 0; e < ne; ++e) {
+    nl.partition_edge(static_cast<int>(e), block_counts[e]);
+  }
+  std::size_t nb = 0;
+  if (!next_line(is, line)) parse_error("missing blocks");
+  expect(line, "blocks") >> nb;
+  if (nb != nl.block_count()) parse_error("block count mismatch vs edge partitioning");
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (!next_line(is, line)) parse_error("missing block line");
+    int id = 0;
+    int edge = 0;
+    Point pos;
+    double size = 0;
+    expect(line, "b") >> id >> edge >> pos.x >> pos.y >> size;
+    if (id < 0 || static_cast<std::size_t>(id) >= nl.block_count()) {
+      parse_error("block id out of range");
+    }
+    WireBlock& b = nl.block(id);
+    if (b.edge != edge) parse_error("block/edge assignment mismatch");
+    b.pos = pos;
+    b.size = size;
+  }
+  return nl;
+}
+
+QuantumNetlist read_layout_file(const std::string& path) {
+  auto f = open_in(path);
+  return read_layout(f);
+}
+
+}  // namespace qgdp

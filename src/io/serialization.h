@@ -1,0 +1,31 @@
+// Plain-text serialization for devices and layouts.
+//
+// Two formats, both line-oriented and diff-friendly:
+//
+//  *.qdev  — DeviceSpec: connectivity + schematic coordinates.
+//  *.qlay  — QuantumNetlist: full component list with positions,
+//            frequencies, and partitioning; round-trips exactly, so a
+//            legalized layout can be archived and re-audited later.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/quantum_netlist.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+
+// ---- DeviceSpec (.qdev) --------------------------------------------
+void write_device(const DeviceSpec& spec, std::ostream& os);
+void write_device_file(const DeviceSpec& spec, const std::string& path);
+[[nodiscard]] DeviceSpec read_device(std::istream& is);
+[[nodiscard]] DeviceSpec read_device_file(const std::string& path);
+
+// ---- QuantumNetlist (.qlay) ----------------------------------------
+void write_layout(const QuantumNetlist& nl, std::ostream& os);
+void write_layout_file(const QuantumNetlist& nl, const std::string& path);
+[[nodiscard]] QuantumNetlist read_layout(std::istream& is);
+[[nodiscard]] QuantumNetlist read_layout_file(const std::string& path);
+
+}  // namespace qgdp

@@ -1,0 +1,88 @@
+#include "io/svg_writer.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/crossings.h"
+
+namespace qgdp {
+
+namespace {
+
+/// Map a frequency to a hue: qubit band (≈5 GHz) → blues, resonator
+/// band (6.2–7 GHz) → warm spectrum.
+std::string freq_color(double f) {
+  double hue = 0.0;
+  if (f < 6.0) {
+    hue = 200.0 + (f - 4.9) * 250.0;  // blues/purples
+  } else {
+    hue = (f - 6.2) / 0.8 * 120.0;  // red→green sweep
+  }
+  std::ostringstream os;
+  os << "hsl(" << static_cast<int>(std::fmod(std::fmax(hue, 0.0), 360.0)) << ",70%,55%)";
+  return os.str();
+}
+
+}  // namespace
+
+std::string layout_svg_string(const QuantumNetlist& nl, const SvgOptions& opt) {
+  const Rect die = nl.die();
+  const double s = opt.scale;
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << die.width() * s
+     << "\" height=\"" << die.height() * s << "\" viewBox=\"0 0 " << die.width() * s << ' '
+     << die.height() * s << "\">\n";
+  // y flips so the origin is bottom-left like layout coordinates.
+  auto X = [&](double x) { return (x - die.lo.x) * s; };
+  auto Y = [&](double y) { return (die.hi.y - y) * s; };
+
+  os << "<rect x=\"0\" y=\"0\" width=\"" << die.width() * s << "\" height=\""
+     << die.height() * s << "\" fill=\"#fafafa\" stroke=\"#000\"/>\n";
+
+  for (const auto& b : nl.blocks()) {
+    const Rect r = b.rect();
+    os << "<rect x=\"" << X(r.lo.x) << "\" y=\"" << Y(r.hi.y) << "\" width=\"" << r.width() * s
+       << "\" height=\"" << r.height() * s << "\" fill=\"" << freq_color(nl.edge(b.edge).frequency)
+       << "\" fill-opacity=\"0.75\" stroke=\"#333\" stroke-width=\"0.4\"/>\n";
+  }
+  for (const auto& q : nl.qubits()) {
+    const Rect r = q.rect();
+    os << "<rect x=\"" << X(r.lo.x) << "\" y=\"" << Y(r.hi.y) << "\" width=\"" << r.width() * s
+       << "\" height=\"" << r.height() * s << "\" fill=\"" << freq_color(q.frequency)
+       << "\" stroke=\"#000\" stroke-width=\"1\"/>\n";
+    if (opt.label_qubits) {
+      os << "<text x=\"" << X(q.pos.x) << "\" y=\"" << Y(q.pos.y) + 3
+         << "\" font-size=\"" << s * 0.8 << "\" text-anchor=\"middle\" fill=\"#fff\">" << q.id
+         << "</text>\n";
+    }
+  }
+  if (opt.draw_virtual_segments || opt.draw_crossings) {
+    for (const auto& e : nl.edges()) {
+      if (!opt.draw_virtual_segments) break;
+      for (const auto& seg : edge_virtual_segments(nl, e.id)) {
+        os << "<line x1=\"" << X(seg.a.x) << "\" y1=\"" << Y(seg.a.y) << "\" x2=\"" << X(seg.b.x)
+           << "\" y2=\"" << Y(seg.b.y) << "\" stroke=\"#c00\" stroke-width=\"1\" "
+           << "stroke-dasharray=\"3,2\"/>\n";
+      }
+    }
+    if (opt.draw_crossings) {
+      const auto rep = compute_crossings(nl);
+      for (const auto& cp : rep.points) {
+        os << "<circle cx=\"" << X(cp.where.x) << "\" cy=\"" << Y(cp.where.y)
+           << "\" r=\"" << s * 0.4 << "\" fill=\"none\" stroke=\"#f00\" stroke-width=\"1.5\"/>\n";
+      }
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_layout_svg(const QuantumNetlist& nl, const std::string& path, const SvgOptions& opt) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_layout_svg: cannot open " + path);
+  f << layout_svg_string(nl, opt);
+}
+
+}  // namespace qgdp

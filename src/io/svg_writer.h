@@ -1,0 +1,27 @@
+// SVG layout rendering: qubit macros and wire blocks colored by
+// frequency, optional virtual connection segments and crossing markers.
+// Useful for eyeballing what each legalizer did to a layout.
+#pragma once
+
+#include <string>
+
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+struct SvgOptions {
+  double scale{12.0};           ///< pixels per cell
+  bool draw_virtual_segments{false};
+  bool draw_crossings{false};
+  bool label_qubits{true};
+};
+
+/// Renders the current layout to an SVG file. Throws on I/O failure.
+void write_layout_svg(const QuantumNetlist& nl, const std::string& path,
+                      const SvgOptions& opt = {});
+
+/// Same, returning the SVG document as a string (for tests).
+[[nodiscard]] std::string layout_svg_string(const QuantumNetlist& nl,
+                                            const SvgOptions& opt = {});
+
+}  // namespace qgdp

@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to
+// emit the paper's tables/figures as text, plus CSV export.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qgdp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Column-aligned plain text.
+  void print(std::ostream& os) const;
+  /// Comma-separated values (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision numeric formatting helper.
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+}  // namespace qgdp

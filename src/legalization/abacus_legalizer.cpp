@@ -1,0 +1,196 @@
+#include "legalization/abacus_legalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace qgdp {
+
+namespace {
+
+/// One free span [x_lo, x_hi) of a row; holds its cells sorted by
+/// target x and packs them with the Abacus clumping recurrence.
+class Interval {
+ public:
+  Interval(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  [[nodiscard]] double capacity() const { return hi_ - lo_; }
+  [[nodiscard]] int cell_count() const { return static_cast<int>(targets_.size()); }
+  [[nodiscard]] bool can_accept() const { return cell_count() + 1 <= static_cast<int>(capacity()); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+  /// Packs cells (unit width) by the classic clumping recurrence and
+  /// returns positions (left edge per cell) plus total squared cost.
+  double pack(const std::vector<double>& targets, std::vector<double>* out_pos) const {
+    struct Cluster {
+      double e{0}, q{0}, w{0}, x{0};
+      int first{0};
+    };
+    std::vector<Cluster> clusters;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      Cluster c;
+      c.e = 1.0;
+      c.q = targets[i];  // desired left edge of this unit cell
+      c.w = 1.0;
+      c.x = std::clamp(targets[i], lo_, hi_ - 1.0);
+      c.first = static_cast<int>(i);
+      clusters.push_back(c);
+      // Merge while the new cluster overlaps its predecessor.
+      while (clusters.size() > 1) {
+        Cluster& cur = clusters.back();
+        Cluster& prev = clusters[clusters.size() - 2];
+        if (prev.x + prev.w <= cur.x) break;
+        prev.q += cur.q - cur.e * prev.w;
+        prev.e += cur.e;
+        prev.w += cur.w;
+        prev.x = std::clamp(prev.q / prev.e, lo_, hi_ - prev.w);
+        clusters.pop_back();
+      }
+    }
+    double cost = 0.0;
+    if (out_pos) out_pos->assign(targets.size(), 0.0);
+    for (const auto& c : clusters) {
+      for (int k = 0; k < static_cast<int>(c.w); ++k) {
+        const std::size_t i = static_cast<std::size_t>(c.first + k);
+        const double pos = c.x + k;
+        if (out_pos) (*out_pos)[i] = pos;
+        const double d = pos - targets[i];
+        cost += d * d;
+      }
+    }
+    return cost;
+  }
+
+  /// Cost of this interval's current content.
+  [[nodiscard]] double current_cost() const { return pack(targets_, nullptr); }
+
+  /// Trial: cost after inserting a cell with target x `tx`.
+  [[nodiscard]] double trial_cost(double tx) const {
+    std::vector<double> t = with_inserted(tx).first;
+    return pack(t, nullptr);
+  }
+
+  void commit(int block, double tx) {
+    auto [t, idx] = with_inserted(tx);
+    targets_ = std::move(t);
+    blocks_.insert(blocks_.begin() + idx, block);
+  }
+
+  /// Final integer bin columns for the packed cells.
+  [[nodiscard]] std::vector<std::pair<int, int>> final_columns() const {
+    std::vector<double> pos;
+    pack(targets_, &pos);
+    std::vector<std::pair<int, int>> out;  // (block, column)
+    int prev = static_cast<int>(std::floor(lo_)) - 1;
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      int col = std::max(static_cast<int>(std::lround(pos[i])), prev + 1);
+      col = std::min(col, static_cast<int>(std::lround(hi_)) - 1);
+      prev = col;
+      out.emplace_back(blocks_[i], col);
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::pair<std::vector<double>, std::size_t> with_inserted(double tx) const {
+    std::vector<double> t = targets_;
+    const auto it = std::upper_bound(t.begin(), t.end(), tx);
+    const std::size_t idx = static_cast<std::size_t>(it - t.begin());
+    t.insert(it, tx);
+    return {std::move(t), idx};
+  }
+
+  double lo_;
+  double hi_;
+  std::vector<double> targets_;  ///< desired left edges, ascending
+  std::vector<int> blocks_;      ///< block ids parallel to targets_
+};
+
+}  // namespace
+
+BlockLegalizeResult AbacusLegalizer::legalize(QuantumNetlist& nl, BinGrid& grid) const {
+  BlockLegalizeResult res;
+  const int ny = grid.height();
+  // Build row intervals from contiguous free bins.
+  std::vector<std::vector<Interval>> rows(static_cast<std::size_t>(ny));
+  for (int y = 0; y < ny; ++y) {
+    int run_start = -1;
+    for (int x = 0; x <= grid.width(); ++x) {
+      const bool free = x < grid.width() && grid.is_free({x, y});
+      if (free && run_start < 0) run_start = x;
+      if (!free && run_start >= 0) {
+        rows[static_cast<std::size_t>(y)].emplace_back(static_cast<double>(run_start),
+                                                       static_cast<double>(x));
+        run_start = -1;
+      }
+    }
+  }
+  std::vector<int> order(nl.block_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Point pa = nl.block(a).pos;
+    const Point pb = nl.block(b).pos;
+    return pa.x != pb.x ? pa.x < pb.x : (pa.y != pb.y ? pa.y < pb.y : a < b);
+  });
+
+  const Rect die = grid.die();
+  for (const int bid : order) {
+    const Point target = nl.block(bid).pos;
+    const double tx_edge = target.x - 0.5;  // left edge target
+    const int ty = grid.bin_at(target).iy;
+
+    double best = std::numeric_limits<double>::infinity();
+    Interval* best_iv = nullptr;
+    auto try_row = [&](int y) {
+      if (y < 0 || y >= ny) return;
+      const double dyc = target.y - (die.lo.y + y + 0.5);
+      const double ycost = dyc * dyc;
+      if (best_iv && ycost >= best) return;
+      for (auto& iv : rows[static_cast<std::size_t>(y)]) {
+        if (!iv.can_accept()) continue;
+        const double before = iv.current_cost();
+        const double after = iv.trial_cost(tx_edge);
+        const double c = (after - before) + ycost;
+        if (c < best) {
+          best = c;
+          best_iv = &iv;
+        }
+      }
+    };
+    try_row(ty);
+    for (int off = 1; off < ny; ++off) {
+      // Prune: this cell's own vertical displacement already exceeds best.
+      const double dy = static_cast<double>(off) - 0.5;
+      if (best_iv && dy * dy >= best) break;
+      try_row(ty - off);
+      try_row(ty + off);
+    }
+    if (!best_iv) {
+      ++res.failed;
+      continue;
+    }
+    best_iv->commit(bid, tx_edge);
+    ++res.placed;
+  }
+
+  // Materialize: final columns per interval → occupy grid, move blocks.
+  for (int y = 0; y < ny; ++y) {
+    for (auto& iv : rows[static_cast<std::size_t>(y)]) {
+      for (const auto& [bid, col] : iv.final_columns()) {
+        const BinCoord bin{col, y};
+        grid.occupy(bin, bid);
+        const Point c = grid.center_of(bin);
+        const double d = distance(c, nl.block(bid).pos);
+        res.total_displacement += d;
+        res.max_displacement = std::max(res.max_displacement, d);
+        nl.block(bid).pos = c;
+      }
+    }
+  }
+  res.success = (res.failed == 0);
+  return res;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,19 @@
+// Abacus legalization (Spindler et al., ISPD'08 — paper baseline [29]):
+// row-based placement with optimal cluster "clumping". Cells are
+// processed in ascending x order; each is trial-inserted into candidate
+// row intervals (free spans between qubit blockages), the quadratic
+// displacement cost of re-packing the interval is evaluated, and the
+// cheapest interval wins. Like Tetris, Abacus is resonator-oblivious.
+#pragma once
+
+#include "legalization/block_legalizer.h"
+
+namespace qgdp {
+
+class AbacusLegalizer final : public BlockLegalizer {
+ public:
+  BlockLegalizeResult legalize(QuantumNetlist& nl, BinGrid& grid) const override;
+  [[nodiscard]] std::string name() const override { return "Abacus"; }
+};
+
+}  // namespace qgdp

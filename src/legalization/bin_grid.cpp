@@ -1,0 +1,166 @@
+#include "legalization/bin_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qgdp {
+
+BinGrid::BinGrid(Rect die) : die_(die) {
+  nx_ = std::max(1, static_cast<int>(std::ceil(die.width() - 1e-9)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(die.height() - 1e-9)));
+  state_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_), State::kFree);
+  occupant_.assign(state_.size(), -1);
+  free_by_row_.resize(static_cast<std::size_t>(ny_));
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) free_by_row_[static_cast<std::size_t>(y)].insert(x);
+  }
+  free_total_ = state_.size();
+}
+
+BinCoord BinGrid::bin_at(Point p) const {
+  const int ix = std::clamp(static_cast<int>(std::floor(p.x - die_.lo.x)), 0, nx_ - 1);
+  const int iy = std::clamp(static_cast<int>(std::floor(p.y - die_.lo.y)), 0, ny_ - 1);
+  return {ix, iy};
+}
+
+void BinGrid::set_state(BinCoord b, State s) {
+  const std::size_t i = index(b);
+  const State old = state_[i];
+  if (old == s) return;
+  if (old == State::kFree) {
+    free_by_row_[static_cast<std::size_t>(b.iy)].erase(b.ix);
+    --free_total_;
+  }
+  if (s == State::kFree) {
+    free_by_row_[static_cast<std::size_t>(b.iy)].insert(b.ix);
+    ++free_total_;
+    occupant_[i] = -1;
+  }
+  state_[i] = s;
+}
+
+void BinGrid::block_rect(const Rect& r) {
+  const int x0 = std::max(0, static_cast<int>(std::floor(r.lo.x - die_.lo.x + 1e-9)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(r.lo.y - die_.lo.y + 1e-9)));
+  const int x1 = std::min(nx_ - 1, static_cast<int>(std::ceil(r.hi.x - die_.lo.x - 1e-9)) - 1);
+  const int y1 = std::min(ny_ - 1, static_cast<int>(std::ceil(r.hi.y - die_.lo.y - 1e-9)) - 1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const BinCoord b{x, y};
+      if (state_[index(b)] == State::kOccupied) {
+        throw std::logic_error("BinGrid::block_rect over an occupied bin");
+      }
+      set_state(b, State::kBlocked);
+    }
+  }
+}
+
+bool BinGrid::occupy(BinCoord b, int block_id) {
+  if (!is_free(b)) return false;
+  set_state(b, State::kOccupied);
+  occupant_[index(b)] = block_id;
+  return true;
+}
+
+void BinGrid::release(BinCoord b) {
+  if (!in_bounds(b) || state_[index(b)] != State::kOccupied) {
+    throw std::logic_error("BinGrid::release of a non-occupied bin");
+  }
+  set_state(b, State::kFree);
+}
+
+std::optional<BinCoord> BinGrid::nearest_free(Point target) const {
+  return nearest_free_in(target, die_);
+}
+
+std::optional<BinCoord> BinGrid::nearest_free_in(Point target, const Rect& region) const {
+  // Row-hierarchical search: visit rows outward from the target row;
+  // a row whose vertical distance already exceeds the best found
+  // distance can be pruned, as can all rows beyond it.
+  const int rx0 = std::max(0, static_cast<int>(std::floor(region.lo.x - die_.lo.x + 1e-9)));
+  const int ry0 = std::max(0, static_cast<int>(std::floor(region.lo.y - die_.lo.y + 1e-9)));
+  const int rx1 = std::min(nx_ - 1, static_cast<int>(std::ceil(region.hi.x - die_.lo.x - 1e-9)) - 1);
+  const int ry1 = std::min(ny_ - 1, static_cast<int>(std::ceil(region.hi.y - die_.lo.y - 1e-9)) - 1);
+  if (rx0 > rx1 || ry0 > ry1) return std::nullopt;
+
+  double best = std::numeric_limits<double>::infinity();
+  std::optional<BinCoord> best_bin;
+  const BinCoord t = bin_at(target);
+
+  auto try_row = [&](int y) {
+    if (y < ry0 || y > ry1) return;
+    const double dy = (center_of({0, y}).y - target.y);
+    if (dy * dy >= best) return;
+    const auto& row = free_by_row_[static_cast<std::size_t>(y)];
+    if (row.empty()) return;
+    // Candidates: nearest free x at or after the target column, and the
+    // one before it; both clipped to the region's column span.
+    auto consider = [&](int x) {
+      if (x < rx0 || x > rx1) return;
+      const Point c = center_of({x, y});
+      const double d2 = distance2(c, target);
+      if (d2 < best) {
+        best = d2;
+        best_bin = BinCoord{x, y};
+      }
+    };
+    auto it = row.lower_bound(t.ix);
+    // Scan right within the region until x-distance alone exceeds best.
+    for (auto r = it; r != row.end(); ++r) {
+      if (*r > rx1) break;
+      const double dx = center_of({*r, y}).x - target.x;
+      if (dx > 0 && dx * dx >= best) break;
+      consider(*r);
+    }
+    // Scan left symmetrically.
+    for (auto l = std::make_reverse_iterator(it); l != row.rend(); ++l) {
+      if (*l < rx0) break;
+      const double dx = target.x - center_of({*l, y}).x;
+      if (dx > 0 && dx * dx >= best) break;
+      consider(*l);
+    }
+  };
+
+  // Expand rows outward from the target row; stop once the row offset
+  // alone cannot beat the best distance.
+  const int max_span = std::max(ny_, 1);
+  try_row(std::clamp(t.iy, ry0, ry1));
+  for (int off = 1; off <= max_span; ++off) {
+    const double dy = static_cast<double>(off) - 0.5;  // tightest possible
+    if (best_bin && dy * dy >= best) break;
+    try_row(t.iy - off);
+    try_row(t.iy + off);
+  }
+  return best_bin;
+}
+
+std::vector<BinCoord> BinGrid::free_neighbors(BinCoord b) const {
+  std::vector<BinCoord> out;
+  const BinCoord candidates[4] = {
+      {b.ix + 1, b.iy}, {b.ix - 1, b.iy}, {b.ix, b.iy + 1}, {b.ix, b.iy - 1}};
+  for (const auto c : candidates) {
+    if (is_free(c)) out.push_back(c);
+  }
+  return out;
+}
+
+std::optional<BinCoord> BinGrid::nearest_free_linear_scan(Point target) const {
+  double best = std::numeric_limits<double>::infinity();
+  std::optional<BinCoord> best_bin;
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      const BinCoord b{x, y};
+      if (state_[index(b)] != State::kFree) continue;
+      const double d2 = distance2(center_of(b), target);
+      if (d2 < best) {
+        best = d2;
+        best_bin = b;
+      }
+    }
+  }
+  return best_bin;
+}
+
+}  // namespace qgdp

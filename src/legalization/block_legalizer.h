@@ -1,0 +1,34 @@
+// Common interface for wire-block (resonator segment) legalizers.
+// Implementations: TetrisLegalizer, AbacusLegalizer (classic baselines,
+// paper §IV) and the integration-aware ResonatorLegalizer (qGDP,
+// Algorithm 1, in src/core).
+#pragma once
+
+#include <string>
+
+#include "legalization/bin_grid.h"
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+struct BlockLegalizeResult {
+  bool success{false};
+  int placed{0};
+  int failed{0};                 ///< blocks that found no bin (die full)
+  double total_displacement{0.0};
+  double max_displacement{0.0};
+};
+
+class BlockLegalizer {
+ public:
+  virtual ~BlockLegalizer() = default;
+
+  /// Assigns every wire block of `nl` to a free bin of `grid` (qubits
+  /// must already be blocked out of the grid) and updates block
+  /// positions to their bin centers.
+  virtual BlockLegalizeResult legalize(QuantumNetlist& nl, BinGrid& grid) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace qgdp

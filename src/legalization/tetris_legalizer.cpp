@@ -1,0 +1,37 @@
+#include "legalization/tetris_legalizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qgdp {
+
+BlockLegalizeResult TetrisLegalizer::legalize(QuantumNetlist& nl, BinGrid& grid) const {
+  BlockLegalizeResult res;
+  std::vector<int> order(nl.block_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Point pa = nl.block(a).pos;
+    const Point pb = nl.block(b).pos;
+    return pa.x != pb.x ? pa.x < pb.x : (pa.y != pb.y ? pa.y < pb.y : a < b);
+  });
+
+  for (const int bid : order) {
+    WireBlock& blk = nl.block(bid);
+    const auto bin = grid.nearest_free(blk.pos);
+    if (!bin) {
+      ++res.failed;
+      continue;
+    }
+    grid.occupy(*bin, bid);
+    const Point c = grid.center_of(*bin);
+    const double d = distance(c, blk.pos);
+    res.total_displacement += d;
+    res.max_displacement = std::max(res.max_displacement, d);
+    blk.pos = c;
+    ++res.placed;
+  }
+  res.success = (res.failed == 0);
+  return res;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,18 @@
+// Classic Tetris legalization (NTUplace3 style, paper baseline [27]):
+// cells are processed in ascending x order and greedily snapped to the
+// nearest free bin. No notion of resonator integrity — blocks of one
+// resonator scatter freely, which is exactly the deficiency qGDP's
+// integration-aware legalizer addresses.
+#pragma once
+
+#include "legalization/block_legalizer.h"
+
+namespace qgdp {
+
+class TetrisLegalizer final : public BlockLegalizer {
+ public:
+  BlockLegalizeResult legalize(QuantumNetlist& nl, BinGrid& grid) const override;
+  [[nodiscard]] std::string name() const override { return "Tetris"; }
+};
+
+}  // namespace qgdp

@@ -1,0 +1,173 @@
+#include "metrics/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "placement/spatial_hash.h"
+
+namespace qgdp {
+
+std::string to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kOverlap:
+      return "overlap";
+    case ViolationKind::kOutOfBounds:
+      return "out-of-bounds";
+    case ViolationKind::kOffGrid:
+      return "off-grid";
+    case ViolationKind::kQubitSpacing:
+      return "qubit-spacing";
+    case ViolationKind::kUnplacedBlock:
+      return "unplaced-block";
+  }
+  return "?";
+}
+
+int AuditReport::count(ViolationKind kind) const {
+  return static_cast<int>(
+      std::count_if(violations.begin(), violations.end(),
+                    [kind](const Violation& v) { return v.kind == kind; }));
+}
+
+void AuditReport::print(std::ostream& os, std::size_t max_lines) const {
+  if (clean()) {
+    os << "audit: clean\n";
+    return;
+  }
+  os << "audit: " << violations.size() << " violation(s)\n";
+  for (std::size_t i = 0; i < violations.size() && i < max_lines; ++i) {
+    const auto& v = violations[i];
+    os << "  [" << to_string(v.kind) << "] " << v.detail << " (magnitude "
+       << v.magnitude << ")\n";
+  }
+  if (violations.size() > max_lines) {
+    os << "  ... and " << violations.size() - max_lines << " more\n";
+  }
+}
+
+namespace {
+
+std::string name_of(const QuantumNetlist& nl, NodeRef r) {
+  std::ostringstream os;
+  if (r.kind == NodeRef::Kind::kQubit) {
+    os << "qubit " << r.id;
+  } else {
+    os << "block " << r.id << " (edge " << nl.block(r.id).edge << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+AuditReport audit_layout(const QuantumNetlist& nl, const AuditOptions& opt) {
+  AuditReport rep;
+  const Rect die = nl.die();
+
+  struct Item {
+    NodeRef ref;
+    Rect rect;
+  };
+  std::vector<Item> items;
+  items.reserve(nl.component_count());
+  for (const auto& q : nl.qubits()) items.push_back({{NodeRef::Kind::kQubit, q.id}, q.rect()});
+  for (const auto& b : nl.blocks()) items.push_back({{NodeRef::Kind::kBlock, b.id}, b.rect()});
+
+  // Border containment (Eq. 2).
+  for (const auto& it : items) {
+    if (!die.inflated(opt.eps).contains(it.rect)) {
+      double excursion = 0.0;
+      excursion = std::max(excursion, die.lo.x - it.rect.lo.x);
+      excursion = std::max(excursion, it.rect.hi.x - die.hi.x);
+      excursion = std::max(excursion, die.lo.y - it.rect.lo.y);
+      excursion = std::max(excursion, it.rect.hi.y - die.hi.y);
+      rep.violations.push_back({ViolationKind::kOutOfBounds, it.ref, {}, excursion,
+                                name_of(nl, it.ref) + " leaves the die"});
+    }
+  }
+
+  // Grid alignment: block centers at (k+0.5, l+0.5).
+  if (opt.check_grid_alignment) {
+    for (const auto& b : nl.blocks()) {
+      const double fx = b.pos.x - die.lo.x - 0.5;
+      const double fy = b.pos.y - die.lo.y - 0.5;
+      const double dx = std::abs(fx - std::round(fx));
+      const double dy = std::abs(fy - std::round(fy));
+      if (dx > opt.eps || dy > opt.eps) {
+        rep.violations.push_back({ViolationKind::kOffGrid,
+                                  {NodeRef::Kind::kBlock, b.id},
+                                  {},
+                                  std::max(dx, dy),
+                                  name_of(nl, {NodeRef::Kind::kBlock, b.id}) + " off lattice"});
+      }
+    }
+  }
+
+  // Pairwise checks via spatial hash.
+  if (!items.empty()) {
+    Rect bb = items.front().rect;
+    for (const auto& it : items) bb = bb.united(it.rect);
+    SpatialHash hash(bb, std::max(4.0, opt.qubit_min_spacing + 3.5));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      hash.insert(static_cast<int>(i), items[i].rect.center());
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      hash.for_each_near(items[i].rect.center(), [&](int jj) {
+        const auto j = static_cast<std::size_t>(jj);
+        if (j <= i) return;
+        const Item& a = items[i];
+        const Item& b = items[j];
+        const Rect inter = a.rect.intersection(b.rect);
+        if (!inter.empty() && inter.area() > opt.eps) {
+          rep.violations.push_back({ViolationKind::kOverlap, a.ref, b.ref, inter.area(),
+                                    name_of(nl, a.ref) + " overlaps " + name_of(nl, b.ref)});
+        }
+        const bool both_qubits = a.ref.kind == NodeRef::Kind::kQubit &&
+                                 b.ref.kind == NodeRef::Kind::kQubit;
+        if (both_qubits && opt.qubit_min_spacing > 0.0) {
+          const double gap = rect_distance(a.rect, b.rect);
+          // Eq. 1-style separation: the rule is per-axis (diagonal
+          // neighbours are fine), so check the box distance per axis.
+          const auto& qa = nl.qubit(a.ref.id);
+          const auto& qb = nl.qubit(b.ref.id);
+          const double need_x = (qa.width + qb.width) / 2 + opt.qubit_min_spacing;
+          const double need_y = (qa.height + qb.height) / 2 + opt.qubit_min_spacing;
+          const double dx = std::abs(qa.pos.x - qb.pos.x);
+          const double dy = std::abs(qa.pos.y - qb.pos.y);
+          if (dx < need_x - opt.eps && dy < need_y - opt.eps) {
+            rep.violations.push_back(
+                {ViolationKind::kQubitSpacing, a.ref, b.ref,
+                 std::min(need_x - dx, need_y - dy),
+                 name_of(nl, a.ref) + " within spacing of " + name_of(nl, b.ref) +
+                     " (gap " + std::to_string(gap) + ")"});
+          }
+        }
+      });
+    }
+  }
+
+  // Unplaced blocks: an edge whose blocks all sit on one exact point is
+  // still at its pre-placement seed stack.
+  for (const auto& e : nl.edges()) {
+    if (e.blocks.size() < 2) continue;
+    const Point first = nl.block(e.blocks.front()).pos;
+    bool all_same = true;
+    for (const int b : e.blocks) {
+      if (!(nl.block(b).pos == first)) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same) {
+      rep.violations.push_back({ViolationKind::kUnplacedBlock,
+                                {NodeRef::Kind::kBlock, e.blocks.front()},
+                                {},
+                                static_cast<double>(e.blocks.size()),
+                                "edge " + std::to_string(e.id) + " blocks still stacked"});
+    }
+  }
+  return rep;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,53 @@
+// Layout audit: a design-rule checker for quantum placements.
+//
+// Verifies every hard constraint of the problem formulation (§III-B):
+// non-overlap (Eq. 1), border containment (Eq. 2), wire blocks on the
+// unit bin lattice, and the quantum minimum-spacing rule between qubit
+// macros. Produces a machine-readable violation list — the tests, the
+// examples, and downstream users all gate on `audit.clean()`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+enum class ViolationKind {
+  kOverlap,          ///< two component rects overlap (Eq. 1)
+  kOutOfBounds,      ///< component leaves the die (Eq. 2)
+  kOffGrid,          ///< wire block center not on the bin lattice
+  kQubitSpacing,     ///< qubit pair closer than the required spacing
+  kUnplacedBlock,    ///< block still at its pre-partition seed stack
+};
+
+[[nodiscard]] std::string to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind{ViolationKind::kOverlap};
+  NodeRef a;                ///< offending component
+  NodeRef b;                ///< second component for pairwise rules
+  double magnitude{0.0};    ///< overlap area / excursion / gap deficit
+  std::string detail;
+};
+
+struct AuditOptions {
+  double qubit_min_spacing{0.0};  ///< 0 disables the spacing rule
+  bool check_grid_alignment{true};
+  double eps{1e-6};
+};
+
+struct AuditReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+  [[nodiscard]] int count(ViolationKind kind) const;
+  void print(std::ostream& os, std::size_t max_lines = 20) const;
+};
+
+/// Runs the full audit against the current component positions.
+[[nodiscard]] AuditReport audit_layout(const QuantumNetlist& nl, const AuditOptions& opt = {});
+
+}  // namespace qgdp

@@ -1,0 +1,71 @@
+#include "metrics/clusters.h"
+
+#include <cmath>
+#include <map>
+
+#include "graph/union_find.h"
+
+namespace qgdp {
+
+namespace {
+
+/// Blocks touch when they share a side: axis-aligned unit squares whose
+/// centers differ by ~1 on one axis and ~0 on the other (or overlap).
+bool blocks_touch(const WireBlock& a, const WireBlock& b) {
+  const double dx = std::abs(a.pos.x - b.pos.x);
+  const double dy = std::abs(a.pos.y - b.pos.y);
+  const double side = (a.size + b.size) / 2;
+  return (dx <= side + 1e-6 && dy <= 1e-6) || (dy <= side + 1e-6 && dx <= 1e-6) ||
+         (dx < side - 1e-6 && dy < side - 1e-6);  // overlapping also touches
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> edge_clusters(const QuantumNetlist& nl, int edge) {
+  const auto& e = nl.edge(edge);
+  const std::size_t n = e.blocks.size();
+  UnionFind uf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (blocks_touch(nl.block(e.blocks[i]), nl.block(e.blocks[j]))) {
+        uf.unite(i, j);
+      }
+    }
+  }
+  std::map<std::size_t, std::vector<int>> by_root;
+  for (std::size_t i = 0; i < n; ++i) by_root[uf.find(i)].push_back(e.blocks[i]);
+  std::vector<std::vector<int>> out;
+  out.reserve(by_root.size());
+  for (auto& [root, ids] : by_root) out.push_back(std::move(ids));
+  return out;
+}
+
+int edge_cluster_count(const QuantumNetlist& nl, int edge) {
+  return static_cast<int>(edge_clusters(nl, edge).size());
+}
+
+int total_cluster_count(const QuantumNetlist& nl) {
+  int total = 0;
+  for (const auto& e : nl.edges()) total += edge_cluster_count(nl, e.id);
+  return total;
+}
+
+int unified_edge_count(const QuantumNetlist& nl) {
+  int unified = 0;
+  for (const auto& e : nl.edges()) {
+    if (edge_cluster_count(nl, e.id) <= 1) ++unified;
+  }
+  return unified;
+}
+
+std::vector<Point> edge_cluster_centroids(const QuantumNetlist& nl, int edge) {
+  std::vector<Point> out;
+  for (const auto& cluster : edge_clusters(nl, edge)) {
+    Point c{0, 0};
+    for (const int b : cluster) c += nl.block(b).pos;
+    out.push_back(c / static_cast<double>(cluster.size()));
+  }
+  return out;
+}
+
+}  // namespace qgdp

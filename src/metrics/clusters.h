@@ -1,0 +1,28 @@
+// Cluster analysis of resonator wire blocks (paper §III-B): blocks of
+// one edge form a cluster when they physically touch (share a side).
+// The legalization objective minimizes Σ|Ce|; an edge with |Ce| = 1 is
+// "unified" and needs no extra airbridge stitching.
+#pragma once
+
+#include <vector>
+
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+/// Clusters of one edge: each inner vector lists block ids of a cluster.
+[[nodiscard]] std::vector<std::vector<int>> edge_clusters(const QuantumNetlist& nl, int edge);
+
+/// |Ce| for a single edge (1 = unified).
+[[nodiscard]] int edge_cluster_count(const QuantumNetlist& nl, int edge);
+
+/// Σ|Ce| over all edges (objective Eq. 3).
+[[nodiscard]] int total_cluster_count(const QuantumNetlist& nl);
+
+/// Number of edges with exactly one cluster (Table III "Iedge" numerator).
+[[nodiscard]] int unified_edge_count(const QuantumNetlist& nl);
+
+/// Centroid of each cluster of an edge.
+[[nodiscard]] std::vector<Point> edge_cluster_centroids(const QuantumNetlist& nl, int edge);
+
+}  // namespace qgdp

@@ -1,0 +1,141 @@
+#include "metrics/crossings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "metrics/clusters.h"
+
+namespace qgdp {
+
+namespace {
+
+/// Euclidean MST over a handful of points (Prim, n is tiny).
+std::vector<std::pair<int, int>> mst_edges(const std::vector<Point>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<std::pair<int, int>> out;
+  if (n < 2) return out;
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<int> best_from(n, 0);
+  in_tree[0] = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    best[i] = distance2(pts[0], pts[i]);
+  }
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t pick = 0;
+    double bd = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && best[i] < bd) {
+        bd = best[i];
+        pick = i;
+      }
+    }
+    in_tree[pick] = true;
+    out.emplace_back(best_from[pick], static_cast<int>(pick));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_tree[i]) continue;
+      const double d = distance2(pts[pick], pts[i]);
+      if (d < best[i]) {
+        best[i] = d;
+        best_from[i] = static_cast<int>(pick);
+      }
+    }
+  }
+  return out;
+}
+
+/// Trim a segment's endpoints so that it starts outside the components
+/// it connects (qubit macro or cluster block).
+Segment trimmed(Segment s, double trim_a, double trim_b) {
+  const double len = s.length();
+  if (len <= trim_a + trim_b + 1e-9) return {s.a, s.a};  // degenerate
+  const Point dir = (s.b - s.a) / len;
+  return {s.a + dir * trim_a, s.b - dir * trim_b};
+}
+
+}  // namespace
+
+std::vector<Segment> edge_virtual_segments(const QuantumNetlist& nl, int edge) {
+  const auto centroids = edge_cluster_centroids(nl, edge);
+  if (centroids.size() < 2) return {};  // unified: no stitching needed
+  std::vector<Segment> out;
+  for (const auto& [a, b] : mst_edges(centroids)) {
+    const Segment s = trimmed({centroids[static_cast<std::size_t>(a)],
+                               centroids[static_cast<std::size_t>(b)]},
+                              0.5, 0.5);
+    if (s.length() > 1e-9) out.push_back(s);
+  }
+  return out;
+}
+
+CrossingReport compute_crossings(const QuantumNetlist& nl) {
+  std::vector<int> all(nl.edge_count());
+  std::iota(all.begin(), all.end(), 0);
+  return compute_crossings_among(nl, all);
+}
+
+CrossingReport compute_crossings_among(const QuantumNetlist& nl,
+                                       const std::vector<int>& active_edges) {
+  CrossingReport rep;
+  std::vector<std::vector<Segment>> segs(nl.edge_count());
+  for (const int e : active_edges) segs[static_cast<std::size_t>(e)] = edge_virtual_segments(nl, e);
+
+  // (a) Each maximal run of foreign wire blocks crossed by a virtual
+  // segment is one airbridge: the stitching wire of edge `ea` bridges
+  // over the reserved region of edge `eb`. Runs of A-over-B and
+  // B-over-A are physically distinct bridges — no symmetric dedup.
+  for (const int ea : active_edges) {
+    for (const auto& s : segs[static_cast<std::size_t>(ea)]) {
+      const Rect sbb = s.bounding_box().inflated(1.0);
+      std::vector<std::pair<int, double>> hits;  // (foreign edge, param t)
+      for (const int eb : active_edges) {
+        if (eb == ea) continue;
+        for (const int bid : nl.edge(eb).blocks) {
+          const Rect br = nl.block(bid).rect();
+          if (!sbb.overlaps(br)) continue;
+          if (!segment_crosses_rect(s, br)) continue;
+          const auto clipped = clip_segment(s, br);
+          if (!clipped) continue;
+          const Point mid = (clipped->a + clipped->b) / 2;
+          const double t = distance(s.a, mid) / std::max(s.length(), 1e-9);
+          hits.emplace_back(eb, t);
+        }
+      }
+      std::sort(hits.begin(), hits.end());
+      std::size_t i = 0;
+      while (i < hits.size()) {
+        std::size_t j = i;
+        const int foreign = hits[i].first;
+        while (j + 1 < hits.size() && hits[j + 1].first == foreign &&
+               (hits[j + 1].second - hits[j].second) * s.length() <= 1.5) {
+          ++j;
+        }
+        const double tm = (hits[i].second + hits[j].second) / 2;
+        rep.points.push_back({ea, foreign, s.a + (s.b - s.a) * tm});
+        i = j + 1;
+      }
+    }
+  }
+
+  // (b) Proper intersections between virtual segments of distinct edges.
+  for (std::size_t x = 0; x < active_edges.size(); ++x) {
+    for (std::size_t y = x + 1; y < active_edges.size(); ++y) {
+      const int ea = active_edges[x];
+      const int eb = active_edges[y];
+      for (const auto& sa : segs[static_cast<std::size_t>(ea)]) {
+        for (const auto& sb : segs[static_cast<std::size_t>(eb)]) {
+          if (segments_properly_intersect(sa, sb)) {
+            const auto pt = segment_intersection_point(sa, sb);
+            rep.points.push_back({ea, eb, pt.value_or((sa.a + sa.b) / 2)});
+          }
+        }
+      }
+    }
+  }
+  rep.total = static_cast<int>(rep.points.size());
+  return rep;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,47 @@
+// Resonator crossing count X (paper Figs. 3/9): every crossing point
+// needs an airbridge, and airbridges degrade resonator fidelity.
+//
+// Detailed routing is out of scope (wire blocks only *reserve* space,
+// §III-D note), so crossings are counted on the *stitching* a split
+// resonator needs: the centroids of its clusters are joined by a
+// Euclidean MST, and each MST link is a straight virtual wire. X counts
+//   (a) maximal runs of foreign wire blocks a stitching wire passes
+//       through (one airbridge spans one foreign reserved region), and
+//   (b) proper intersections between stitching wires of different
+//       edges (two stitching wires crossing each other).
+// A unified resonator (|Ce| = 1) needs no stitching and contributes 0 —
+// this is precisely why minimizing cluster count minimizes airbridge
+// usage (paper Eq. 3 discussion).
+#pragma once
+
+#include <vector>
+
+#include "geometry/segment.h"
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+struct CrossPoint {
+  int edge_a{-1};
+  int edge_b{-1};
+  Point where;
+};
+
+struct CrossingReport {
+  int total{0};
+  std::vector<CrossPoint> points;
+};
+
+/// Virtual connection segments of one edge (MST over q0, centroids, q1,
+/// with segments shrunk to exclude the components they connect).
+[[nodiscard]] std::vector<Segment> edge_virtual_segments(const QuantumNetlist& nl, int edge);
+
+/// Full crossing analysis over the layout.
+[[nodiscard]] CrossingReport compute_crossings(const QuantumNetlist& nl);
+
+/// Crossing count restricted to a set of active edges (fidelity model
+/// only charges errors on resonators engaged by the program).
+[[nodiscard]] CrossingReport compute_crossings_among(const QuantumNetlist& nl,
+                                                     const std::vector<int>& active_edges);
+
+}  // namespace qgdp

@@ -1,0 +1,154 @@
+#include "metrics/hotspots.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "placement/spatial_hash.h"
+
+namespace qgdp {
+
+namespace {
+
+struct Item {
+  NodeRef ref;
+  Rect rect;
+  double freq;
+  int edge;  ///< owning edge for blocks, -1 for qubits
+};
+
+double tau(double dfreq, double dc) { return std::max(0.0, 1.0 - dfreq / dc); }
+
+}  // namespace
+
+HotspotReport compute_hotspots(const QuantumNetlist& nl, const HotspotParams& p) {
+  HotspotReport rep;
+  rep.spacing_rule = p.qubit_min_spacing;
+  std::vector<Item> items;
+  items.reserve(nl.component_count());
+  for (const auto& q : nl.qubits()) {
+    items.push_back({{NodeRef::Kind::kQubit, q.id}, q.rect(), q.frequency, -1});
+  }
+  for (const auto& b : nl.blocks()) {
+    items.push_back({{NodeRef::Kind::kBlock, b.id}, b.rect(), nl.edge(b.edge).frequency, b.edge});
+  }
+  if (items.empty()) return rep;
+
+  Rect bb = items.front().rect;
+  for (const auto& it : items) bb = bb.united(it.rect);
+  const double cell = std::max(4.0, p.interaction_radius + 3.0);
+  SpatialHash hash(bb, cell);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    hash.insert(static_cast<int>(i), items[i].rect.center());
+  }
+
+  std::set<int> hot_qubits;
+  auto note_qubit = [&](int q) { hot_qubits.insert(q); };
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Item& a = items[i];
+    hash.for_each_near(a.rect.center(), [&](int jj) {
+      const auto j = static_cast<std::size_t>(jj);
+      if (j <= i) return;
+      const Item& b = items[j];
+      // Exclusions: same-edge blocks; a block touching its own qubit.
+      if (a.edge >= 0 && a.edge == b.edge) return;
+      if (a.edge < 0 && b.edge >= 0) {
+        const auto& e = nl.edge(b.edge);
+        if (e.q0 == a.ref.id || e.q1 == a.ref.id) return;
+      }
+      if (b.edge < 0 && a.edge >= 0) {
+        const auto& e = nl.edge(a.edge);
+        if (e.q0 == b.ref.id || e.q1 == b.ref.id) return;
+      }
+      const double gap = rect_distance(a.rect, b.rect);
+      if (gap >= p.interaction_radius) return;
+
+      // Spacing-rule bookkeeping for qubit pairs (recorded regardless
+      // of detuning; the fidelity model applies geff(Δ)).
+      const bool both_qubits = (a.edge < 0 && b.edge < 0);
+      if (both_qubits && gap < p.qubit_min_spacing - 1e-9) {
+        ++rep.spacing_violations;
+        rep.qubit_violations.push_back(
+            {a.ref.id, b.ref.id, gap,
+             std::max(adjacent_length(a.rect, b.rect, p.interaction_radius), 0.5)});
+      }
+
+      const double dfreq = std::abs(a.freq - b.freq);
+      const double t = tau(dfreq, p.freq_threshold);
+      if (t <= 0.0) return;
+
+      HotspotPair hp;
+      hp.a = a.ref;
+      hp.b = b.ref;
+      hp.gap = gap;
+      hp.adj_len = std::max(adjacent_length(a.rect, b.rect, p.interaction_radius), 0.5);
+      hp.dfreq = dfreq;
+      const double proximity = 1.0 - gap / p.interaction_radius;
+      hp.weight = hp.adj_len * proximity * t;
+      rep.pairs.push_back(hp);
+
+      for (const Item* it : {&a, &b}) {
+        if (it->edge < 0) {
+          note_qubit(it->ref.id);
+        } else {
+          note_qubit(nl.edge(it->edge).q0);
+          note_qubit(nl.edge(it->edge).q1);
+        }
+      }
+    });
+  }
+
+  double total_weight = 0.0;
+  for (const auto& hp : rep.pairs) total_weight += hp.weight;
+  rep.ph = total_weight / nl.total_component_area();
+  rep.hq = static_cast<int>(hot_qubits.size());
+  return rep;
+}
+
+double edge_hotspot_weight(const QuantumNetlist& nl, int edge, const HotspotParams& p) {
+  const auto& e = nl.edge(edge);
+  const double ef = e.frequency;
+  double total = 0.0;
+  for (const int bid : e.blocks) {
+    const Rect br = nl.block(bid).rect();
+    // Foreign blocks.
+    for (const auto& fb : nl.blocks()) {
+      if (fb.edge == edge) continue;
+      const double gap = rect_distance(br, fb.rect());
+      if (gap >= p.interaction_radius) continue;
+      const double dfreq = std::abs(ef - nl.edge(fb.edge).frequency);
+      const double t = tau(dfreq, p.freq_threshold);
+      if (t <= 0.0) continue;
+      const double adj = std::max(adjacent_length(br, fb.rect(), p.interaction_radius), 0.5);
+      total += adj * (1.0 - gap / p.interaction_radius) * t;
+    }
+    // Qubits (excluding the edge's own endpoints).
+    for (const auto& q : nl.qubits()) {
+      if (q.id == e.q0 || q.id == e.q1) continue;
+      const double gap = rect_distance(br, q.rect());
+      if (gap >= p.interaction_radius) continue;
+      const double dfreq = std::abs(ef - q.frequency);
+      const double t = tau(dfreq, p.freq_threshold);
+      if (t <= 0.0) continue;
+      const double adj = std::max(adjacent_length(br, q.rect(), p.interaction_radius), 0.5);
+      total += adj * (1.0 - gap / p.interaction_radius) * t;
+    }
+  }
+  return total;
+}
+
+std::vector<int> edge_hotspot_counts(const QuantumNetlist& nl, const HotspotReport& report) {
+  std::vector<int> he(nl.edge_count(), 0);
+  for (const auto& hp : report.pairs) {
+    if (hp.a.kind == NodeRef::Kind::kBlock) {
+      ++he[static_cast<std::size_t>(nl.block(hp.a.id).edge)];
+    }
+    if (hp.b.kind == NodeRef::Kind::kBlock) {
+      ++he[static_cast<std::size_t>(nl.block(hp.b.id).edge)];
+    }
+  }
+  return he;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,74 @@
+// Frequency-hotspot metric Ph (paper Eq. 4) and the list of spatially
+// violating, frequency-matched component pairs that drive the crosstalk
+// terms of the fidelity model (Eq. 7/8).
+//
+// A pair contributes when the components are spatially proximate
+// (boundary gap below the interaction radius) and frequency-close
+// (|ωi − ωj| below the threshold Δc). Each contribution is weighted by
+// the adjacent boundary length (which scales parasitic capacitance) and
+// a proximity kernel that decays with the centroid gap; the total is
+// normalized by Σ component area. See DESIGN.md §3 for the documented
+// deviation from Eq. 4's literal centroid-distance product.
+//
+// Exclusions: blocks of the same resonator (meant to touch) and
+// qubit↔block pairs of an incident edge (meant to connect).
+#pragma once
+
+#include <vector>
+
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+struct HotspotParams {
+  double freq_threshold{0.06};     ///< Δc in GHz
+  double interaction_radius{2.0};  ///< cells; gap beyond this → no coupling
+  double qubit_min_spacing{1.0};   ///< spacing rule checked for violations
+};
+
+/// One proximate, frequency-matched pair.
+struct HotspotPair {
+  NodeRef a;
+  NodeRef b;
+  double gap{0.0};       ///< boundary-to-boundary distance (0 = touching)
+  double adj_len{0.0};   ///< adjacent boundary length (cells)
+  double dfreq{0.0};     ///< |ωa − ωb| (GHz)
+  double weight{0.0};    ///< adj_len · proximity · τ — the Ph contribution
+};
+
+/// Qubit pair violating the minimum-spacing rule. Unlike HotspotPair
+/// these are recorded for *any* detuning: a spacing violation acts like
+/// a direct capacitive coupling whose strength geff(Δ) the fidelity
+/// model attenuates with detuning (paper Eq. 8), rather than being
+/// thresholded away.
+struct SpacingViolation {
+  int qa{-1};
+  int qb{-1};
+  double gap{0.0};
+  double adj_len{0.0};
+};
+
+struct HotspotReport {
+  double ph{0.0};                 ///< Σ weight / Σ area, as a fraction
+  int hq{0};                      ///< #qubits under crosstalk (direct or via edges)
+  int spacing_violations{0};      ///< qubit pairs closer than the spacing rule
+  double spacing_rule{1.0};       ///< the rule the violations were checked against
+  std::vector<HotspotPair> pairs;
+  std::vector<SpacingViolation> qubit_violations;
+};
+
+[[nodiscard]] HotspotReport compute_hotspots(const QuantumNetlist& nl,
+                                             const HotspotParams& params = {});
+
+/// He per edge: number of hotspot pairs involving blocks of edge e
+/// (Algorithm 2 selects edges with He > 0 for detailed placement).
+[[nodiscard]] std::vector<int> edge_hotspot_counts(const QuantumNetlist& nl,
+                                                   const HotspotReport& report);
+
+/// Hotspot weight contributed by pairs involving blocks of a single
+/// edge — the local objective the detailed placer evaluates before and
+/// after a window move (Algorithm 2 line 7).
+[[nodiscard]] double edge_hotspot_weight(const QuantumNetlist& nl, int edge,
+                                         const HotspotParams& params = {});
+
+}  // namespace qgdp

@@ -1,0 +1,89 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qgdp {
+
+namespace {
+
+DisplacementStats summarize(std::vector<double> d, double eps) {
+  DisplacementStats s;
+  s.count = static_cast<int>(d.size());
+  if (d.empty()) return s;
+  for (const double v : d) {
+    s.total += v;
+    s.max = std::max(s.max, v);
+    if (v > eps) ++s.moved;
+    const std::size_t bucket = v < 1.0 ? 0 : v < 2.0 ? 1 : v < 4.0 ? 2 : v < 8.0 ? 3 : 4;
+    ++s.histogram[bucket];
+  }
+  s.mean = s.total / static_cast<double>(d.size());
+  std::sort(d.begin(), d.end());
+  s.median = d[d.size() / 2];
+  s.p95 = d[static_cast<std::size_t>(std::min<double>(
+      static_cast<double>(d.size()) - 1, std::ceil(0.95 * static_cast<double>(d.size()))))];
+  return s;
+}
+
+void check_compatible(const QuantumNetlist& a, const QuantumNetlist& b) {
+  if (a.qubit_count() != b.qubit_count() || a.block_count() != b.block_count()) {
+    throw std::invalid_argument("displacement_stats: netlists differ in structure");
+  }
+}
+
+}  // namespace
+
+DisplacementStats displacement_stats(const QuantumNetlist& before, const QuantumNetlist& after,
+                                     double eps) {
+  check_compatible(before, after);
+  std::vector<double> d;
+  d.reserve(before.component_count());
+  for (std::size_t q = 0; q < before.qubit_count(); ++q) {
+    d.push_back(distance(before.qubit(static_cast<int>(q)).pos,
+                         after.qubit(static_cast<int>(q)).pos));
+  }
+  for (std::size_t b = 0; b < before.block_count(); ++b) {
+    d.push_back(distance(before.block(static_cast<int>(b)).pos,
+                         after.block(static_cast<int>(b)).pos));
+  }
+  return summarize(std::move(d), eps);
+}
+
+DisplacementStats qubit_displacement_stats(const QuantumNetlist& before,
+                                           const QuantumNetlist& after, double eps) {
+  check_compatible(before, after);
+  std::vector<double> d;
+  d.reserve(before.qubit_count());
+  for (std::size_t q = 0; q < before.qubit_count(); ++q) {
+    d.push_back(distance(before.qubit(static_cast<int>(q)).pos,
+                         after.qubit(static_cast<int>(q)).pos));
+  }
+  return summarize(std::move(d), eps);
+}
+
+DisplacementStats block_displacement_stats(const QuantumNetlist& before,
+                                           const QuantumNetlist& after, double eps) {
+  check_compatible(before, after);
+  std::vector<double> d;
+  d.reserve(before.block_count());
+  for (std::size_t b = 0; b < before.block_count(); ++b) {
+    d.push_back(distance(before.block(static_cast<int>(b)).pos,
+                         after.block(static_cast<int>(b)).pos));
+  }
+  return summarize(std::move(d), eps);
+}
+
+WirelengthStats wirelength_stats(const QuantumNetlist& nl, const std::vector<Net>& nets) {
+  WirelengthStats s;
+  for (const auto& net : nets) {
+    const double wl = net.weight * manhattan(nl.position_of(net.a), nl.position_of(net.b));
+    s.total += wl;
+    s.max = std::max(s.max, wl);
+  }
+  s.mean = nets.empty() ? 0.0 : s.total / static_cast<double>(nets.size());
+  return s;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,51 @@
+// Layout statistics: displacement distributions between two placement
+// snapshots (the "minimal displacement" objective the legalizers
+// optimize, Eq. 5) and wirelength summaries over connection nets.
+#pragma once
+
+#include <vector>
+
+#include "netlist/quantum_netlist.h"
+#include "placement/nets.h"
+
+namespace qgdp {
+
+/// Distribution summary of per-component displacement magnitudes.
+struct DisplacementStats {
+  double total{0.0};
+  double mean{0.0};
+  double median{0.0};
+  double p95{0.0};
+  double max{0.0};
+  int moved{0};     ///< components displaced by more than eps
+  int count{0};
+
+  /// Histogram over fixed buckets [0,1), [1,2), [2,4), [4,8), [8,∞).
+  std::array<int, 5> histogram{};
+};
+
+/// Displacement of every qubit and block from `before` to `after`
+/// (netlists must have identical structure).
+[[nodiscard]] DisplacementStats displacement_stats(const QuantumNetlist& before,
+                                                   const QuantumNetlist& after,
+                                                   double eps = 1e-9);
+
+/// Qubit-only / block-only variants (Eq. 5 is stated over qubits).
+[[nodiscard]] DisplacementStats qubit_displacement_stats(const QuantumNetlist& before,
+                                                         const QuantumNetlist& after,
+                                                         double eps = 1e-9);
+[[nodiscard]] DisplacementStats block_displacement_stats(const QuantumNetlist& before,
+                                                         const QuantumNetlist& after,
+                                                         double eps = 1e-9);
+
+/// Wirelength summary over a net set (total / mean / max Manhattan).
+struct WirelengthStats {
+  double total{0.0};
+  double mean{0.0};
+  double max{0.0};
+};
+
+[[nodiscard]] WirelengthStats wirelength_stats(const QuantumNetlist& nl,
+                                               const std::vector<Net>& nets);
+
+}  // namespace qgdp

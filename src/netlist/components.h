@@ -1,0 +1,49 @@
+// Component records of the quantum netlist G(Q, E) (paper §III-B):
+// qubits are the vertices, resonators the edges, and each resonator is
+// partitioned into unit wire blocks (the "standard cells", Eq. 6).
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace qgdp {
+
+/// Fixed-frequency transmon qubit. Qubits are macros: their bounding
+/// polygon is much larger than a wire block (paper §III-C).
+struct Qubit {
+  int id{-1};
+  Point pos;              ///< center position (layout units of lb)
+  double width{3.0};      ///< bounding-box width in cells
+  double height{3.0};     ///< bounding-box height in cells
+  double frequency{5.0};  ///< qubit frequency in GHz
+
+  [[nodiscard]] Rect rect() const { return Rect::from_center(pos, width, height); }
+};
+
+/// One unit wire block of a partitioned resonator (side lb = 1).
+struct WireBlock {
+  int id{-1};
+  int edge{-1};  ///< owning resonator edge
+  Point pos;     ///< center position
+  double size{1.0};
+
+  [[nodiscard]] Rect rect() const { return Rect::from_center(pos, size, size); }
+};
+
+/// Resonator edge e = (q0, q1, S) coupling two qubits; S is the set of
+/// wire blocks reserved for its layout area (Eq. 6: lpad·L = n·lb²).
+struct ResonatorEdge {
+  int id{-1};
+  int q0{-1};
+  int q1{-1};
+  double frequency{6.5};    ///< resonator fundamental frequency in GHz
+  double wire_length{12.0}; ///< unpartitioned wire length L (cells)
+  double padding{1.0};      ///< padding width lpad (cells)
+  std::vector<int> blocks;  ///< ids of this edge's wire blocks
+
+  [[nodiscard]] int block_count() const { return static_cast<int>(blocks.size()); }
+};
+
+}  // namespace qgdp

@@ -1,0 +1,186 @@
+#include "netlist/frequency_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+namespace qgdp {
+
+namespace {
+
+std::vector<std::vector<int>> adjacency(const DeviceSpec& spec) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(spec.qubit_count));
+  for (const auto& [a, b] : spec.couplings) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  return adj;
+}
+
+int first_free_color(const std::vector<int>& neighbor_colors, int groups, int fallback) {
+  std::vector<bool> used(static_cast<std::size_t>(groups), false);
+  for (const int c : neighbor_colors) {
+    if (c >= 0 && c < groups) used[static_cast<std::size_t>(c)] = true;
+  }
+  for (int c = 0; c < groups; ++c) {
+    if (!used[static_cast<std::size_t>(c)]) return c;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+std::vector<int> color_qubit_graph(const DeviceSpec& spec, int groups,
+                                   ColoringStrategy strategy) {
+  if (groups < 1) throw std::invalid_argument("color_qubit_graph: groups must be >= 1");
+  const auto adj = adjacency(spec);
+  const auto n = static_cast<std::size_t>(spec.qubit_count);
+  std::vector<int> color(n, -1);
+
+  auto neighbor_colors = [&](int q) {
+    std::vector<int> out;
+    for (const int nb : adj[static_cast<std::size_t>(q)]) {
+      out.push_back(color[static_cast<std::size_t>(nb)]);
+    }
+    return out;
+  };
+
+  switch (strategy) {
+    case ColoringStrategy::kRoundRobin:
+      for (std::size_t q = 0; q < n; ++q) color[q] = static_cast<int>(q) % groups;
+      break;
+    case ColoringStrategy::kGreedy:
+      for (std::size_t q = 0; q < n; ++q) {
+        color[q] = first_free_color(neighbor_colors(static_cast<int>(q)), groups,
+                                    static_cast<int>(q) % groups);
+      }
+      break;
+    case ColoringStrategy::kDsatur: {
+      // Saturation = number of distinct neighbour colors; pick the most
+      // saturated uncolored vertex (ties: higher degree, lower id).
+      std::vector<bool> done(n, false);
+      for (std::size_t step = 0; step < n; ++step) {
+        int pick = -1;
+        int best_sat = -1;
+        std::size_t best_deg = 0;
+        for (std::size_t q = 0; q < n; ++q) {
+          if (done[q]) continue;
+          std::set<int> sat;
+          for (const int nb : adj[q]) {
+            const int c = color[static_cast<std::size_t>(nb)];
+            if (c >= 0) sat.insert(c);
+          }
+          const int s = static_cast<int>(sat.size());
+          if (s > best_sat || (s == best_sat && adj[q].size() > best_deg)) {
+            best_sat = s;
+            best_deg = adj[q].size();
+            pick = static_cast<int>(q);
+          }
+        }
+        color[static_cast<std::size_t>(pick)] =
+            first_free_color(neighbor_colors(pick), groups, pick % groups);
+        done[static_cast<std::size_t>(pick)] = true;
+      }
+      break;
+    }
+  }
+  return color;
+}
+
+std::vector<double> assign_qubit_frequencies(const DeviceSpec& spec,
+                                             const QubitFrequencyPlan& plan) {
+  const auto colors = color_qubit_graph(spec, plan.groups, plan.strategy);
+  std::mt19937 rng(plan.seed);
+  std::uniform_real_distribution<double> jitter(-plan.jitter_ghz, plan.jitter_ghz);
+  std::vector<double> freq(colors.size());
+  for (std::size_t q = 0; q < colors.size(); ++q) {
+    freq[q] = plan.base_ghz + colors[q] * plan.step_ghz + jitter(rng);
+  }
+  return freq;
+}
+
+std::vector<double> assign_resonator_frequencies(const DeviceSpec& spec,
+                                                 const ResonatorFrequencyPlan& plan) {
+  const int m = spec.edge_count();
+  const int slots = std::max(8, m);
+  auto slot_freq = [&](int s) {
+    return plan.band_lo_ghz + (plan.band_hi_ghz - plan.band_lo_ghz) * (s + 0.5) / slots;
+  };
+  std::mt19937 rng(plan.seed);
+  std::vector<int> slot_of_edge(static_cast<std::size_t>(m), -1);
+  std::vector<std::vector<int>> edges_at_qubit(static_cast<std::size_t>(spec.qubit_count));
+  std::vector<int> pref(static_cast<std::size_t>(slots));
+  std::vector<double> freq(static_cast<std::size_t>(m));
+  for (int e = 0; e < m; ++e) {
+    const auto [a, b] = spec.couplings[static_cast<std::size_t>(e)];
+    for (int s = 0; s < slots; ++s) pref[static_cast<std::size_t>(s)] = s;
+    std::shuffle(pref.begin(), pref.end(), rng);
+    int chosen = pref[0];
+    for (const int s : pref) {
+      bool clash = false;
+      for (const int q : {a, b}) {
+        for (const int other : edges_at_qubit[static_cast<std::size_t>(q)]) {
+          if (std::abs(slot_of_edge[static_cast<std::size_t>(other)] - s) <
+              plan.min_slot_separation) {
+            clash = true;
+            break;
+          }
+        }
+        if (clash) break;
+      }
+      if (!clash) {
+        chosen = s;
+        break;
+      }
+    }
+    slot_of_edge[static_cast<std::size_t>(e)] = chosen;
+    edges_at_qubit[static_cast<std::size_t>(a)].push_back(e);
+    edges_at_qubit[static_cast<std::size_t>(b)].push_back(e);
+    freq[static_cast<std::size_t>(e)] = slot_freq(chosen);
+  }
+  return freq;
+}
+
+FrequencyPlanReport evaluate_frequency_plan(const DeviceSpec& spec,
+                                            const std::vector<double>& qubit_freq,
+                                            const std::vector<int>& qubit_group,
+                                            const std::vector<double>& resonator_freq) {
+  FrequencyPlanReport rep;
+  rep.min_adjacent_detuning = std::numeric_limits<double>::infinity();
+  rep.min_shared_qubit_resonator_detuning = std::numeric_limits<double>::infinity();
+  for (const auto& [a, b] : spec.couplings) {
+    if (qubit_group[static_cast<std::size_t>(a)] == qubit_group[static_cast<std::size_t>(b)]) {
+      ++rep.adjacent_same_group;
+    }
+    rep.min_adjacent_detuning =
+        std::min(rep.min_adjacent_detuning, std::abs(qubit_freq[static_cast<std::size_t>(a)] -
+                                                     qubit_freq[static_cast<std::size_t>(b)]));
+  }
+  // Resonator pairs sharing a qubit.
+  std::vector<std::vector<int>> edges_at_qubit(static_cast<std::size_t>(spec.qubit_count));
+  for (int e = 0; e < spec.edge_count(); ++e) {
+    const auto [a, b] = spec.couplings[static_cast<std::size_t>(e)];
+    edges_at_qubit[static_cast<std::size_t>(a)].push_back(e);
+    edges_at_qubit[static_cast<std::size_t>(b)].push_back(e);
+  }
+  for (const auto& inc : edges_at_qubit) {
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      for (std::size_t j = i + 1; j < inc.size(); ++j) {
+        rep.min_shared_qubit_resonator_detuning =
+            std::min(rep.min_shared_qubit_resonator_detuning,
+                     std::abs(resonator_freq[static_cast<std::size_t>(inc[i])] -
+                              resonator_freq[static_cast<std::size_t>(inc[j])]));
+      }
+    }
+  }
+  if (!std::isfinite(rep.min_adjacent_detuning)) rep.min_adjacent_detuning = 0.0;
+  if (!std::isfinite(rep.min_shared_qubit_resonator_detuning)) {
+    rep.min_shared_qubit_resonator_detuning = 0.0;
+  }
+  return rep;
+}
+
+}  // namespace qgdp

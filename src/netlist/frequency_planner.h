@@ -1,0 +1,66 @@
+// Frequency planning for fixed-frequency transmon devices.
+//
+// Crosstalk requires both spatial proximity *and* frequency proximity
+// (Eq. 4's τ), so the frequency plan is the other half of the
+// crosstalk story: adjacent qubits must land in different frequency
+// groups (IBM's 5.00/5.07/5.14 GHz style plans) and resonators sharing
+// a qubit must be mutually detuned. This module provides the
+// assignment strategies plus a collision report used by tests and the
+// netlist builder.
+#pragma once
+
+#include <vector>
+
+#include "netlist/topologies.h"
+
+namespace qgdp {
+
+enum class ColoringStrategy {
+  kGreedy,      ///< first-fit in qubit-id order (fast, good on lattices)
+  kDsatur,      ///< highest-saturation-first (fewer collisions on
+                ///< irregular graphs like Xtree)
+  kRoundRobin,  ///< id mod groups — the naive baseline, for ablations
+};
+
+struct QubitFrequencyPlan {
+  int groups{3};
+  double base_ghz{5.00};
+  double step_ghz{0.07};
+  double jitter_ghz{0.008};  ///< fabrication spread, deterministic per seed
+  ColoringStrategy strategy{ColoringStrategy::kGreedy};
+  unsigned seed{0x5EEDu};
+};
+
+struct ResonatorFrequencyPlan {
+  double band_lo_ghz{6.2};
+  double band_hi_ghz{7.0};
+  int min_slot_separation{2};  ///< slots between resonators sharing a qubit
+  unsigned seed{0x5EEDu};
+};
+
+/// Frequency-group index per qubit under the chosen coloring strategy.
+[[nodiscard]] std::vector<int> color_qubit_graph(const DeviceSpec& spec,
+                                                 int groups,
+                                                 ColoringStrategy strategy);
+
+/// Frequencies per qubit (group color + jitter).
+[[nodiscard]] std::vector<double> assign_qubit_frequencies(const DeviceSpec& spec,
+                                                           const QubitFrequencyPlan& plan);
+
+/// Frequencies per resonator edge; edges sharing a qubit are separated
+/// by at least `min_slot_separation` slots of the band.
+[[nodiscard]] std::vector<double> assign_resonator_frequencies(
+    const DeviceSpec& spec, const ResonatorFrequencyPlan& plan);
+
+/// Quality report of a frequency plan against the device graph.
+struct FrequencyPlanReport {
+  int adjacent_same_group{0};     ///< coupled qubits in the same group
+  double min_adjacent_detuning{0.0};  ///< GHz, over coupled qubit pairs
+  double min_shared_qubit_resonator_detuning{0.0};  ///< GHz
+};
+
+[[nodiscard]] FrequencyPlanReport evaluate_frequency_plan(
+    const DeviceSpec& spec, const std::vector<double>& qubit_freq,
+    const std::vector<int>& qubit_group, const std::vector<double>& resonator_freq);
+
+}  // namespace qgdp

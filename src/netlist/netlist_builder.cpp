@@ -1,0 +1,74 @@
+#include "netlist/netlist_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netlist/frequency_planner.h"
+
+namespace qgdp {
+
+QuantumNetlist build_netlist(const DeviceSpec& spec, const BuilderParams& p) {
+  if (spec.qubit_count <= 0) throw std::invalid_argument("build_netlist: empty device");
+  if (static_cast<int>(spec.coords.size()) != spec.qubit_count) {
+    throw std::invalid_argument("build_netlist: coords/qubit_count mismatch");
+  }
+  QuantumNetlist nl;
+  nl.set_name(spec.name);
+
+  // Qubits with the frequency plan.
+  QubitFrequencyPlan qplan;
+  qplan.groups = p.qubit_freq_groups;
+  qplan.base_ghz = p.qubit_freq_base;
+  qplan.step_ghz = p.qubit_freq_step;
+  qplan.jitter_ghz = p.qubit_freq_jitter;
+  qplan.strategy = p.coloring;
+  qplan.seed = p.seed;
+  const auto qubit_freq = assign_qubit_frequencies(spec, qplan);
+  for (int q = 0; q < spec.qubit_count; ++q) {
+    nl.add_qubit(spec.coords[static_cast<std::size_t>(q)], p.qubit_size, p.qubit_size,
+                 qubit_freq[static_cast<std::size_t>(q)]);
+  }
+
+  // Resonators: frequencies from the band plan; wire length from the
+  // λ/4 relation (lower frequency → longer line), partitioned by Eq. 6.
+  ResonatorFrequencyPlan rplan;
+  rplan.band_lo_ghz = p.res_freq_lo;
+  rplan.band_hi_ghz = p.res_freq_hi;
+  rplan.seed = p.seed;
+  const auto res_freq = assign_resonator_frequencies(spec, rplan);
+  for (int e = 0; e < spec.edge_count(); ++e) {
+    const auto [a, b] = spec.couplings[static_cast<std::size_t>(e)];
+    const double f = res_freq[static_cast<std::size_t>(e)];
+    nl.add_edge(a, b, f, p.length_coeff / f, p.padding);
+  }
+  nl.partition_all_edges();
+
+  // Die sizing for the target utilization, square aspect.
+  const double area = nl.total_component_area() / p.target_utilization;
+  const double side = std::ceil(std::sqrt(area));
+  nl.set_die(Rect{0, 0, side, side});
+
+  // Seed positions: scale schematic coordinates into the central part
+  // of the die. Seeding compactly (rather than stretched wall-to-wall)
+  // reproduces the character of QPlacer output: wirelength pulls the
+  // layout together, so the legalizers' spacing decisions — not the GP
+  // spread — determine the final qubit separations.
+  Rect bb{spec.coords.front(), spec.coords.front()};
+  for (const Point c : spec.coords) bb = bb.united(Rect{c, c});
+  const double margin = std::max(p.qubit_size, side * (1.0 - p.seed_compactness) / 2.0);
+  const double sx = bb.width() > 0 ? (side - 2 * margin) / bb.width() : 0.0;
+  const double sy = bb.height() > 0 ? (side - 2 * margin) / bb.height() : 0.0;
+  for (int q = 0; q < spec.qubit_count; ++q) {
+    const Point c = spec.coords[static_cast<std::size_t>(q)];
+    nl.qubit(q).pos = {margin + (c.x - bb.lo.x) * sx, margin + (c.y - bb.lo.y) * sy};
+  }
+  // Blocks re-seeded at the (new) midpoints of their qubits.
+  for (const auto& e : nl.edges()) {
+    const Point mid = (nl.qubit(e.q0).pos + nl.qubit(e.q1).pos) / 2;
+    for (const int b : e.blocks) nl.block(b).pos = mid;
+  }
+  return nl;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,48 @@
+// Builds a placeable QuantumNetlist from a DeviceSpec:
+//  * assigns qubit frequencies from a small frequency plan via greedy
+//    graph coloring (adjacent qubits land in different groups, as in
+//    IBM's fixed-frequency plans) plus deterministic jitter;
+//  * assigns resonator frequencies across the readout band, avoiding
+//    collisions between resonators sharing a qubit;
+//  * derives each resonator's wire length from its frequency (a λ/4
+//    resonator is longer at lower frequency) and partitions it into
+//    wire blocks per Eq. 6;
+//  * sizes the die for a target utilization and seeds initial positions
+//    from the device's schematic coordinates.
+#pragma once
+
+#include "netlist/frequency_planner.h"
+#include "netlist/quantum_netlist.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+
+struct BuilderParams {
+  double qubit_size{3.0};           ///< qubit macro edge length (cells)
+  double target_utilization{0.55};  ///< component area / die area
+  double length_coeff{80.0};        ///< wire length L = length_coeff / f_res
+  double padding{1.0};              ///< resonator padding lpad (cells)
+  double seed_compactness{0.70};    ///< fraction of the die span used by seeds
+
+  // Qubit frequency plan (GHz): `groups` values base, base+step, ...
+  int qubit_freq_groups{3};
+  double qubit_freq_base{5.00};
+  double qubit_freq_step{0.07};
+  double qubit_freq_jitter{0.008};
+
+  // Resonator band (GHz).
+  double res_freq_lo{6.2};
+  double res_freq_hi{7.0};
+
+  /// Coloring strategy for the qubit frequency plan.
+  ColoringStrategy coloring{ColoringStrategy::kGreedy};
+
+  unsigned seed{0x5EEDu};
+};
+
+/// Materializes the netlist; positions are the scaled schematic
+/// coordinates (a coarse seed — run the global placer next).
+[[nodiscard]] QuantumNetlist build_netlist(const DeviceSpec& spec,
+                                           const BuilderParams& params = {});
+
+}  // namespace qgdp

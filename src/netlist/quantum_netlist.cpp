@@ -1,0 +1,80 @@
+#include "netlist/quantum_netlist.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qgdp {
+
+int QuantumNetlist::add_qubit(Point pos, double width, double height, double frequency) {
+  const int id = static_cast<int>(qubits_.size());
+  qubits_.push_back({id, pos, width, height, frequency});
+  incident_.emplace_back();
+  return id;
+}
+
+int QuantumNetlist::add_edge(int q0, int q1, double frequency, double wire_length,
+                             double padding) {
+  assert(q0 >= 0 && static_cast<std::size_t>(q0) < qubits_.size());
+  assert(q1 >= 0 && static_cast<std::size_t>(q1) < qubits_.size());
+  assert(q0 != q1);
+  const int id = static_cast<int>(edges_.size());
+  ResonatorEdge e;
+  e.id = id;
+  e.q0 = q0;
+  e.q1 = q1;
+  e.frequency = frequency;
+  e.wire_length = wire_length;
+  e.padding = padding;
+  edges_.push_back(std::move(e));
+  incident_[static_cast<std::size_t>(q0)].push_back(id);
+  incident_[static_cast<std::size_t>(q1)].push_back(id);
+  return id;
+}
+
+void QuantumNetlist::partition_edge(int e, int n) {
+  ResonatorEdge& edge = edges_[static_cast<std::size_t>(e)];
+  assert(edge.blocks.empty() && "edge already partitioned");
+  const Point mid = (qubit(edge.q0).pos + qubit(edge.q1).pos) / 2;
+  edge.blocks.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int bid = static_cast<int>(blocks_.size());
+    blocks_.push_back({bid, e, mid, 1.0});
+    edge.blocks.push_back(bid);
+  }
+}
+
+void QuantumNetlist::partition_all_edges() {
+  for (auto& e : edges_) {
+    if (!e.blocks.empty()) continue;
+    // Eq. 6:  lpad · L = n · lb²  with lb = 1.
+    const int n = std::max(1, static_cast<int>(std::lround(e.padding * e.wire_length)));
+    partition_edge(e.id, n);
+  }
+}
+
+std::vector<int> QuantumNetlist::neighbors(int q) const {
+  std::vector<int> out;
+  out.reserve(incident_[static_cast<std::size_t>(q)].size());
+  for (const int e : incident_[static_cast<std::size_t>(q)]) {
+    const auto& ed = edges_[static_cast<std::size_t>(e)];
+    out.push_back(ed.q0 == q ? ed.q1 : ed.q0);
+  }
+  return out;
+}
+
+int QuantumNetlist::edge_between(int qa, int qb) const {
+  for (const int e : incident_[static_cast<std::size_t>(qa)]) {
+    const auto& ed = edges_[static_cast<std::size_t>(e)];
+    if (ed.q0 == qb || ed.q1 == qb) return e;
+  }
+  return -1;
+}
+
+double QuantumNetlist::total_component_area() const {
+  double a = 0.0;
+  for (const auto& q : qubits_) a += q.width * q.height;
+  for (const auto& b : blocks_) a += b.size * b.size;
+  return a;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,107 @@
+// The quantum netlist: an undirected graph G(Q, E) whose vertices are
+// qubits and whose edges are resonators, each carrying a set of wire
+// blocks (paper §III-B). This is the central data structure consumed by
+// the global placer, the legalizers, the detailed placer, and the
+// metrics/fidelity evaluators.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "netlist/components.h"
+
+namespace qgdp {
+
+/// Reference to a placeable component: either a qubit or a wire block.
+struct NodeRef {
+  enum class Kind { kQubit, kBlock };
+  Kind kind{Kind::kQubit};
+  int id{-1};
+
+  friend bool operator==(NodeRef a, NodeRef b) = default;
+};
+
+class QuantumNetlist {
+ public:
+  QuantumNetlist() = default;
+
+  /// Adds a qubit; returns its id.
+  int add_qubit(Point pos, double width, double height, double frequency);
+
+  /// Adds a resonator edge between existing qubits; returns its id.
+  /// Blocks are created separately via partition_edge().
+  int add_edge(int q0, int q1, double frequency, double wire_length, double padding = 1.0);
+
+  /// Partitions edge `e` into `n` unit wire blocks (Eq. 6), initially
+  /// stacked at the midpoint of its endpoint qubits.
+  void partition_edge(int e, int n);
+
+  /// Convenience: partition every edge with n = round(padding*L / lb²).
+  void partition_all_edges();
+
+  // Accessors -------------------------------------------------------
+  [[nodiscard]] std::size_t qubit_count() const { return qubits_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  /// Total placeable components (qubits + blocks).
+  [[nodiscard]] std::size_t component_count() const { return qubits_.size() + blocks_.size(); }
+
+  [[nodiscard]] const Qubit& qubit(int id) const { return qubits_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] Qubit& qubit(int id) { return qubits_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const ResonatorEdge& edge(int id) const { return edges_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] ResonatorEdge& edge(int id) { return edges_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const WireBlock& block(int id) const { return blocks_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] WireBlock& block(int id) { return blocks_[static_cast<std::size_t>(id)]; }
+
+  [[nodiscard]] std::span<const Qubit> qubits() const { return qubits_; }
+  [[nodiscard]] std::span<const ResonatorEdge> edges() const { return edges_; }
+  [[nodiscard]] std::span<const WireBlock> blocks() const { return blocks_; }
+
+  /// Edge ids incident to qubit q.
+  [[nodiscard]] const std::vector<int>& incident_edges(int q) const {
+    return incident_[static_cast<std::size_t>(q)];
+  }
+  /// Qubit ids adjacent to q in the coupling graph.
+  [[nodiscard]] std::vector<int> neighbors(int q) const;
+  /// Edge between two qubits, or -1.
+  [[nodiscard]] int edge_between(int qa, int qb) const;
+
+  // Die -------------------------------------------------------------
+  void set_die(Rect die) { die_ = die; }
+  [[nodiscard]] const Rect& die() const { return die_; }
+
+  // Geometry helpers -------------------------------------------------
+  [[nodiscard]] Rect rect_of(NodeRef n) const {
+    return n.kind == NodeRef::Kind::kQubit ? qubit(n.id).rect() : block(n.id).rect();
+  }
+  [[nodiscard]] Point position_of(NodeRef n) const {
+    return n.kind == NodeRef::Kind::kQubit ? qubit(n.id).pos : block(n.id).pos;
+  }
+  void set_position(NodeRef n, Point p) {
+    if (n.kind == NodeRef::Kind::kQubit) {
+      qubit(n.id).pos = p;
+    } else {
+      block(n.id).pos = p;
+    }
+  }
+
+  /// Sum of component areas (denominator of Eq. 4).
+  [[nodiscard]] double total_component_area() const;
+
+  // Identification ----------------------------------------------------
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<Qubit> qubits_;
+  std::vector<ResonatorEdge> edges_;
+  std::vector<WireBlock> blocks_;
+  std::vector<std::vector<int>> incident_;
+  Rect die_{0, 0, 0, 0};
+};
+
+}  // namespace qgdp

@@ -1,0 +1,203 @@
+#include "netlist/topologies.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qgdp {
+
+DeviceSpec make_grid_device(int rows, int cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid: rows/cols must be >= 1");
+  DeviceSpec d;
+  d.name = "Grid";
+  d.qubit_count = rows * cols;
+  d.coords.reserve(static_cast<std::size_t>(d.qubit_count));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      d.coords.push_back({static_cast<double>(c), static_cast<double>(r)});
+      const int id = r * cols + c;
+      if (c + 1 < cols) d.couplings.emplace_back(id, id + 1);
+      if (r + 1 < rows) d.couplings.emplace_back(id, id + cols);
+    }
+  }
+  return d;
+}
+
+DeviceSpec make_falcon27() {
+  // Canonical 27-qubit Falcon coupling map (e.g. ibmq_montreal).
+  DeviceSpec d;
+  d.name = "Falcon";
+  d.qubit_count = 27;
+  d.couplings = {{0, 1},   {1, 2},   {2, 3},   {3, 5},   {1, 4},   {4, 7},   {5, 8},
+                 {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12}, {11, 14}, {12, 13},
+                 {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+                 {19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26}};
+  // Schematic coordinates matching IBM's published device drawing:
+  // two horizontal chains bridged by vertical connectors, with four
+  // single-qubit bumps above/below.
+  d.coords.assign(27, Point{});
+  auto at = [&](int q, double x, double y) { d.coords[static_cast<std::size_t>(q)] = {x, y}; };
+  // Top chain.
+  at(0, 0, 4); at(1, 1, 4); at(4, 2, 4); at(7, 3, 4); at(10, 4, 4);
+  at(12, 5, 4); at(15, 6, 4); at(18, 7, 4); at(21, 8, 4); at(23, 9, 4);
+  // Bottom chain.
+  at(3, 1, 0); at(5, 2, 0); at(8, 3, 0); at(11, 4, 0); at(14, 5, 0);
+  at(16, 6, 0); at(19, 7, 0); at(22, 8, 0); at(25, 9, 0); at(26, 10, 0);
+  // Vertical connectors.
+  at(2, 1, 2); at(13, 5, 2); at(24, 9, 2);
+  // Bumps.
+  at(6, 3, 5); at(17, 7, 5); at(9, 3, -1); at(20, 7, -1);
+  return d;
+}
+
+DeviceSpec make_eagle127() {
+  // Eagle (ibm_washington) heavy-hex pattern: seven horizontal chains
+  // bridged by four connector qubits per gap, with connector columns
+  // alternating between {0,4,8,12} and {2,6,10,14}.
+  DeviceSpec d;
+  d.name = "Eagle";
+  d.qubit_count = 127;
+  d.coords.assign(127, Point{});
+
+  // Chain rows: id ranges and column offsets.
+  struct Row {
+    int first_id;
+    int first_col;
+    int length;
+  };
+  const Row rows[7] = {{0, 0, 14},   {18, 0, 15}, {37, 0, 15}, {56, 0, 15},
+                       {75, 0, 15},  {94, 0, 15}, {113, 1, 14}};
+  auto row_qubit_at_col = [&](int r, int col) -> int {
+    const Row& row = rows[r];
+    const int idx = col - row.first_col;
+    assert(idx >= 0 && idx < row.length);
+    return row.first_id + idx;
+  };
+  // Place chain qubits and in-row couplings.
+  for (int r = 0; r < 7; ++r) {
+    for (int i = 0; i < rows[r].length; ++i) {
+      const int id = rows[r].first_id + i;
+      const int col = rows[r].first_col + i;
+      d.coords[static_cast<std::size_t>(id)] = {static_cast<double>(col),
+                                                static_cast<double>((6 - r) * 2)};
+      if (i + 1 < rows[r].length) d.couplings.emplace_back(id, id + 1);
+    }
+  }
+  // Connector qubits between consecutive rows.
+  const int conn_first[6] = {14, 33, 52, 71, 90, 109};
+  for (int gap = 0; gap < 6; ++gap) {
+    const bool even = (gap % 2 == 0);
+    const int cols[4] = {even ? 0 : 2, even ? 4 : 6, even ? 8 : 10, even ? 12 : 14};
+    for (int k = 0; k < 4; ++k) {
+      const int cid = conn_first[gap] + k;
+      const int col = cols[k];
+      d.coords[static_cast<std::size_t>(cid)] = {static_cast<double>(col),
+                                                 static_cast<double>((6 - gap) * 2 - 1)};
+      d.couplings.emplace_back(row_qubit_at_col(gap, col), cid);
+      d.couplings.emplace_back(cid, row_qubit_at_col(gap + 1, col));
+    }
+  }
+  assert(static_cast<int>(d.couplings.size()) == 144);
+  return d;
+}
+
+DeviceSpec make_octagon_device(int rows, int cols, const std::string& name) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("octagon: rows/cols must be >= 1");
+  DeviceSpec d;
+  d.name = name.empty() ? ("Octagon-" + std::to_string(rows * cols * 8)) : name;
+  d.qubit_count = rows * cols * 8;
+  d.coords.assign(static_cast<std::size_t>(d.qubit_count), Point{});
+
+  constexpr double kPitch = 6.0;   // octagon center spacing
+  constexpr double kRadius = 2.2;  // ring radius
+  auto octagon_base = [&](int r, int c) { return (r * cols + c) * 8; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int base = octagon_base(r, c);
+      const Point center{kPitch * c, kPitch * r};
+      for (int k = 0; k < 8; ++k) {
+        // Qubit k sits at angle 22.5° + k·45° (counter-clockwise).
+        const double th = std::numbers::pi / 8 + k * std::numbers::pi / 4;
+        d.coords[static_cast<std::size_t>(base + k)] =
+            center + Point{kRadius * std::cos(th), kRadius * std::sin(th)};
+        d.couplings.emplace_back(base + k, base + (k + 1) % 8);
+      }
+      // Two horizontal links to the next octagon: right pair (0, 7) to
+      // its left pair (3, 4).
+      if (c + 1 < cols) {
+        const int right = octagon_base(r, c + 1);
+        d.couplings.emplace_back(base + 0, right + 3);
+        d.couplings.emplace_back(base + 7, right + 4);
+      }
+      // Two vertical links to the octagon above: top pair (1, 2) to its
+      // bottom pair (6, 5).
+      if (r + 1 < rows) {
+        const int up = octagon_base(r + 1, c);
+        d.couplings.emplace_back(base + 1, up + 6);
+        d.couplings.emplace_back(base + 2, up + 5);
+      }
+    }
+  }
+  return d;
+}
+
+namespace {
+
+/// Recursive radial layout for x-tree nodes.
+void place_subtree(DeviceSpec& d, int node, Point pos, double angle, double spread,
+                   double radius, int branch, int depth_left,
+                   int& next_id) {
+  d.coords[static_cast<std::size_t>(node)] = pos;
+  if (depth_left == 0) return;
+  for (int k = 0; k < branch; ++k) {
+    const int child = next_id++;
+    d.couplings.emplace_back(node, child);
+    const double a = angle - spread / 2 + (branch == 1 ? 0.0 : spread * k / (branch - 1));
+    const Point cpos = pos + Point{radius * std::cos(a), radius * std::sin(a)};
+    place_subtree(d, child, cpos, a, spread * 0.6, radius * 0.62, branch, depth_left - 1,
+                  next_id);
+  }
+}
+
+}  // namespace
+
+DeviceSpec make_xtree(int root_branch, int branch, int depth) {
+  if (root_branch < 1 || branch < 1 || depth < 1) {
+    throw std::invalid_argument("xtree: branching/depth must be >= 1");
+  }
+  DeviceSpec d;
+  d.name = "Xtree";
+  // Count nodes: 1 + root_branch * (1 + branch + ... + branch^(depth-1)).
+  int per_subtree = 0;
+  int level = 1;
+  for (int l = 0; l < depth; ++l) {
+    per_subtree += level;
+    level *= branch;
+  }
+  d.qubit_count = 1 + root_branch * per_subtree;
+  d.coords.assign(static_cast<std::size_t>(d.qubit_count), Point{});
+
+  int next_id = 1;
+  d.coords[0] = {0.0, 0.0};
+  for (int k = 0; k < root_branch; ++k) {
+    const int child = next_id++;
+    d.couplings.emplace_back(0, child);
+    const double a = 2 * std::numbers::pi * k / root_branch + std::numbers::pi / 4;
+    const double radius = 3.2;
+    const Point cpos{radius * std::cos(a), radius * std::sin(a)};
+    place_subtree(d, child, cpos, a, std::numbers::pi / 2.2, radius * 0.62, branch,
+                  depth - 1, next_id);
+  }
+  assert(next_id == d.qubit_count);
+  return d;
+}
+
+std::vector<DeviceSpec> all_paper_topologies() {
+  return {make_grid_device(),           make_xtree(),
+          make_falcon27(),              make_eagle127(),
+          make_octagon_device(1, 5, "Aspen-11"),
+          make_octagon_device(2, 5, "Aspen-M")};
+}
+
+}  // namespace qgdp

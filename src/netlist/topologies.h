@@ -1,0 +1,56 @@
+// Device connectivity topologies evaluated in the paper (Table I):
+//
+//   Grid      25 q / 40 e   surface-code friendly square lattice
+//   Falcon    27 q / 28 e   IBM heavy-hex (Falcon processor)
+//   Eagle    127 q / 144 e  IBM heavy-hex (Eagle processor)
+//   Aspen-11  40 q / 48 e   Rigetti octagon lattice (1×5 octagons)
+//   Aspen-M   80 q / 106 e  Rigetti octagon lattice (2×5 octagons)
+//   Xtree     53 q / 52 e   Pauli-string efficient tree (Li et al.)
+//
+// Each generator also provides canonical drawing coordinates used to
+// seed the global placer, mirroring how QPlacer starts from the
+// schematic layout of the device.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace qgdp {
+
+/// Pure-connectivity description of a quantum device.
+struct DeviceSpec {
+  std::string name;
+  int qubit_count{0};
+  std::vector<std::pair<int, int>> couplings;  ///< resonator edges (q0 < q1 not required)
+  std::vector<Point> coords;                   ///< canonical schematic position per qubit
+
+  [[nodiscard]] int edge_count() const { return static_cast<int>(couplings.size()); }
+};
+
+/// rows×cols square lattice ("Grid", default 5×5 = 25 q / 40 e).
+[[nodiscard]] DeviceSpec make_grid_device(int rows = 5, int cols = 5);
+
+/// IBM Falcon 27-qubit heavy-hex processor (28 edges).
+[[nodiscard]] DeviceSpec make_falcon27();
+
+/// IBM Eagle 127-qubit heavy-hex processor (144 edges), generated from
+/// the published row/connector pattern.
+[[nodiscard]] DeviceSpec make_eagle127();
+
+/// Rigetti Aspen-style octagon lattice with `rows`×`cols` octagons.
+/// (1,5) reproduces Aspen-11 (40 q / 48 e); (2,5) Aspen-M (80 q / 106 e).
+[[nodiscard]] DeviceSpec make_octagon_device(int rows, int cols, const std::string& name = "");
+
+/// X-tree architecture (Li et al., ISCA'21): a root with `root_branch`
+/// subtrees, internal branching `branch`, `depth` levels below the root.
+/// Defaults give the paper's 53-qubit level-3 instance (52 edges).
+[[nodiscard]] DeviceSpec make_xtree(int root_branch = 4, int branch = 3, int depth = 3);
+
+/// The six topologies of Table I, in the paper's reporting order:
+/// Grid, Xtree, Falcon, Eagle, Aspen-11, Aspen-M.
+[[nodiscard]] std::vector<DeviceSpec> all_paper_topologies();
+
+}  // namespace qgdp

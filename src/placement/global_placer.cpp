@@ -1,0 +1,179 @@
+#include "placement/global_placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "placement/spatial_hash.h"
+
+namespace qgdp {
+
+namespace {
+
+struct Body {
+  NodeRef ref;
+  Point pos;
+  double half_w{0.5};
+  double half_h{0.5};
+  double freq{0.0};
+};
+
+std::vector<Body> collect_bodies(const QuantumNetlist& nl) {
+  std::vector<Body> bodies;
+  bodies.reserve(nl.component_count());
+  for (const auto& q : nl.qubits()) {
+    bodies.push_back({{NodeRef::Kind::kQubit, q.id}, q.pos, q.width / 2, q.height / 2, q.frequency});
+  }
+  for (const auto& b : nl.blocks()) {
+    bodies.push_back({{NodeRef::Kind::kBlock, b.id},
+                      b.pos,
+                      b.size / 2,
+                      b.size / 2,
+                      nl.edge(b.edge).frequency});
+  }
+  return bodies;
+}
+
+int body_index(const QuantumNetlist& nl, NodeRef ref) {
+  return ref.kind == NodeRef::Kind::kQubit ? ref.id
+                                           : static_cast<int>(nl.qubit_count()) + ref.id;
+}
+
+}  // namespace
+
+GlobalPlacerStats GlobalPlacer::place(QuantumNetlist& nl) const {
+  auto bodies = collect_bodies(nl);
+  const auto nets = build_connection_nets(nl, opt_.style);
+  const Rect die = nl.die();
+  std::mt19937 rng(opt_.seed);
+  std::uniform_real_distribution<double> noise(-0.25, 0.25);
+
+  // Small deterministic symmetry-breaking jitter: blocks of one edge
+  // start stacked at the same point and need distinct directions.
+  for (auto& b : bodies) {
+    if (b.ref.kind == NodeRef::Kind::kBlock) {
+      b.pos += Point{noise(rng), noise(rng)};
+    }
+  }
+
+  const double interact_radius =
+      std::max({opt_.freq_radius, 4.0});  // covers the largest qubit macro pair
+  std::vector<Point> force(bodies.size());
+  SpatialHash hash(die.inflated(interact_radius), interact_radius);
+
+  double step = opt_.initial_step;
+  int it = 0;
+  for (; it < opt_.iterations; ++it) {
+    std::fill(force.begin(), force.end(), Point{});
+
+    // Net attraction (quadratic wirelength gradient).
+    for (const auto& net : nets) {
+      const int ia = body_index(nl, net.a);
+      const int ib = body_index(nl, net.b);
+      const Point d = bodies[static_cast<std::size_t>(ib)].pos -
+                      bodies[static_cast<std::size_t>(ia)].pos;
+      const Point f = d * (opt_.attraction * net.weight);
+      force[static_cast<std::size_t>(ia)] += f;
+      force[static_cast<std::size_t>(ib)] -= f;
+    }
+
+    // Overlap + frequency repulsion via spatial hash.
+    hash.clear();
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+      hash.insert(static_cast<int>(i), bodies[i].pos);
+    }
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+      const Body& a = bodies[i];
+      hash.for_each_near(a.pos, [&](int j) {
+        if (static_cast<std::size_t>(j) <= i) return;  // each pair once
+        const Body& b = bodies[static_cast<std::size_t>(j)];
+        const double dx = b.pos.x - a.pos.x;
+        const double dy = b.pos.y - a.pos.y;
+        const double pen_x = (a.half_w + b.half_w) - std::abs(dx);
+        const double pen_y = (a.half_h + b.half_h) - std::abs(dy);
+        Point push{};
+        if (pen_x > 0 && pen_y > 0) {
+          // Separate along the axis of least penetration.
+          if (pen_x < pen_y) {
+            push.x = (dx >= 0 ? -1.0 : 1.0) * pen_x * opt_.repulsion;
+          } else {
+            push.y = (dy >= 0 ? -1.0 : 1.0) * pen_y * opt_.repulsion;
+          }
+        }
+        // Frequency-aware repulsion: same-frequency components within
+        // the interaction radius push apart radially (QPlacer's
+        // charged-particle analogy).
+        const double df = std::abs(a.freq - b.freq);
+        if (df < opt_.freq_threshold) {
+          const double dist2 = dx * dx + dy * dy;
+          const double r = opt_.freq_radius;
+          if (dist2 < r * r) {
+            const double dist = std::sqrt(std::max(dist2, 1e-4));
+            const double mag = opt_.freq_repulsion * (1.0 - dist / r);
+            push += Point{-dx / dist, -dy / dist} * mag;
+          }
+        }
+        force[i] += push;
+        force[static_cast<std::size_t>(j)] -= push;
+      });
+    }
+
+    // Integrate with clamped step, keep inside the die (Eq. 2).
+    double movement = 0.0;
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+      Point f = force[i] * step;
+      const double fn = f.norm();
+      if (fn > 1.5) f = f * (1.5 / fn);  // trust region
+      bodies[i].pos += f;
+      bodies[i].pos.x = std::clamp(bodies[i].pos.x, die.lo.x + bodies[i].half_w,
+                                   die.hi.x - bodies[i].half_w);
+      bodies[i].pos.y = std::clamp(bodies[i].pos.y, die.lo.y + bodies[i].half_h,
+                                   die.hi.y - bodies[i].half_h);
+      movement += fn;
+    }
+    step *= opt_.step_decay;
+    if (movement / static_cast<double>(bodies.size()) < 1e-4) break;
+  }
+
+  // Write positions back.
+  for (const auto& b : bodies) nl.set_position(b.ref, b.pos);
+
+  GlobalPlacerStats stats;
+  stats.iterations_run = it;
+  stats.total_wirelength = total_wirelength(nl, nets);
+  stats.overlap_area = total_overlap_area(nl);
+  return stats;
+}
+
+double total_overlap_area(const QuantumNetlist& nl) {
+  // Exact pairwise overlap via a spatial hash (pairs only counted once).
+  std::vector<Rect> rects;
+  rects.reserve(nl.component_count());
+  for (const auto& q : nl.qubits()) rects.push_back(q.rect());
+  for (const auto& b : nl.blocks()) rects.push_back(b.rect());
+  if (rects.empty()) return 0.0;
+
+  Rect bb = rects.front();
+  for (const auto& r : rects) bb = bb.united(r);
+  SpatialHash hash(bb, 4.0);
+  for (std::size_t i = 0; i < rects.size(); ++i) hash.insert(static_cast<int>(i), rects[i].center());
+  double total = 0.0;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    hash.for_each_near(rects[i].center(), [&](int j) {
+      if (static_cast<std::size_t>(j) <= i) return;
+      const Rect inter = rects[i].intersection(rects[static_cast<std::size_t>(j)]);
+      if (!inter.empty()) total += inter.area();
+    });
+  }
+  return total;
+}
+
+double total_wirelength(const QuantumNetlist& nl, const std::vector<Net>& nets) {
+  double wl = 0.0;
+  for (const auto& n : nets) {
+    wl += n.weight * manhattan(nl.position_of(n.a), nl.position_of(n.b));
+  }
+  return wl;
+}
+
+}  // namespace qgdp

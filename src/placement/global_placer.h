@@ -1,0 +1,60 @@
+// QPlacer-lite global placement (the paper's upstream stage, [12]).
+//
+// Components behave like charged particles: connection nets attract,
+// overlapping components repel, and frequency-matched components repel
+// additionally (spatial + frequency isolation). This intentionally
+// reproduces the *output character* of QPlacer — rough, slightly
+// overlapping positions that preserve the logical topology — which is
+// the input contract of every legalizer evaluated in the paper. All
+// baselines consume identical GP positions (paper §IV "all comparisons
+// are based on the same GP positions with pseudo connections").
+#pragma once
+
+#include <vector>
+
+#include "netlist/quantum_netlist.h"
+#include "placement/nets.h"
+
+namespace qgdp {
+
+struct GlobalPlacerOptions {
+  ConnectionStyle style{ConnectionStyle::kPseudo};
+  int iterations{220};
+  double attraction{0.12};        ///< spring constant on nets
+  double repulsion{0.45};         ///< overlap push strength
+  double freq_repulsion{0.25};    ///< extra push for frequency-close pairs
+  double freq_threshold{0.06};    ///< GHz; pairs closer than this repel
+  double freq_radius{4.0};        ///< cells; frequency interaction radius
+  double step_decay{0.995};
+  double initial_step{1.0};
+  unsigned seed{1u};
+};
+
+struct GlobalPlacerStats {
+  double total_wirelength{0.0};   ///< Σ net Manhattan lengths after GP
+  double overlap_area{0.0};       ///< Σ pairwise overlap areas after GP
+  int iterations_run{0};
+};
+
+class GlobalPlacer {
+ public:
+  explicit GlobalPlacer(GlobalPlacerOptions opt = {}) : opt_(opt) {}
+
+  /// Runs GP in-place on the netlist positions. Deterministic for a
+  /// fixed (netlist, options) pair.
+  GlobalPlacerStats place(QuantumNetlist& nl) const;
+
+  [[nodiscard]] const GlobalPlacerOptions& options() const { return opt_; }
+
+ private:
+  GlobalPlacerOptions opt_;
+};
+
+/// Total pairwise overlap area between all component rectangles —
+/// the quantity legalization must drive to zero.
+[[nodiscard]] double total_overlap_area(const QuantumNetlist& nl);
+
+/// Total Manhattan wirelength over a net set.
+[[nodiscard]] double total_wirelength(const QuantumNetlist& nl, const std::vector<Net>& nets);
+
+}  // namespace qgdp

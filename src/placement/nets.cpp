@@ -1,0 +1,73 @@
+#include "placement/nets.h"
+
+#include <cmath>
+
+namespace qgdp {
+
+namespace {
+
+NodeRef qubit_ref(int id) { return {NodeRef::Kind::kQubit, id}; }
+NodeRef block_ref(int id) { return {NodeRef::Kind::kBlock, id}; }
+
+void add_snake_nets(const ResonatorEdge& e, std::vector<Net>& nets) {
+  const int n = e.block_count();
+  if (n == 0) {
+    nets.push_back({qubit_ref(e.q0), qubit_ref(e.q1), 1.0});
+    return;
+  }
+  nets.push_back({qubit_ref(e.q0), block_ref(e.blocks.front()), 1.0});
+  for (int k = 0; k + 1 < n; ++k) {
+    nets.push_back({block_ref(e.blocks[static_cast<std::size_t>(k)]),
+                    block_ref(e.blocks[static_cast<std::size_t>(k + 1)]), 1.0});
+  }
+  nets.push_back({block_ref(e.blocks.back()), qubit_ref(e.q1), 1.0});
+}
+
+void add_pseudo_nets(const ResonatorEdge& e, std::vector<Net>& nets) {
+  const int n = e.block_count();
+  if (n == 0) {
+    nets.push_back({qubit_ref(e.q0), qubit_ref(e.q1), 1.0});
+    return;
+  }
+  // Conceptual near-square arrangement: cols × rows with cols = ceil(√n).
+  const int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  auto at = [&](int r, int c) -> int {
+    const int idx = r * cols + c;
+    return idx < n ? e.blocks[static_cast<std::size_t>(idx)] : -1;
+  };
+  const int rows = (n + cols - 1) / cols;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int b = at(r, c);
+      if (b < 0) continue;
+      // Right and up neighbours ("interconnected with all neighbouring
+      // segments"; each undirected pair added once).
+      if (const int right = (c + 1 < cols) ? at(r, c + 1) : -1; right >= 0) {
+        nets.push_back({block_ref(b), block_ref(right), 1.0});
+      }
+      if (const int up = (r + 1 < rows) ? at(r + 1, c) : -1; up >= 0) {
+        nets.push_back({block_ref(b), block_ref(up), 1.0});
+      }
+    }
+  }
+  // Qubit taps at opposite corners of the arrangement.
+  nets.push_back({qubit_ref(e.q0), block_ref(e.blocks.front()), 1.0});
+  nets.push_back({qubit_ref(e.q1), block_ref(e.blocks.back()), 1.0});
+}
+
+}  // namespace
+
+std::vector<Net> build_connection_nets(const QuantumNetlist& nl, ConnectionStyle style) {
+  std::vector<Net> nets;
+  nets.reserve(nl.block_count() * 2 + nl.edge_count() * 2);
+  for (const auto& e : nl.edges()) {
+    if (style == ConnectionStyle::kSnake) {
+      add_snake_nets(e, nets);
+    } else {
+      add_pseudo_nets(e, nets);
+    }
+  }
+  return nets;
+}
+
+}  // namespace qgdp

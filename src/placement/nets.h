@@ -1,0 +1,32 @@
+// Connection nets used by the global placer.
+//
+// The paper's "pseudo connection" strategy (§III-D, Fig. 5) connects
+// each wire block to *all* of its neighbours in a conceptual √n×√n
+// rectangular arrangement, instead of the snake chain used in QPlacer.
+// Pseudo connections pull the blocks of a resonator into a compact
+// rectangle during GP, which is dramatically easier to legalize.
+#pragma once
+
+#include <vector>
+
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp {
+
+enum class ConnectionStyle {
+  kSnake,   ///< chain q0 - b0 - b1 - ... - b(n-1) - q1 (QPlacer default)
+  kPseudo,  ///< rectangular grid adjacency between blocks + qubit taps
+};
+
+/// Two-pin attraction net between placeable components.
+struct Net {
+  NodeRef a;
+  NodeRef b;
+  double weight{1.0};
+};
+
+/// Builds the GP net set for every resonator of the netlist.
+[[nodiscard]] std::vector<Net> build_connection_nets(const QuantumNetlist& nl,
+                                                     ConnectionStyle style);
+
+}  // namespace qgdp

@@ -1,0 +1,113 @@
+#include "routing/maze_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+namespace qgdp {
+
+namespace {
+
+std::size_t key_of(BinCoord b, int nx) {
+  return static_cast<std::size_t>(b.iy) * static_cast<std::size_t>(nx) +
+         static_cast<std::size_t>(b.ix);
+}
+
+}  // namespace
+
+bool MazeRouter::usable(BinCoord b, const RouteRequest& req) const {
+  if (!grid_->in_bounds(b)) return false;
+  if (req.window) {
+    const Point c = grid_->center_of(b);
+    if (!req.window->contains(c)) return false;
+  }
+  if (grid_->is_free(b)) return true;
+  return std::find(req.extra_free.begin(), req.extra_free.end(), b) != req.extra_free.end();
+}
+
+RouteResult MazeRouter::route(const RouteRequest& req) const {
+  RouteResult res;
+  if (!usable(req.start, req) || !usable(req.goal, req)) return res;
+  const int nx = grid_->width();
+  std::unordered_map<std::size_t, BinCoord> parent;
+  std::queue<BinCoord> q;
+  q.push(req.start);
+  parent[key_of(req.start, nx)] = req.start;
+  while (!q.empty()) {
+    const BinCoord u = q.front();
+    q.pop();
+    if (u == req.goal) break;
+    const BinCoord nbrs[4] = {
+        {u.ix + 1, u.iy}, {u.ix - 1, u.iy}, {u.ix, u.iy + 1}, {u.ix, u.iy - 1}};
+    for (const BinCoord v : nbrs) {
+      if (!usable(v, req)) continue;
+      const std::size_t k = key_of(v, nx);
+      if (parent.count(k)) continue;
+      parent[k] = u;
+      q.push(v);
+    }
+  }
+  if (!parent.count(key_of(req.goal, nx))) return res;
+  // Reconstruct.
+  std::vector<BinCoord> rev;
+  for (BinCoord v = req.goal;; v = parent[key_of(v, nx)]) {
+    rev.push_back(v);
+    if (v == req.start) break;
+  }
+  res.path.assign(rev.rbegin(), rev.rend());
+  res.found = true;
+  return res;
+}
+
+RouteResult MazeRouter::route_astar(const RouteRequest& req) const {
+  RouteResult res;
+  if (!usable(req.start, req) || !usable(req.goal, req)) return res;
+  const int nx = grid_->width();
+  auto h = [&](BinCoord b) {
+    return std::abs(b.ix - req.goal.ix) + std::abs(b.iy - req.goal.iy);
+  };
+  struct Item {
+    int f;
+    int g;
+    BinCoord b;
+    bool operator>(const Item& o) const { return f > o.f; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> open;
+  std::unordered_map<std::size_t, BinCoord> parent;
+  std::unordered_map<std::size_t, int> best_g;
+  open.push({h(req.start), 0, req.start});
+  best_g[key_of(req.start, nx)] = 0;
+  parent[key_of(req.start, nx)] = req.start;
+  while (!open.empty()) {
+    const Item it = open.top();
+    open.pop();
+    if (it.b == req.goal) break;
+    const std::size_t uk = key_of(it.b, nx);
+    if (it.g > best_g[uk]) continue;
+    const BinCoord nbrs[4] = {{it.b.ix + 1, it.b.iy},
+                              {it.b.ix - 1, it.b.iy},
+                              {it.b.ix, it.b.iy + 1},
+                              {it.b.ix, it.b.iy - 1}};
+    for (const BinCoord v : nbrs) {
+      if (!usable(v, req)) continue;
+      const std::size_t k = key_of(v, nx);
+      const int ng = it.g + 1;
+      if (best_g.count(k) && best_g[k] <= ng) continue;
+      best_g[k] = ng;
+      parent[k] = it.b;
+      open.push({ng + h(v), ng, v});
+    }
+  }
+  if (!parent.count(key_of(req.goal, nx))) return res;
+  std::vector<BinCoord> rev;
+  for (BinCoord v = req.goal;; v = parent[key_of(v, nx)]) {
+    rev.push_back(v);
+    if (v == req.start) break;
+  }
+  res.path.assign(rev.rbegin(), rev.rend());
+  res.found = true;
+  return res;
+}
+
+}  // namespace qgdp

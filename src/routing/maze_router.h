@@ -1,0 +1,45 @@
+// Maze routing on the bin grid (paper §III-E: "Maze routing establishes
+// efficient paths for these resonators, optimizing connectivity and
+// avoiding blocked cells").
+//
+// BFS (unit-cost Lee router) over free bins, optionally restricted to a
+// window rectangle; A* with Manhattan lower bound for longer queries.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "legalization/bin_grid.h"
+
+namespace qgdp {
+
+struct RouteRequest {
+  BinCoord start;                     ///< first bin adjacent to the source
+  BinCoord goal;                      ///< target bin (adjacent to the sink)
+  std::optional<Rect> window;         ///< restrict search to this region
+  std::vector<BinCoord> extra_free;   ///< bins to treat as free (ripped up)
+};
+
+struct RouteResult {
+  bool found{false};
+  std::vector<BinCoord> path;  ///< start..goal inclusive, 4-connected
+};
+
+class MazeRouter {
+ public:
+  explicit MazeRouter(const BinGrid& grid) : grid_(&grid) {}
+
+  /// Shortest 4-connected path over free bins (BFS / Lee).
+  [[nodiscard]] RouteResult route(const RouteRequest& req) const;
+
+  /// A* variant (same result, fewer expansions on large windows).
+  [[nodiscard]] RouteResult route_astar(const RouteRequest& req) const;
+
+ private:
+  [[nodiscard]] bool usable(BinCoord b, const RouteRequest& req) const;
+
+  const BinGrid* grid_;
+};
+
+}  // namespace qgdp

@@ -1,0 +1,160 @@
+// Tests for circuit generators and the SABRE-lite mapper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/generators.h"
+#include "circuits/mapper.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+TEST(Circuit, RejectsBadGates) {
+  Circuit c("t", 2);
+  EXPECT_THROW(c.add(GateKind::kH, 2), std::out_of_range);
+  EXPECT_THROW(c.add(GateKind::kCX, 0, 0), std::invalid_argument);
+  EXPECT_THROW(Circuit("x", 0), std::invalid_argument);
+}
+
+TEST(Generators, BvStructure) {
+  const auto c = make_bv(4);
+  EXPECT_EQ(c.qubit_count(), 4);
+  // Alternating hidden string 101 → CX from qubits 0 and 2.
+  EXPECT_EQ(c.two_qubit_gate_count(), 2);
+  // X + 4 H (prep) + 3 H (unprep) = 8 one-qubit gates.
+  EXPECT_EQ(c.one_qubit_gate_count(), 8);
+}
+
+TEST(Generators, BvScalesWithWidth) {
+  EXPECT_EQ(make_bv(9).qubit_count(), 9);
+  EXPECT_EQ(make_bv(9).two_qubit_gate_count(), 4);
+  EXPECT_EQ(make_bv(16).two_qubit_gate_count(), 8);
+}
+
+TEST(Generators, QaoaRingLayers) {
+  const auto c = make_qaoa_ring(4, 2);
+  EXPECT_EQ(c.qubit_count(), 4);
+  // Per layer: 4 ring RZZ = 8 CX; two layers = 16 CX.
+  EXPECT_EQ(c.two_qubit_gate_count(), 16);
+}
+
+TEST(Generators, IsingChain) {
+  const auto c = make_ising_chain(4, 3);
+  // Per step: 3 chain RZZ = 6 CX; 3 steps = 18 CX.
+  EXPECT_EQ(c.two_qubit_gate_count(), 18);
+}
+
+TEST(Generators, QganRing) {
+  const auto c = make_qgan(4, 3);
+  EXPECT_EQ(c.two_qubit_gate_count(), 12);  // 4 ring CX × 3 layers
+  EXPECT_EQ(c.one_qubit_gate_count(), 16);  // 4 RY × 3 layers + final 4
+}
+
+TEST(Generators, PaperBenchmarkSet) {
+  const auto set = paper_benchmarks();
+  ASSERT_EQ(set.size(), 7u);
+  EXPECT_EQ(set[0].name(), "bv-4");
+  EXPECT_EQ(set[1].name(), "bv-9");
+  EXPECT_EQ(set[2].name(), "bv-16");
+  EXPECT_EQ(set[3].name(), "qaoa-4");
+  EXPECT_EQ(set[4].name(), "ising-4");
+  EXPECT_EQ(set[5].name(), "qgan-4");
+  EXPECT_EQ(set[6].name(), "qgan-9");
+}
+
+class MapperTest : public ::testing::Test {
+ protected:
+  void SetUp() override { nl_ = build_netlist(make_falcon27()); }
+  QuantumNetlist nl_;
+};
+
+TEST_F(MapperTest, MappingIsInjectiveAndInRange) {
+  SabreLiteMapper mapper(nl_);
+  const auto mc = mapper.map(make_bv(9), 7);
+  std::set<int> used;
+  for (const int p : mc.initial_mapping) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 27);
+    EXPECT_TRUE(used.insert(p).second) << "mapping not injective";
+  }
+}
+
+TEST_F(MapperTest, ActiveSetsConsistent) {
+  SabreLiteMapper mapper(nl_);
+  const auto mc = mapper.map(make_qaoa_ring(4, 2), 3);
+  // Every active edge's endpoints must be active qubits.
+  const std::set<int> aq(mc.active_qubits.begin(), mc.active_qubits.end());
+  for (const int e : mc.active_edges) {
+    EXPECT_TRUE(aq.count(nl_.edge(e).q0));
+    EXPECT_TRUE(aq.count(nl_.edge(e).q1));
+  }
+  // Gate counts only on active qubits.
+  for (std::size_t q = 0; q < nl_.qubit_count(); ++q) {
+    if (!aq.count(static_cast<int>(q))) {
+      EXPECT_EQ(mc.one_q_count[q] + mc.two_q_count[q], 0);
+    }
+  }
+}
+
+TEST_F(MapperTest, TwoQubitCountsBalance) {
+  SabreLiteMapper mapper(nl_);
+  const auto mc = mapper.map(make_ising_chain(4, 3), 11);
+  int total = 0;
+  for (const int c : mc.two_q_count) total += c;
+  EXPECT_EQ(total, 2 * mc.total_cx);  // every CX touches two qubits
+  // Total CX = circuit CX + 3 per swap.
+  EXPECT_EQ(mc.total_cx, 18 + 3 * mc.swap_count);
+}
+
+TEST_F(MapperTest, DeterministicPerSeed) {
+  SabreLiteMapper mapper(nl_);
+  const auto a = mapper.map(make_bv(9), 5);
+  const auto b = mapper.map(make_bv(9), 5);
+  EXPECT_EQ(a.initial_mapping, b.initial_mapping);
+  EXPECT_EQ(a.swap_count, b.swap_count);
+  EXPECT_DOUBLE_EQ(a.duration_ns, b.duration_ns);
+}
+
+TEST_F(MapperTest, SeedsDiffer) {
+  SabreLiteMapper mapper(nl_);
+  bool any_diff = false;
+  const auto a = mapper.map(make_bv(9), 1);
+  for (unsigned s = 2; s < 8 && !any_diff; ++s) {
+    any_diff = mapper.map(make_bv(9), s).initial_mapping != a.initial_mapping;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(MapperTest, DurationGrowsWithCircuit) {
+  SabreLiteMapper mapper(nl_);
+  const auto small = mapper.map(make_bv(4), 3);
+  const auto big = mapper.map(make_qaoa_ring(4, 2), 3);
+  EXPECT_GT(small.duration_ns, 0.0);
+  EXPECT_GT(big.duration_ns, small.duration_ns);
+}
+
+TEST_F(MapperTest, RejectsOversizedCircuit) {
+  SabreLiteMapper mapper(nl_);
+  EXPECT_THROW(mapper.map(Circuit("big", 28), 1), std::invalid_argument);
+}
+
+TEST_F(MapperTest, CouplingDistanceSane) {
+  SabreLiteMapper mapper(nl_);
+  EXPECT_EQ(mapper.coupling_distance(0, 0), 0);
+  EXPECT_EQ(mapper.coupling_distance(0, 1), 1);
+  EXPECT_GE(mapper.coupling_distance(0, 26), 2);
+}
+
+TEST(MapperScaling, EagleRoutesWideCircuits) {
+  const auto nl = build_netlist(make_eagle127());
+  SabreLiteMapper mapper(nl);
+  const auto mc = mapper.map(make_bv(16), 23);
+  EXPECT_GT(mc.total_cx, 0);
+  EXPECT_GT(mc.duration_ns, 0.0);
+  EXPECT_EQ(mc.initial_mapping.size(), 16u);
+}
+
+}  // namespace
+}  // namespace qgdp

@@ -1,0 +1,134 @@
+// Tests for the noise/crosstalk model and the fidelity estimator.
+#include <gtest/gtest.h>
+
+#include "circuits/generators.h"
+#include "circuits/mapper.h"
+#include "core/pipeline.h"
+#include "fidelity/noise_model.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+TEST(RabiError, LimitsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(rabi_error(0.1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rabi_error(0.0, 100.0), 0.0);
+  // Saturates at the time-averaged sin² = 1/2.
+  EXPECT_NEAR(rabi_error(0.5, 1e6), 0.5, 1e-12);
+  EXPECT_LE(rabi_error(0.2, 300.0), 0.5);
+  // Monotone in exposure for small phases.
+  EXPECT_LT(rabi_error(1e-4, 100.0), rabi_error(1e-4, 200.0));
+}
+
+TEST(RabiError, SmallAngleMatchesSinSquared) {
+  const double g = 1e-5;  // GHz
+  const double t = 100.0; // ns
+  const double phase = 2 * 3.14159265358979 * g * t;
+  EXPECT_NEAR(rabi_error(g, t), phase * phase, phase * phase * 0.01);
+}
+
+TEST(EffectiveCoupling, ScalesWithCapacitanceAndDetuning) {
+  NoiseParams p;
+  const double g_close = effective_coupling_ghz(3.5, 6.50, 6.52, p);
+  const double g_far = effective_coupling_ghz(3.5, 6.50, 6.90, p);
+  EXPECT_GT(g_close, g_far);  // detuning suppresses
+  const double g_small_cap = effective_coupling_ghz(0.5, 6.50, 6.52, p);
+  EXPECT_GT(g_close, g_small_cap);
+  EXPECT_GT(g_small_cap, 0.0);
+}
+
+TEST(FormatFidelity, PaperConvention) {
+  EXPECT_EQ(format_fidelity(0.5063), "0.5063");
+  EXPECT_EQ(format_fidelity(9e-5), "<1e-4");
+  EXPECT_EQ(format_fidelity(0.0), "<1e-4");
+}
+
+class FidelityIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nl_ = build_netlist(make_grid_device());
+    PipelineOptions opt;
+    opt.legalizer = LegalizerKind::kQgdp;
+    opt.run_detailed = true;
+    Pipeline(opt).run(nl_);
+  }
+  QuantumNetlist nl_;
+};
+
+TEST_F(FidelityIntegration, FidelityWithinUnitInterval) {
+  FidelityEstimator est(nl_);
+  SabreLiteMapper mapper(nl_);
+  for (const auto& bench : paper_benchmarks()) {
+    if (bench.qubit_count() > static_cast<int>(nl_.qubit_count())) continue;
+    const auto mc = mapper.map(bench, 17);
+    const double f = est.program_fidelity(mc);
+    EXPECT_GE(f, 0.0) << bench.name();
+    EXPECT_LE(f, 1.0) << bench.name();
+  }
+}
+
+TEST_F(FidelityIntegration, BiggerCircuitsLoseFidelity) {
+  FidelityEstimator est(nl_);
+  SabreLiteMapper mapper(nl_);
+  const double f_small = est.program_fidelity(mapper.map(make_bv(4), 3));
+  const double f_big = est.program_fidelity(mapper.map(make_bv(16), 3));
+  EXPECT_GT(f_small, f_big);
+}
+
+TEST_F(FidelityIntegration, BreakdownMultipliesToFidelity) {
+  FidelityEstimator est(nl_);
+  SabreLiteMapper mapper(nl_);
+  const auto mc = mapper.map(make_qaoa_ring(4, 2), 9);
+  const auto b = est.breakdown(mc);
+  EXPECT_NEAR(b.gate_factor * b.qubit_crosstalk_factor * b.resonator_crosstalk_factor,
+              est.program_fidelity(mc), 1e-12);
+  EXPECT_LE(b.gate_factor, 1.0);
+  EXPECT_LE(b.qubit_crosstalk_factor, 1.0);
+  EXPECT_LE(b.resonator_crosstalk_factor, 1.0);
+}
+
+TEST(FidelityComparison, CrosstalkLayoutScoresLower) {
+  // Same mapped circuit, two layouts: the qGDP layout must score at
+  // least as high as the Tetris layout (which scatters resonators).
+  QuantumNetlist gp = build_netlist(make_falcon27());
+  GlobalPlacer{}.place(gp);
+
+  auto fidelity_for = [&](LegalizerKind kind) {
+    QuantumNetlist nl = gp;
+    PipelineOptions opt;
+    opt.run_gp = false;
+    opt.legalizer = kind;
+    Pipeline(opt).run(nl);
+    FidelityEstimator est(nl);
+    SabreLiteMapper mapper(nl);
+    double mean = 0.0;
+    for (unsigned seed = 0; seed < 10; ++seed) {
+      mean += est.program_fidelity(mapper.map(make_bv(9), seed));
+    }
+    return mean / 10.0;
+  };
+  const double f_qgdp = fidelity_for(LegalizerKind::kQgdp);
+  const double f_tetris = fidelity_for(LegalizerKind::kTetris);
+  EXPECT_GE(f_qgdp, f_tetris);
+}
+
+TEST(FidelityComparison, InactiveElementsDoNotAffectFidelity) {
+  // Paper §IV note: errors in inactive elements don't count. A small
+  // circuit on a huge device must not be penalized by far-away
+  // crosstalk pairs.
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  PipelineOptions opt;
+  opt.legalizer = LegalizerKind::kQgdp;
+  Pipeline(opt).run(nl);
+  FidelityEstimator est(nl);
+  SabreLiteMapper mapper(nl);
+  const auto mc = mapper.map(make_bv(4), 42);
+  const auto b = est.breakdown(mc);
+  // With only 4 active qubits on a clean qGDP layout the crosstalk
+  // factors should be essentially 1.
+  EXPECT_GT(b.qubit_crosstalk_factor, 0.95);
+}
+
+}  // namespace
+}  // namespace qgdp

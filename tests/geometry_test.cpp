@@ -1,0 +1,194 @@
+// Unit and property tests for the geometry substrate.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/segment.h"
+
+namespace qgdp {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+}
+
+TEST(Point, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance2(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(manhattan(a, b), 7.0);
+}
+
+TEST(Rect, FromCenterRoundTrips) {
+  const Rect r = Rect::from_center({5.0, 5.0}, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_EQ(r.center(), (Point{5.0, 5.0}));
+  EXPECT_DOUBLE_EQ(r.area(), 6.0);
+}
+
+TEST(Rect, OverlapIsInteriorOnly) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{2, 0, 4, 2};  // abutting
+  const Rect c{1, 1, 3, 3};  // overlapping
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(a));
+}
+
+TEST(Rect, IntersectionAndUnion) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{2, 2, 6, 6};
+  const Rect i = a.intersection(b);
+  EXPECT_DOUBLE_EQ(i.area(), 4.0);
+  const Rect u = a.united(b);
+  EXPECT_EQ(u, (Rect{0, 0, 6, 6}));
+  const Rect far{10, 10, 11, 11};
+  EXPECT_TRUE(a.intersection(far).empty());
+}
+
+TEST(Rect, ContainsPointAndRect) {
+  const Rect r{0, 0, 4, 4};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{4, 4}));
+  EXPECT_FALSE(r.contains(Point{4.01, 2}));
+  EXPECT_TRUE((r.contains(Rect{1, 1, 3, 3})));
+  EXPECT_FALSE((r.contains(Rect{1, 1, 5, 3})));
+}
+
+TEST(Rect, Inflated) {
+  const Rect r = Rect{1, 1, 3, 3}.inflated(1.0);
+  EXPECT_EQ(r, (Rect{0, 0, 4, 4}));
+  EXPECT_TRUE((Rect{1, 1, 3, 3}.inflated(-1.0).empty()));
+}
+
+TEST(Rect, DistanceZeroWhenTouching) {
+  EXPECT_DOUBLE_EQ(rect_distance({0, 0, 2, 2}, {2, 0, 4, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(rect_distance({0, 0, 2, 2}, {3, 0, 4, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(rect_distance({0, 0, 2, 2}, {5, 6, 7, 8}),
+                   std::hypot(3.0, 4.0));
+}
+
+TEST(Rect, AdjacentLengthSideBySide) {
+  // Two unit squares 0.5 apart sharing a full unit edge span.
+  const Rect a{0, 0, 1, 1};
+  const Rect b{1.5, 0, 2.5, 1};
+  EXPECT_DOUBLE_EQ(adjacent_length(a, b, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(adjacent_length(a, b, 0.25), 0.0);  // gap too large
+}
+
+TEST(Rect, AdjacentLengthVertical) {
+  const Rect a{0, 0, 3, 1};
+  const Rect b{1, 1.5, 4, 2.5};  // above, overlapping x-range by 2
+  EXPECT_DOUBLE_EQ(adjacent_length(a, b, 1.0), 2.0);
+}
+
+TEST(Segment, OrientationPredicates) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, 1}), 1);
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, -1}), -1);
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0);
+}
+
+TEST(Segment, ProperIntersection) {
+  const Segment s{{0, 0}, {2, 2}};
+  const Segment t{{0, 2}, {2, 0}};
+  EXPECT_TRUE(segments_properly_intersect(s, t));
+  EXPECT_TRUE(segments_intersect(s, t));
+  const auto p = segment_intersection_point(s, t);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+}
+
+TEST(Segment, EndpointTouchIsNotProper) {
+  const Segment s{{0, 0}, {2, 0}};
+  const Segment t{{2, 0}, {4, 4}};
+  EXPECT_TRUE(segments_intersect(s, t));
+  EXPECT_FALSE(segments_properly_intersect(s, t));
+}
+
+TEST(Segment, ParallelDisjoint) {
+  const Segment s{{0, 0}, {2, 0}};
+  const Segment t{{0, 1}, {2, 1}};
+  EXPECT_FALSE(segments_intersect(s, t));
+  EXPECT_FALSE(segment_intersection_point(s, t).has_value());
+}
+
+TEST(Segment, ClipInside) {
+  const Segment s{{-1, 0.5}, {3, 0.5}};
+  const auto c = clip_segment(s, Rect{0, 0, 2, 1});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->a.x, 0.0, 1e-12);
+  EXPECT_NEAR(c->b.x, 2.0, 1e-12);
+}
+
+TEST(Segment, ClipMiss) {
+  const Segment s{{-1, 5}, {3, 5}};
+  EXPECT_FALSE(clip_segment(s, Rect{0, 0, 2, 1}).has_value());
+}
+
+TEST(Segment, CrossesRectInteriorOnly) {
+  const Rect r{0, 0, 2, 2};
+  EXPECT_TRUE(segment_crosses_rect({{-1, 1}, {3, 1}}, r));
+  // Runs along the border: no interior crossing.
+  EXPECT_FALSE(segment_crosses_rect({{-1, 0}, {3, 0}}, r));
+  EXPECT_FALSE(segment_crosses_rect({{-1, 5}, {3, 5}}, r));
+}
+
+// Property sweep: intersection predicate agrees with the intersection
+// point finder on random proper-crossing configurations.
+class SegmentProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SegmentProperty, IntersectionPointConsistency) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> coord(-10.0, 10.0);
+  for (int i = 0; i < 200; ++i) {
+    const Segment s{{coord(rng), coord(rng)}, {coord(rng), coord(rng)}};
+    const Segment t{{coord(rng), coord(rng)}, {coord(rng), coord(rng)}};
+    if (segments_properly_intersect(s, t)) {
+      const auto p = segment_intersection_point(s, t);
+      ASSERT_TRUE(p.has_value());
+      // Point lies on both segments' bounding boxes.
+      EXPECT_TRUE(s.bounding_box().inflated(1e-9).contains(*p));
+      EXPECT_TRUE(t.bounding_box().inflated(1e-9).contains(*p));
+      // And collinearity residuals are tiny relative to segment length.
+      EXPECT_TRUE(segments_intersect(s, t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// Property sweep: clip_segment result is always inside the rect and on
+// the original segment.
+class ClipProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ClipProperty, ClippedStaysInsideAndOnSegment) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> coord(-5.0, 5.0);
+  const Rect r{-1, -1, 1, 1};
+  for (int i = 0; i < 300; ++i) {
+    const Segment s{{coord(rng), coord(rng)}, {coord(rng), coord(rng)}};
+    const auto c = clip_segment(s, r);
+    if (!c) continue;
+    EXPECT_TRUE(r.inflated(1e-9).contains(c->a));
+    EXPECT_TRUE(r.inflated(1e-9).contains(c->b));
+    // Clipped endpoints remain collinear with the original segment.
+    EXPECT_EQ(orientation(s.a, s.b, c->a, 1e-6), 0);
+    EXPECT_EQ(orientation(s.a, s.b, c->b, 1e-6), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClipProperty, ::testing::Values(11u, 12u, 13u));
+
+}  // namespace
+}  // namespace qgdp

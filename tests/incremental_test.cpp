@@ -1,0 +1,117 @@
+// Tests for the incremental (ECO) legalizer.
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "metrics/audit.h"
+#include "metrics/clusters.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+struct LegalizedLayout {
+  QuantumNetlist nl;
+  BinGrid grid;
+  double spacing;
+};
+
+LegalizedLayout make_layout(const DeviceSpec& spec) {
+  QuantumNetlist nl = build_netlist(spec);
+  PipelineOptions opt;
+  opt.legalizer = LegalizerKind::kQgdp;
+  auto out = Pipeline(opt).run(nl);
+  return {std::move(nl), std::move(out.grid), out.stats.qubit.spacing_used};
+}
+
+TEST(IncrementalTest, SmallNudgeKeepsLayoutLegal) {
+  auto lay = make_layout(make_grid_device());
+  const Point before = lay.nl.qubit(12).pos;
+  IncrementalLegalizer eco;
+  const auto res = eco.move_qubit(lay.nl, lay.grid, 12, before + Point{2.0, 0.0});
+  ASSERT_TRUE(res.success);
+  EXPECT_GT(res.edges_touched, 0);
+  AuditOptions aopt;
+  aopt.qubit_min_spacing = 1.0;
+  const auto audit = audit_layout(lay.nl, aopt);
+  EXPECT_TRUE(audit.clean());
+}
+
+TEST(IncrementalTest, QubitLandsNearTarget) {
+  auto lay = make_layout(make_grid_device());
+  IncrementalLegalizer eco;
+  const Point target = lay.nl.qubit(0).pos + Point{3.0, 3.0};
+  const auto res = eco.move_qubit(lay.nl, lay.grid, 0, target);
+  ASSERT_TRUE(res.success);
+  EXPECT_LT(distance(lay.nl.qubit(0).pos, target), 4.0);
+  EXPECT_EQ(lay.nl.qubit(0).pos, res.final_position);
+}
+
+TEST(IncrementalTest, GridStateMatchesPositionsAfterEco) {
+  auto lay = make_layout(make_falcon27());
+  IncrementalLegalizer eco;
+  const auto res =
+      eco.move_qubit(lay.nl, lay.grid, 7, lay.nl.qubit(7).pos + Point{-2.0, 1.0});
+  ASSERT_TRUE(res.success);
+  for (const auto& b : lay.nl.blocks()) {
+    const BinCoord bin = lay.grid.bin_at(b.pos);
+    EXPECT_EQ(lay.grid.occupant(bin), b.id);
+  }
+}
+
+TEST(IncrementalTest, RippedEqualsReplaced) {
+  auto lay = make_layout(make_grid_device());
+  IncrementalLegalizer eco;
+  const auto res = eco.move_qubit(lay.nl, lay.grid, 6, lay.nl.qubit(6).pos + Point{1.0, 2.0});
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.ripped_blocks, res.replaced_blocks);
+  EXPECT_GT(res.ripped_blocks, 0);
+}
+
+TEST(IncrementalTest, TouchedResonatorsStayMostlyUnified) {
+  auto lay = make_layout(make_grid_device());
+  const int before = unified_edge_count(lay.nl);
+  IncrementalLegalizer eco;
+  const auto res = eco.move_qubit(lay.nl, lay.grid, 12, lay.nl.qubit(12).pos + Point{2, 2});
+  ASSERT_TRUE(res.success);
+  // Local repair must not shatter resonator integrity.
+  EXPECT_GE(unified_edge_count(lay.nl), before - 2);
+}
+
+TEST(IncrementalTest, ImpossibleTargetFailsCleanly) {
+  auto lay = make_layout(make_grid_device());
+  const QuantumNetlist snapshot = lay.nl;
+  EcoOptions opt;
+  opt.search_radius = 0.0;  // no room to search: the exact spot is taken
+  IncrementalLegalizer eco(opt);
+  // Move onto another qubit's center with zero search radius.
+  const auto res = eco.move_qubit(lay.nl, lay.grid, 0, lay.nl.qubit(12).pos);
+  EXPECT_FALSE(res.success);
+  // Layout untouched on failure.
+  for (std::size_t q = 0; q < snapshot.qubit_count(); ++q) {
+    EXPECT_EQ(snapshot.qubit(static_cast<int>(q)).pos, lay.nl.qubit(static_cast<int>(q)).pos);
+  }
+  for (std::size_t b = 0; b < snapshot.block_count(); ++b) {
+    EXPECT_EQ(snapshot.block(static_cast<int>(b)).pos, lay.nl.block(static_cast<int>(b)).pos);
+  }
+}
+
+TEST(IncrementalTest, SequenceOfMovesStaysLegal) {
+  auto lay = make_layout(make_falcon27());
+  IncrementalLegalizer eco;
+  int successes = 0;
+  for (int step = 0; step < 6; ++step) {
+    const int q = (step * 5) % static_cast<int>(lay.nl.qubit_count());
+    const Point delta{step % 2 == 0 ? 2.0 : -2.0, step % 3 == 0 ? 1.0 : -1.0};
+    const auto res = eco.move_qubit(lay.nl, lay.grid, q, lay.nl.qubit(q).pos + delta);
+    successes += res.success ? 1 : 0;
+  }
+  EXPECT_GT(successes, 0);
+  AuditOptions aopt;
+  aopt.qubit_min_spacing = 1.0;
+  EXPECT_TRUE(audit_layout(lay.nl, aopt).clean());
+}
+
+}  // namespace
+}  // namespace qgdp

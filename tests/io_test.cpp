@@ -1,0 +1,89 @@
+// Tests for the table printer and SVG layout writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/svg_writer.h"
+#include "io/table.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+TEST(TableTest, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // All lines equal width for the header/value columns (padded).
+  std::istringstream is(s);
+  std::string line;
+  std::getline(is, line);
+  const auto value_col = line.find("value");
+  std::getline(is, line);  // separator
+  std::getline(is, line);
+  EXPECT_EQ(line.find('1'), value_col);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(SvgWriter, ContainsComponents) {
+  const auto nl = build_netlist(make_grid_device());
+  const std::string svg = layout_svg_string(nl);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per component plus the die outline.
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos; ++pos) ++rects;
+  EXPECT_EQ(rects, 1 + nl.qubit_count() + nl.block_count());
+  // Qubit labels rendered.
+  EXPECT_NE(svg.find("<text"), std::string::npos);
+}
+
+TEST(SvgWriter, OptionsToggleLayers) {
+  const auto nl = build_netlist(make_grid_device());
+  SvgOptions opt;
+  opt.label_qubits = false;
+  const std::string svg = layout_svg_string(nl, opt);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+}
+
+TEST(SvgWriter, WritesFile) {
+  const auto nl = build_netlist(make_falcon27());
+  const std::string path = "/tmp/qgdp_io_test_layout.svg";
+  write_layout_svg(nl, path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_NE(buf.str().find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgWriter, ThrowsOnBadPath) {
+  const auto nl = build_netlist(make_grid_device());
+  EXPECT_THROW(write_layout_svg(nl, "/nonexistent_dir/foo.svg"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qgdp

@@ -1,0 +1,266 @@
+// Tests for the bin grid, the Tetris/Abacus baselines, and the shared
+// constraint-graph macro legalizer.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "legalization/abacus_legalizer.h"
+#include "legalization/bin_grid.h"
+#include "legalization/macro_legalizer.h"
+#include "legalization/tetris_legalizer.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+#include "placement/global_placer.h"
+
+namespace qgdp {
+namespace {
+
+TEST(BinGrid, Construction) {
+  BinGrid g(Rect{0, 0, 10, 8});
+  EXPECT_EQ(g.width(), 10);
+  EXPECT_EQ(g.height(), 8);
+  EXPECT_EQ(g.free_count(), 80u);
+  EXPECT_TRUE(g.is_free({0, 0}));
+  EXPECT_FALSE(g.is_free({10, 0}));  // out of bounds
+}
+
+TEST(BinGrid, BlockRectMarksCoveredBins) {
+  BinGrid g(Rect{0, 0, 10, 10});
+  g.block_rect(Rect{2, 2, 5, 5});  // 3×3 region
+  EXPECT_EQ(g.free_count(), 100u - 9u);
+  EXPECT_FALSE(g.is_free({2, 2}));
+  EXPECT_FALSE(g.is_free({4, 4}));
+  EXPECT_TRUE(g.is_free({5, 5}));  // touching corner bin stays free
+  EXPECT_TRUE(g.is_free({1, 2}));
+}
+
+TEST(BinGrid, OccupyAndRelease) {
+  BinGrid g(Rect{0, 0, 4, 4});
+  EXPECT_TRUE(g.occupy({1, 1}, 42));
+  EXPECT_FALSE(g.occupy({1, 1}, 43));  // already taken
+  EXPECT_EQ(g.occupant({1, 1}), 42);
+  EXPECT_EQ(g.state({1, 1}), BinGrid::State::kOccupied);
+  g.release({1, 1});
+  EXPECT_TRUE(g.is_free({1, 1}));
+  EXPECT_EQ(g.occupant({1, 1}), -1);
+  EXPECT_THROW(g.release({1, 1}), std::logic_error);
+}
+
+TEST(BinGrid, NearestFreeExactCenter) {
+  BinGrid g(Rect{0, 0, 9, 9});
+  const auto b = g.nearest_free(Point{4.5, 4.5});
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, (BinCoord{4, 4}));
+}
+
+TEST(BinGrid, NearestFreeSkipsOccupied) {
+  BinGrid g(Rect{0, 0, 9, 9});
+  g.occupy({4, 4}, 0);
+  const auto b = g.nearest_free(Point{4.5, 4.5});
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*b, (BinCoord{4, 4}));
+  EXPECT_NEAR(distance(g.center_of(*b), Point{4.5, 4.5}), 1.0, 1e-9);
+}
+
+TEST(BinGrid, NearestFreeInWindowRespectsRegion) {
+  BinGrid g(Rect{0, 0, 20, 20});
+  const Rect window{10, 10, 15, 15};
+  const auto b = g.nearest_free_in(Point{0.5, 0.5}, window);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(window.contains(g.center_of(*b)));
+}
+
+TEST(BinGrid, FreeNeighbors) {
+  BinGrid g(Rect{0, 0, 5, 5});
+  g.occupy({2, 3}, 0);
+  const auto nbrs = g.free_neighbors({2, 2});
+  EXPECT_EQ(nbrs.size(), 3u);  // up is occupied
+  const auto corner = g.free_neighbors({0, 0});
+  EXPECT_EQ(corner.size(), 2u);
+}
+
+// Property: the hierarchical nearest-free query must agree with the
+// exhaustive linear scan (distance ties may pick different bins).
+class BinGridProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BinGridProperty, NearestFreeMatchesLinearScan) {
+  std::mt19937 rng(GetParam());
+  BinGrid g(Rect{0, 0, 24, 18});
+  std::uniform_int_distribution<int> px(0, 23);
+  std::uniform_int_distribution<int> py(0, 17);
+  // Random occupancy pattern ~60%.
+  for (int k = 0; k < 350; ++k) {
+    const BinCoord b{px(rng), py(rng)};
+    if (g.is_free(b)) g.occupy(b, k);
+  }
+  std::uniform_real_distribution<double> qx(-2.0, 26.0);
+  std::uniform_real_distribution<double> qy(-2.0, 20.0);
+  for (int q = 0; q < 200; ++q) {
+    const Point target{qx(rng), qy(rng)};
+    const auto fast = g.nearest_free(target);
+    const auto slow = g.nearest_free_linear_scan(target);
+    ASSERT_EQ(fast.has_value(), slow.has_value());
+    if (fast) {
+      EXPECT_NEAR(distance(g.center_of(*fast), target), distance(g.center_of(*slow), target),
+                  1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinGridProperty, ::testing::Values(3u, 14u, 159u, 2653u));
+
+TEST(BinGrid, NearestFreeNoneWhenFull) {
+  BinGrid g(Rect{0, 0, 2, 2});
+  int id = 0;
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) g.occupy({x, y}, id++);
+  }
+  EXPECT_FALSE(g.nearest_free(Point{1, 1}).has_value());
+  EXPECT_EQ(g.free_count(), 0u);
+}
+
+// Shared fixture: a globally placed Falcon netlist with legal qubits.
+class BlockLegalizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nl_ = build_netlist(make_falcon27());
+    GlobalPlacer gp;
+    gp.place(nl_);
+    MacroLegalizer::quantum().legalize(nl_);
+    ASSERT_TRUE(qubits_legal(nl_));
+  }
+
+  BinGrid make_grid() {
+    BinGrid grid(nl_.die());
+    for (const auto& q : nl_.qubits()) grid.block_rect(q.rect());
+    return grid;
+  }
+
+  void expect_blocks_legal(const BinGrid& grid) {
+    std::set<std::pair<int, int>> taken;
+    for (const auto& b : nl_.blocks()) {
+      EXPECT_TRUE(nl_.die().inflated(1e-6).contains(b.rect())) << "block " << b.id;
+      const BinCoord bin = grid.bin_at(b.pos);
+      EXPECT_EQ(grid.occupant(bin), b.id) << "grid/position mismatch for block " << b.id;
+      EXPECT_TRUE(taken.insert({bin.ix, bin.iy}).second)
+          << "two blocks share bin " << bin.ix << "," << bin.iy;
+      // Never on top of a qubit.
+      for (const auto& q : nl_.qubits()) {
+        EXPECT_FALSE(q.rect().overlaps(b.rect())) << "block " << b.id << " on qubit " << q.id;
+      }
+    }
+  }
+
+  QuantumNetlist nl_;
+};
+
+TEST_F(BlockLegalizerTest, TetrisPlacesAllBlocksLegally) {
+  BinGrid grid = make_grid();
+  const auto res = TetrisLegalizer{}.legalize(nl_, grid);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.placed, static_cast<int>(nl_.block_count()));
+  expect_blocks_legal(grid);
+}
+
+TEST_F(BlockLegalizerTest, AbacusPlacesAllBlocksLegally) {
+  BinGrid grid = make_grid();
+  const auto res = AbacusLegalizer{}.legalize(nl_, grid);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.placed, static_cast<int>(nl_.block_count()));
+  expect_blocks_legal(grid);
+}
+
+TEST_F(BlockLegalizerTest, AbacusDisplacementNotWorseThanTetrisByFar) {
+  // Abacus optimizes quadratic displacement per row; it should be in
+  // the same ballpark as Tetris (typically better on average).
+  BinGrid g1 = make_grid();
+  BinGrid g2 = make_grid();
+  auto nl2 = nl_;
+  const auto tetris = TetrisLegalizer{}.legalize(nl_, g1);
+  const auto abacus = AbacusLegalizer{}.legalize(nl2, g2);
+  EXPECT_LT(abacus.total_displacement, tetris.total_displacement * 2.5);
+}
+
+TEST(MacroLegalizer, ClassicRemovesOverlaps) {
+  // Eight 3×3 macros crushed around one point in a 37×37 die must come
+  // out overlap-free with modest displacement.
+  QuantumNetlist nl;
+  for (int i = 0; i < 8; ++i) {
+    nl.add_qubit({18.0 + 0.1 * i, 18.0 + 0.05 * (i % 3)}, 3, 3, 5.0);
+  }
+  nl.set_die(Rect{0, 0, 37, 37});
+  const auto res = MacroLegalizer::classic().legalize(nl);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(qubits_legal(nl, 0.0));
+}
+
+TEST(MacroLegalizer, QuantumEnforcesMinimumSpacing) {
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  GlobalPlacer gp;
+  gp.place(nl);
+  const auto res = MacroLegalizer::quantum().legalize(nl);
+  ASSERT_TRUE(res.success);
+  // §III-C: at least one standard-cell spacing between qubits.
+  EXPECT_TRUE(qubits_legal(nl, res.spacing_used - 1e-9));
+  EXPECT_GE(res.spacing_used, 1.0);
+}
+
+TEST(MacroLegalizer, QuantumStartsStringent) {
+  // With plenty of room the stringent start spacing (2 cells) holds.
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  GlobalPlacer gp;
+  gp.place(nl);
+  const auto res = MacroLegalizer::quantum().legalize(nl);
+  ASSERT_TRUE(res.success);
+  EXPECT_DOUBLE_EQ(res.spacing_used, 2.0);
+  EXPECT_EQ(res.relaxations, 0);
+}
+
+TEST(MacroLegalizer, RelaxesWhenDieIsTight) {
+  // 4 qubits of 3×3 in a 9×9 die: spacing 2 needs (3+2)*2-2=8 per axis
+  // → feasible only at the wall; spacing relaxation may kick in, and
+  // the hard floor of 1 cell must still hold.
+  QuantumNetlist nl;
+  nl.add_qubit({2.0, 2.0}, 3, 3, 5.0);
+  nl.add_qubit({5.0, 2.5}, 3, 3, 5.07);
+  nl.add_qubit({2.5, 5.0}, 3, 3, 5.14);
+  nl.add_qubit({5.0, 5.0}, 3, 3, 5.0);
+  nl.set_die(Rect{0, 0, 9, 9});
+  const auto res = MacroLegalizer::quantum().legalize(nl);
+  ASSERT_TRUE(res.success);
+  EXPECT_TRUE(qubits_legal(nl, 1.0 - 1e-9));
+}
+
+TEST(MacroLegalizer, SmallDisplacementWhenAlreadyLegal) {
+  QuantumNetlist nl;
+  nl.add_qubit({3.5, 3.5}, 3, 3, 5.0);
+  nl.add_qubit({10.5, 3.5}, 3, 3, 5.07);
+  nl.set_die(Rect{0, 0, 20, 20});
+  const auto res = MacroLegalizer::quantum().legalize(nl);
+  ASSERT_TRUE(res.success);
+  EXPECT_NEAR(res.total_displacement, 0.0, 1e-9);
+}
+
+// Property: random dense qubit clouds are always legalized to a legal
+// layout (possibly via the relaxation path).
+class MacroLegalizerProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MacroLegalizerProperty, AlwaysLegalOnRandomClouds) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> coord(2.0, 28.0);
+  QuantumNetlist nl;
+  for (int i = 0; i < 12; ++i) {
+    nl.add_qubit({coord(rng), coord(rng)}, 3, 3, 5.0 + 0.07 * (i % 3));
+  }
+  nl.set_die(Rect{0, 0, 30, 30});
+  const auto res = MacroLegalizer::quantum().legalize(nl);
+  ASSERT_TRUE(res.success) << "seed " << GetParam();
+  EXPECT_TRUE(qubits_legal(nl, 1.0 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MacroLegalizerProperty,
+                         ::testing::Values(1u, 7u, 42u, 99u, 1234u, 9999u));
+
+}  // namespace
+}  // namespace qgdp

@@ -1,0 +1,204 @@
+// Tests for cluster analysis, the crossing model, and hotspot metrics.
+#include <gtest/gtest.h>
+
+#include "metrics/clusters.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+
+namespace qgdp {
+namespace {
+
+/// Two qubits at y=5 with one 4-block resonator; block positions are
+/// set directly by each test.
+QuantumNetlist make_fixture(int blocks_per_edge = 4, int edges = 1) {
+  QuantumNetlist nl;
+  nl.add_qubit({3.5, 5.5}, 3, 3, 5.00);
+  nl.add_qubit({16.5, 5.5}, 3, 3, 5.07);
+  if (edges > 1) {
+    nl.add_qubit({3.5, 14.5}, 3, 3, 5.14);
+    nl.add_qubit({16.5, 14.5}, 3, 3, 5.00);
+  }
+  nl.add_edge(0, 1, 6.50, static_cast<double>(blocks_per_edge));
+  if (edges > 1) nl.add_edge(2, 3, 6.52, static_cast<double>(blocks_per_edge));
+  nl.partition_all_edges();
+  nl.set_die(Rect{0, 0, 20, 20});
+  return nl;
+}
+
+void lay_blocks(QuantumNetlist& nl, int edge, std::vector<Point> at) {
+  const auto& e = nl.edge(edge);
+  ASSERT_EQ(at.size(), e.blocks.size());
+  for (std::size_t i = 0; i < at.size(); ++i) nl.block(e.blocks[i]).pos = at[i];
+}
+
+TEST(Clusters, ContiguousRowIsOneCluster) {
+  auto nl = make_fixture();
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 5.5}, {8.5, 5.5}, {9.5, 5.5}});
+  EXPECT_EQ(edge_cluster_count(nl, 0), 1);
+  EXPECT_EQ(unified_edge_count(nl), 1);
+  EXPECT_EQ(total_cluster_count(nl), 1);
+}
+
+TEST(Clusters, GapSplitsCluster) {
+  auto nl = make_fixture();
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 5.5}, {10.5, 5.5}, {11.5, 5.5}});
+  EXPECT_EQ(edge_cluster_count(nl, 0), 2);
+  EXPECT_EQ(unified_edge_count(nl), 0);
+}
+
+TEST(Clusters, DiagonalDoesNotTouch) {
+  auto nl = make_fixture();
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 6.5}, {8.5, 7.5}, {9.5, 8.5}});
+  EXPECT_EQ(edge_cluster_count(nl, 0), 4);
+}
+
+TEST(Clusters, LShapeIsOneCluster) {
+  auto nl = make_fixture();
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 5.5}, {7.5, 6.5}, {7.5, 7.5}});
+  EXPECT_EQ(edge_cluster_count(nl, 0), 1);
+}
+
+TEST(Clusters, CentroidsPerCluster) {
+  auto nl = make_fixture();
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 5.5}, {12.5, 5.5}, {13.5, 5.5}});
+  const auto cents = edge_cluster_centroids(nl, 0);
+  ASSERT_EQ(cents.size(), 2u);
+  EXPECT_NEAR(cents[0].x + cents[1].x, 7.0 + 13.0, 1e-9);
+}
+
+TEST(Crossings, UnifiedEdgeHasNoSegmentsOrCrossings) {
+  auto nl = make_fixture();
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 5.5}, {8.5, 5.5}, {9.5, 5.5}});
+  EXPECT_TRUE(edge_virtual_segments(nl, 0).empty());
+  EXPECT_EQ(compute_crossings(nl).total, 0);
+}
+
+TEST(Crossings, StitchingThroughForeignBlocksCounts) {
+  auto nl = make_fixture(4, 2);
+  // Edge 0 split into two clusters left/right of a vertical run of
+  // edge 1's blocks: the stitch crosses the foreign region once.
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 5.5}, {12.5, 5.5}, {13.5, 5.5}});
+  lay_blocks(nl, 1, {{10.5, 4.5}, {10.5, 5.5}, {10.5, 6.5}, {10.5, 7.5}});
+  const auto rep = compute_crossings(nl);
+  EXPECT_EQ(rep.total, 1);
+  ASSERT_EQ(rep.points.size(), 1u);
+  EXPECT_EQ(rep.points[0].edge_a, 0);
+  EXPECT_EQ(rep.points[0].edge_b, 1);
+  EXPECT_NEAR(rep.points[0].where.x, 10.5, 0.75);
+}
+
+TEST(Crossings, TwoSplitEdgesStitchesCross) {
+  auto nl = make_fixture(4, 2);
+  // Both edges split; their stitching segments form an X.
+  lay_blocks(nl, 0, {{6.5, 4.5}, {7.5, 4.5}, {12.5, 8.5}, {13.5, 8.5}});
+  lay_blocks(nl, 1, {{6.5, 8.5}, {7.5, 8.5}, {12.5, 4.5}, {13.5, 4.5}});
+  const auto rep = compute_crossings(nl);
+  EXPECT_GE(rep.total, 1);  // at least the wire-wire crossing
+  bool has_wire_cross = false;
+  for (const auto& p : rep.points) {
+    if (p.edge_a != p.edge_b) has_wire_cross = true;
+  }
+  EXPECT_TRUE(has_wire_cross);
+}
+
+TEST(Crossings, ActiveSubsetFiltersEdges) {
+  auto nl = make_fixture(4, 2);
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 5.5}, {12.5, 5.5}, {13.5, 5.5}});
+  lay_blocks(nl, 1, {{10.5, 4.5}, {10.5, 5.5}, {10.5, 6.5}, {10.5, 7.5}});
+  EXPECT_EQ(compute_crossings_among(nl, {0}).total, 0);  // edge 1 inactive
+  EXPECT_EQ(compute_crossings_among(nl, {0, 1}).total, 1);
+}
+
+TEST(Hotspots, NoPairsWhenWellSeparatedOrDetuned) {
+  auto nl = make_fixture(4, 2);
+  // Far apart: no proximity.
+  lay_blocks(nl, 0, {{6.5, 2.5}, {7.5, 2.5}, {8.5, 2.5}, {9.5, 2.5}});
+  lay_blocks(nl, 1, {{6.5, 17.5}, {7.5, 17.5}, {8.5, 17.5}, {9.5, 17.5}});
+  const auto rep = compute_hotspots(nl);
+  EXPECT_EQ(rep.pairs.size(), 0u);
+  EXPECT_DOUBLE_EQ(rep.ph, 0.0);
+  EXPECT_EQ(rep.hq, 0);
+}
+
+TEST(Hotspots, FrequencyCloseAdjacentBlocksFlagged) {
+  auto nl = make_fixture(4, 2);  // edges at 6.50 and 6.52 GHz (Δ=0.02 < Δc)
+  lay_blocks(nl, 0, {{6.5, 9.5}, {7.5, 9.5}, {8.5, 9.5}, {9.5, 9.5}});
+  lay_blocks(nl, 1, {{6.5, 10.5}, {7.5, 10.5}, {8.5, 10.5}, {9.5, 10.5}});
+  const auto rep = compute_hotspots(nl);
+  EXPECT_GT(rep.pairs.size(), 0u);
+  EXPECT_GT(rep.ph, 0.0);
+  // All four qubits are endpoints of the two hot edges.
+  EXPECT_EQ(rep.hq, 4);
+}
+
+TEST(Hotspots, SameEdgeBlocksExcluded) {
+  auto nl = make_fixture();
+  lay_blocks(nl, 0, {{6.5, 5.5}, {7.5, 5.5}, {8.5, 5.5}, {9.5, 5.5}});
+  const auto rep = compute_hotspots(nl);
+  for (const auto& p : rep.pairs) {
+    const bool both_blocks =
+        p.a.kind == NodeRef::Kind::kBlock && p.b.kind == NodeRef::Kind::kBlock;
+    if (both_blocks) {
+      EXPECT_NE(nl.block(p.a.id).edge, nl.block(p.b.id).edge);
+    }
+  }
+}
+
+TEST(Hotspots, IncidentQubitBlockPairExcluded) {
+  auto nl = make_fixture();
+  // Block touching its own qubit: must not be a hotspot pair.
+  lay_blocks(nl, 0, {{5.5, 5.5}, {6.5, 5.5}, {7.5, 5.5}, {8.5, 5.5}});
+  const auto rep = compute_hotspots(nl);
+  for (const auto& p : rep.pairs) {
+    const bool qubit_block = (p.a.kind != p.b.kind);
+    EXPECT_FALSE(qubit_block) << "incident qubit-block pair flagged";
+  }
+}
+
+TEST(Hotspots, QubitSpacingViolationCounted) {
+  QuantumNetlist nl;
+  nl.add_qubit({5.0, 5.0}, 3, 3, 5.00);
+  nl.add_qubit({8.2, 5.0}, 3, 3, 5.01);  // gap 0.2 < 1.0 rule
+  nl.set_die(Rect{0, 0, 20, 20});
+  const auto rep = compute_hotspots(nl);
+  EXPECT_EQ(rep.spacing_violations, 1);
+  EXPECT_EQ(rep.hq, 2);  // same freq group & adjacent → hotspot pair
+}
+
+TEST(Hotspots, EdgeHotspotWeightLocalizes) {
+  auto nl = make_fixture(4, 2);
+  lay_blocks(nl, 0, {{6.5, 9.5}, {7.5, 9.5}, {8.5, 9.5}, {9.5, 9.5}});
+  lay_blocks(nl, 1, {{6.5, 10.5}, {7.5, 10.5}, {8.5, 10.5}, {9.5, 10.5}});
+  const double w0 = edge_hotspot_weight(nl, 0);
+  const double w1 = edge_hotspot_weight(nl, 1);
+  EXPECT_GT(w0, 0.0);
+  // Symmetric situation → symmetric local weights.
+  EXPECT_NEAR(w0, w1, 1e-9);
+  // Moving edge 1 away clears both.
+  lay_blocks(nl, 1, {{6.5, 17.5}, {7.5, 17.5}, {8.5, 17.5}, {9.5, 17.5}});
+  EXPECT_DOUBLE_EQ(edge_hotspot_weight(nl, 0), 0.0);
+}
+
+TEST(Hotspots, PhNormalizedByComponentArea) {
+  auto nl = make_fixture(4, 2);
+  lay_blocks(nl, 0, {{6.5, 9.5}, {7.5, 9.5}, {8.5, 9.5}, {9.5, 9.5}});
+  lay_blocks(nl, 1, {{6.5, 10.5}, {7.5, 10.5}, {8.5, 10.5}, {9.5, 10.5}});
+  const auto rep = compute_hotspots(nl);
+  double weight = 0.0;
+  for (const auto& p : rep.pairs) weight += p.weight;
+  EXPECT_NEAR(rep.ph, weight / nl.total_component_area(), 1e-12);
+}
+
+TEST(Hotspots, EdgeHotspotCountsMatchReport) {
+  auto nl = make_fixture(4, 2);
+  lay_blocks(nl, 0, {{6.5, 9.5}, {7.5, 9.5}, {8.5, 9.5}, {9.5, 9.5}});
+  lay_blocks(nl, 1, {{6.5, 10.5}, {7.5, 10.5}, {8.5, 10.5}, {9.5, 10.5}});
+  const auto rep = compute_hotspots(nl);
+  const auto he = edge_hotspot_counts(nl, rep);
+  ASSERT_EQ(he.size(), 2u);
+  EXPECT_GT(he[0], 0);
+  EXPECT_GT(he[1], 0);
+}
+
+}  // namespace
+}  // namespace qgdp

@@ -1,0 +1,160 @@
+// Tests for connection nets, the spatial hash, and the global placer.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+#include "placement/global_placer.h"
+#include "placement/nets.h"
+#include "placement/spatial_hash.h"
+
+namespace qgdp {
+namespace {
+
+QuantumNetlist two_qubit_netlist(int blocks) {
+  QuantumNetlist nl;
+  nl.add_qubit({5, 5}, 3, 3, 5.0);
+  nl.add_qubit({15, 5}, 3, 3, 5.07);
+  nl.add_edge(0, 1, 6.5, static_cast<double>(blocks), 1.0);
+  nl.partition_all_edges();
+  nl.set_die(Rect{0, 0, 24, 24});
+  return nl;
+}
+
+TEST(Nets, SnakeChainTopology) {
+  const auto nl = two_qubit_netlist(6);
+  const auto nets = build_connection_nets(nl, ConnectionStyle::kSnake);
+  // q0-b0, five b-b links, b5-q1 = 7 nets for 6 blocks.
+  EXPECT_EQ(nets.size(), 7u);
+  int qubit_taps = 0;
+  for (const auto& n : nets) {
+    qubit_taps += (n.a.kind == NodeRef::Kind::kQubit) + (n.b.kind == NodeRef::Kind::kQubit);
+  }
+  EXPECT_EQ(qubit_taps, 2);
+}
+
+TEST(Nets, PseudoGridTopology) {
+  const auto nl = two_qubit_netlist(9);
+  const auto nets = build_connection_nets(nl, ConnectionStyle::kPseudo);
+  // 3×3 arrangement: 6 horizontal + 6 vertical internal links + 2 taps.
+  EXPECT_EQ(nets.size(), 14u);
+}
+
+TEST(Nets, PseudoHasMoreInternalConnectivityThanSnake) {
+  // The whole point of pseudo connections (Fig. 5): richer adjacency.
+  const auto nl = two_qubit_netlist(12);
+  EXPECT_GT(build_connection_nets(nl, ConnectionStyle::kPseudo).size(),
+            build_connection_nets(nl, ConnectionStyle::kSnake).size());
+}
+
+TEST(Nets, NonPartitionedEdgeConnectsQubitsDirectly) {
+  QuantumNetlist nl;
+  nl.add_qubit({0, 0}, 3, 3, 5.0);
+  nl.add_qubit({9, 0}, 3, 3, 5.07);
+  nl.add_edge(0, 1, 6.5, 10.0);
+  const auto nets = build_connection_nets(nl, ConnectionStyle::kPseudo);
+  ASSERT_EQ(nets.size(), 1u);
+  EXPECT_EQ(nets[0].a.kind, NodeRef::Kind::kQubit);
+  EXPECT_EQ(nets[0].b.kind, NodeRef::Kind::kQubit);
+}
+
+TEST(SpatialHash, FindsAllNearItems) {
+  // Brute-force comparison: every pair within the bucket radius must be
+  // discoverable through for_each_near.
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> coord(0.0, 40.0);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) pts.push_back({coord(rng), coord(rng)});
+  const double radius = 4.0;
+  SpatialHash hash(Rect{0, 0, 40, 40}, radius);
+  for (std::size_t i = 0; i < pts.size(); ++i) hash.insert(static_cast<int>(i), pts[i]);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::set<int> found;
+    hash.for_each_near(pts[i], [&](int j) { found.insert(j); });
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      if (distance(pts[i], pts[j]) <= radius) {
+        EXPECT_TRUE(found.count(static_cast<int>(j)))
+            << "pair (" << i << "," << j << ") within radius but not found";
+      }
+    }
+  }
+}
+
+TEST(GlobalPlacer, ReducesOverlapAndStaysInDie) {
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  const double before = total_overlap_area(nl);
+  GlobalPlacer gp;
+  const auto stats = gp.place(nl);
+  EXPECT_LT(stats.overlap_area, before);
+  const Rect die = nl.die();
+  for (const auto& q : nl.qubits()) {
+    EXPECT_TRUE(die.inflated(1e-6).contains(q.rect()));
+  }
+  for (const auto& b : nl.blocks()) {
+    EXPECT_TRUE(die.inflated(1e-6).contains(b.rect()));
+  }
+}
+
+TEST(GlobalPlacer, DeterministicForFixedSeed) {
+  QuantumNetlist a = build_netlist(make_falcon27());
+  QuantumNetlist b = build_netlist(make_falcon27());
+  GlobalPlacer gp;
+  gp.place(a);
+  gp.place(b);
+  for (std::size_t i = 0; i < a.block_count(); ++i) {
+    EXPECT_EQ(a.block(static_cast<int>(i)).pos, b.block(static_cast<int>(i)).pos);
+  }
+}
+
+TEST(GlobalPlacer, SeedChangesLayout) {
+  QuantumNetlist a = build_netlist(make_falcon27());
+  QuantumNetlist b = build_netlist(make_falcon27());
+  GlobalPlacerOptions o1;
+  o1.seed = 1;
+  GlobalPlacerOptions o2;
+  o2.seed = 2;
+  GlobalPlacer(o1).place(a);
+  GlobalPlacer(o2).place(b);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.block_count() && !any_different; ++i) {
+    any_different = !(a.block(static_cast<int>(i)).pos == b.block(static_cast<int>(i)).pos);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GlobalPlacer, PseudoConnectionsYieldCompacterResonators) {
+  // Fig. 5 ablation in miniature: mean resonator bounding-box
+  // half-perimeter should be no worse under pseudo connections.
+  auto run = [](ConnectionStyle style) {
+    QuantumNetlist nl = build_netlist(make_grid_device());
+    GlobalPlacerOptions opt;
+    opt.style = style;
+    GlobalPlacer(opt).place(nl);
+    double hp = 0.0;
+    for (const auto& e : nl.edges()) {
+      Rect bb = nl.block(e.blocks.front()).rect();
+      for (const int b : e.blocks) bb = bb.united(nl.block(b).rect());
+      hp += bb.width() + bb.height();
+    }
+    return hp / static_cast<double>(nl.edge_count());
+  };
+  const double pseudo = run(ConnectionStyle::kPseudo);
+  const double snake = run(ConnectionStyle::kSnake);
+  EXPECT_LE(pseudo, snake * 1.05);
+}
+
+TEST(WirelengthAndOverlap, ZeroForEmptyAndSeparated) {
+  QuantumNetlist nl;
+  nl.add_qubit({2, 2}, 3, 3, 5.0);
+  nl.add_qubit({12, 2}, 3, 3, 5.1);
+  nl.set_die(Rect{0, 0, 20, 20});
+  EXPECT_DOUBLE_EQ(total_overlap_area(nl), 0.0);
+  const std::vector<Net> nets = {
+      {{NodeRef::Kind::kQubit, 0}, {NodeRef::Kind::kQubit, 1}, 2.0}};
+  EXPECT_DOUBLE_EQ(total_wirelength(nl, nets), 20.0);
+}
+
+}  // namespace
+}  // namespace qgdp

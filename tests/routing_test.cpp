@@ -1,0 +1,136 @@
+// Tests for the maze router (BFS/Lee and A*).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "legalization/bin_grid.h"
+#include "routing/maze_router.h"
+
+namespace qgdp {
+namespace {
+
+TEST(MazeRouter, StraightLine) {
+  BinGrid g(Rect{0, 0, 10, 10});
+  MazeRouter r(g);
+  RouteRequest req;
+  req.start = {0, 5};
+  req.goal = {9, 5};
+  const auto res = r.route(req);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.path.size(), 10u);  // inclusive endpoints
+  EXPECT_EQ(res.path.front(), req.start);
+  EXPECT_EQ(res.path.back(), req.goal);
+}
+
+TEST(MazeRouter, PathIsFourConnectedAndFree) {
+  BinGrid g(Rect{0, 0, 12, 12});
+  g.block_rect(Rect{3, 0, 5, 9});
+  MazeRouter r(g);
+  RouteRequest req;
+  req.start = {0, 0};
+  req.goal = {11, 0};
+  const auto res = r.route(req);
+  ASSERT_TRUE(res.found);
+  for (std::size_t i = 0; i + 1 < res.path.size(); ++i) {
+    const auto a = res.path[i];
+    const auto b = res.path[i + 1];
+    EXPECT_EQ(std::abs(a.ix - b.ix) + std::abs(a.iy - b.iy), 1);
+    EXPECT_TRUE(g.is_free(b));
+  }
+}
+
+TEST(MazeRouter, DetoursAroundObstacle) {
+  BinGrid g(Rect{0, 0, 11, 11});
+  // Wall with a single gap at the top.
+  g.block_rect(Rect{5, 0, 6, 10});
+  MazeRouter r(g);
+  RouteRequest req;
+  req.start = {0, 0};
+  req.goal = {10, 0};
+  const auto res = r.route(req);
+  ASSERT_TRUE(res.found);
+  // Must detour via y=10: path length ≥ 10 (direct) + 2*10 (detour).
+  EXPECT_GE(res.path.size(), 31u);
+}
+
+TEST(MazeRouter, NoRouteWhenWalledOff) {
+  BinGrid g(Rect{0, 0, 10, 10});
+  g.block_rect(Rect{5, 0, 6, 10});  // full-height wall
+  MazeRouter r(g);
+  RouteRequest req;
+  req.start = {0, 5};
+  req.goal = {9, 5};
+  EXPECT_FALSE(r.route(req).found);
+  EXPECT_FALSE(r.route_astar(req).found);
+}
+
+TEST(MazeRouter, WindowRestrictsSearch) {
+  BinGrid g(Rect{0, 0, 20, 20});
+  g.block_rect(Rect{5, 0, 6, 10});  // wall reaching y=10
+  MazeRouter r(g);
+  RouteRequest req;
+  req.start = {0, 5};
+  req.goal = {10, 5};
+  req.window = Rect{0, 0, 20, 9};  // window stops below the wall top
+  EXPECT_FALSE(r.route(req).found);
+  req.window = Rect{0, 0, 20, 20};
+  EXPECT_TRUE(r.route(req).found);
+}
+
+TEST(MazeRouter, ExtraFreeBinsAreUsable) {
+  BinGrid g(Rect{0, 0, 10, 3});
+  // Occupy the middle column fully.
+  for (int y = 0; y < 3; ++y) g.occupy({5, y}, 100 + y);
+  MazeRouter r(g);
+  RouteRequest req;
+  req.start = {0, 1};
+  req.goal = {9, 1};
+  EXPECT_FALSE(r.route(req).found);
+  req.extra_free = {{5, 1}};
+  const auto res = r.route(req);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.path.size(), 10u);
+}
+
+TEST(MazeRouter, StartEqualsGoal) {
+  BinGrid g(Rect{0, 0, 5, 5});
+  MazeRouter r(g);
+  RouteRequest req;
+  req.start = {2, 2};
+  req.goal = {2, 2};
+  const auto res = r.route(req);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.path.size(), 1u);
+}
+
+// Property: A* and BFS find equally long shortest paths on random
+// obstacle fields.
+class RouterEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RouterEquivalence, AstarMatchesBfsLength) {
+  std::mt19937 rng(GetParam());
+  BinGrid g(Rect{0, 0, 16, 16});
+  std::uniform_int_distribution<int> c(0, 15);
+  for (int k = 0; k < 90; ++k) {
+    const BinCoord b{c(rng), c(rng)};
+    if (g.is_free(b)) g.occupy(b, k);
+  }
+  MazeRouter r(g);
+  for (int t = 0; t < 40; ++t) {
+    RouteRequest req;
+    req.start = {c(rng), c(rng)};
+    req.goal = {c(rng), c(rng)};
+    if (!g.is_free(req.start) || !g.is_free(req.goal)) continue;
+    const auto bfs = r.route(req);
+    const auto astar = r.route_astar(req);
+    ASSERT_EQ(bfs.found, astar.found);
+    if (bfs.found) {
+      EXPECT_EQ(bfs.path.size(), astar.path.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterEquivalence, ::testing::Values(5u, 55u, 555u, 5555u));
+
+}  // namespace
+}  // namespace qgdp

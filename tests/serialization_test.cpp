@@ -1,0 +1,110 @@
+// Tests for .qdev / .qlay serialization round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "io/serialization.h"
+#include "metrics/audit.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+TEST(DeviceSerialization, RoundTripAllTopologies) {
+  for (const auto& spec : all_paper_topologies()) {
+    std::stringstream ss;
+    write_device(spec, ss);
+    const DeviceSpec back = read_device(ss);
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.qubit_count, spec.qubit_count);
+    ASSERT_EQ(back.couplings.size(), spec.couplings.size());
+    for (std::size_t i = 0; i < spec.couplings.size(); ++i) {
+      EXPECT_EQ(back.couplings[i], spec.couplings[i]);
+    }
+    for (int q = 0; q < spec.qubit_count; ++q) {
+      EXPECT_EQ(back.coords[static_cast<std::size_t>(q)], spec.coords[static_cast<std::size_t>(q)]);
+    }
+  }
+}
+
+TEST(DeviceSerialization, RoundTrippedDeviceBuilds) {
+  std::stringstream ss;
+  write_device(make_falcon27(), ss);
+  const auto nl = build_netlist(read_device(ss));
+  EXPECT_EQ(nl.qubit_count(), 27u);
+  EXPECT_EQ(nl.edge_count(), 28u);
+}
+
+TEST(DeviceSerialization, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(read_device(empty), std::runtime_error);
+  std::stringstream wrong("qlay 1\n");
+  EXPECT_THROW(read_device(wrong), std::runtime_error);
+  std::stringstream bad_coupling("qdev 1\nname x\nqubits 2\ncoord 0 0 0\ncoord 1 1 0\n"
+                                 "couplings 1\nc 0 5\n");
+  EXPECT_THROW(read_device(bad_coupling), std::runtime_error);
+}
+
+TEST(DeviceSerialization, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# device file\n\nqdev 1\nname mini\nqubits 2\n# coords\ncoord 0 0 0\n"
+                       "coord 1 2 0\ncouplings 1\nc 0 1\n");
+  const auto spec = read_device(ss);
+  EXPECT_EQ(spec.name, "mini");
+  EXPECT_EQ(spec.qubit_count, 2);
+}
+
+TEST(LayoutSerialization, RoundTripLegalizedLayout) {
+  QuantumNetlist nl = build_netlist(make_falcon27());
+  PipelineOptions opt;
+  opt.legalizer = LegalizerKind::kQgdp;
+  opt.run_detailed = true;
+  Pipeline(opt).run(nl);
+
+  std::stringstream ss;
+  write_layout(nl, ss);
+  const QuantumNetlist back = read_layout(ss);
+
+  EXPECT_EQ(back.name(), nl.name());
+  EXPECT_EQ(back.die(), nl.die());
+  ASSERT_EQ(back.qubit_count(), nl.qubit_count());
+  ASSERT_EQ(back.edge_count(), nl.edge_count());
+  ASSERT_EQ(back.block_count(), nl.block_count());
+  for (std::size_t i = 0; i < nl.qubit_count(); ++i) {
+    const auto& a = nl.qubit(static_cast<int>(i));
+    const auto& b = back.qubit(static_cast<int>(i));
+    EXPECT_EQ(a.pos, b.pos);
+    EXPECT_DOUBLE_EQ(a.frequency, b.frequency);
+    EXPECT_DOUBLE_EQ(a.width, b.width);
+  }
+  for (std::size_t i = 0; i < nl.block_count(); ++i) {
+    EXPECT_EQ(nl.block(static_cast<int>(i)).pos, back.block(static_cast<int>(i)).pos);
+    EXPECT_EQ(nl.block(static_cast<int>(i)).edge, back.block(static_cast<int>(i)).edge);
+  }
+  // The reloaded layout audits identically.
+  EXPECT_TRUE(audit_layout(back).clean());
+}
+
+TEST(LayoutSerialization, FileRoundTrip) {
+  const std::string path = "/tmp/qgdp_serialization_test.qlay";
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  write_layout_file(nl, path);
+  const QuantumNetlist back = read_layout_file(path);
+  EXPECT_EQ(back.qubit_count(), nl.qubit_count());
+  std::remove(path.c_str());
+}
+
+TEST(LayoutSerialization, RejectsCorruptStream) {
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  std::stringstream ss;
+  write_layout(nl, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);  // truncate
+  std::stringstream half(text);
+  EXPECT_THROW(read_layout(half), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qgdp

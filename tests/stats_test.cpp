@@ -1,0 +1,107 @@
+// Tests for the displacement/wirelength statistics module.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "metrics/stats.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+TEST(DisplacementStatsTest, ZeroWhenUnmoved) {
+  const auto nl = build_netlist(make_grid_device());
+  const auto s = displacement_stats(nl, nl);
+  EXPECT_DOUBLE_EQ(s.total, 0.0);
+  EXPECT_EQ(s.moved, 0);
+  EXPECT_EQ(s.count, static_cast<int>(nl.component_count()));
+  EXPECT_EQ(s.histogram[0], s.count);
+}
+
+TEST(DisplacementStatsTest, SingleMove) {
+  auto before = build_netlist(make_grid_device());
+  auto after = before;
+  after.qubit(0).pos += Point{3.0, 4.0};  // displacement 5
+  const auto s = displacement_stats(before, after);
+  EXPECT_DOUBLE_EQ(s.total, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_EQ(s.moved, 1);
+  EXPECT_EQ(s.histogram[3], 1);  // bucket [4,8)
+  const auto qs = qubit_displacement_stats(before, after);
+  EXPECT_DOUBLE_EQ(qs.total, 5.0);
+  const auto bs = block_displacement_stats(before, after);
+  EXPECT_DOUBLE_EQ(bs.total, 0.0);
+}
+
+TEST(DisplacementStatsTest, MedianAndP95Ordering) {
+  auto before = build_netlist(make_grid_device());
+  auto after = before;
+  for (std::size_t b = 0; b < after.block_count(); ++b) {
+    after.block(static_cast<int>(b)).pos += Point{static_cast<double>(b % 3), 0.0};
+  }
+  const auto s = block_displacement_stats(before, after);
+  EXPECT_LE(s.median, s.p95);
+  EXPECT_LE(s.p95, s.max + 1e-12);
+  EXPECT_NEAR(s.mean, 1.0, 0.05);  // displacements 0/1/2 evenly
+}
+
+TEST(DisplacementStatsTest, RejectsMismatchedNetlists) {
+  const auto a = build_netlist(make_grid_device());
+  const auto b = build_netlist(make_falcon27());
+  EXPECT_THROW(displacement_stats(a, b), std::invalid_argument);
+}
+
+TEST(DisplacementStatsTest, TotalsMatchPipelineTelemetry) {
+  QuantumNetlist nl = build_netlist(make_falcon27());
+  GlobalPlacer{}.place(nl);
+  const QuantumNetlist gp_snapshot = nl;
+  PipelineOptions opt;
+  opt.run_gp = false;
+  opt.legalizer = LegalizerKind::kQgdp;
+  const auto out = Pipeline(opt).run(nl);
+  const auto qs = qubit_displacement_stats(gp_snapshot, nl);
+  EXPECT_NEAR(qs.total, out.stats.qubit.total_displacement, 1e-6);
+  const auto bs = block_displacement_stats(gp_snapshot, nl);
+  EXPECT_NEAR(bs.total, out.stats.blocks.total_displacement, 1e-6);
+}
+
+TEST(WirelengthStatsTest, Basics) {
+  QuantumNetlist nl;
+  nl.add_qubit({0, 0}, 3, 3, 5.0);
+  nl.add_qubit({10, 0}, 3, 3, 5.07);
+  nl.add_qubit({10, 5}, 3, 3, 5.14);
+  nl.set_die(Rect{0, 0, 20, 20});
+  const std::vector<Net> nets = {
+      {{NodeRef::Kind::kQubit, 0}, {NodeRef::Kind::kQubit, 1}, 1.0},
+      {{NodeRef::Kind::kQubit, 1}, {NodeRef::Kind::kQubit, 2}, 2.0},
+  };
+  const auto s = wirelength_stats(nl, nets);
+  EXPECT_DOUBLE_EQ(s.total, 10.0 + 2.0 * 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean, 10.0);
+}
+
+TEST(WirelengthStatsTest, EmptyNets) {
+  const auto nl = build_netlist(make_grid_device());
+  const auto s = wirelength_stats(nl, {});
+  EXPECT_DOUBLE_EQ(s.total, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(WirelengthStatsTest, LegalizationKeepsWirelengthSane) {
+  // Legalization should not blow up wirelength versus GP by more than
+  // a small factor (it moves components minimally).
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  GlobalPlacer{}.place(nl);
+  const auto nets = build_connection_nets(nl, ConnectionStyle::kPseudo);
+  const double wl_gp = wirelength_stats(nl, nets).total;
+  PipelineOptions opt;
+  opt.run_gp = false;
+  opt.legalizer = LegalizerKind::kQgdp;
+  Pipeline(opt).run(nl);
+  const double wl_lg = wirelength_stats(nl, nets).total;
+  EXPECT_LT(wl_lg, wl_gp * 3.0);
+}
+
+}  // namespace
+}  // namespace qgdp

@@ -1,0 +1,194 @@
+// Deep property sweeps: weighted displacement LP, Abacus packing
+// optimality against brute force, and the full pipeline across the
+// (topology × seed) matrix with audit + metric invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/pipeline.h"
+#include "graph/constraint_graph.h"
+#include "legalization/abacus_legalizer.h"
+#include "metrics/audit.h"
+#include "metrics/clusters.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+// ---- weighted displacement LP ---------------------------------------
+
+TEST(WeightedDisplacement, HeavyNodeStaysPut) {
+  // Two nodes in conflict; the heavy one must not move.
+  ConstraintGraph g(2);
+  g.set_bounds(0, 0.0, 20.0);
+  g.set_bounds(1, 0.0, 20.0);
+  g.add_constraint(0, 1, 4.0);
+  DisplacementSolver solver;
+  const auto sol = solver.solve(g, {10.0, 10.0}, {100.0, 1.0});
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.position[0], 10.0, 1e-6);
+  EXPECT_NEAR(sol.position[1], 14.0, 1e-6);
+}
+
+TEST(WeightedDisplacement, WeightsFlipTheWinner) {
+  ConstraintGraph g(2);
+  g.set_bounds(0, 0.0, 20.0);
+  g.set_bounds(1, 0.0, 20.0);
+  g.add_constraint(0, 1, 4.0);
+  DisplacementSolver solver;
+  const auto sol = solver.solve(g, {10.0, 10.0}, {1.0, 100.0});
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.position[1], 10.0, 1e-6);
+  EXPECT_NEAR(sol.position[0], 6.0, 1e-6);
+}
+
+class WeightedDisplacementProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WeightedDisplacementProperty, WeightedObjectiveAboveWeightedDual) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> pos(0.0, 30.0);
+  std::uniform_int_distribution<int> weights(1, 9);
+  DisplacementSolver solver;
+  for (int trial = 0; trial < 15; ++trial) {
+    ConstraintGraph g(6);
+    std::vector<double> target(6);
+    std::vector<double> weight(6);
+    for (int i = 0; i < 6; ++i) {
+      g.set_bounds(i, 0.0, 60.0);
+      target[static_cast<std::size_t>(i)] = pos(rng);
+      weight[static_cast<std::size_t>(i)] = weights(rng);
+    }
+    for (int i = 0; i < 6; ++i) {
+      for (int j = i + 1; j < 6; ++j) {
+        if ((rng() & 3u) == 0u) g.add_constraint(i, j, 2.0);
+      }
+    }
+    if (!g.feasible()) continue;
+    const auto sol = solver.solve(g, target, weight);
+    ASSERT_TRUE(sol.feasible);
+    const double lb = solver.dual_lower_bound(g, target, weight);
+    EXPECT_GE(sol.objective, lb - std::max(1e-3, 1e-6 * lb));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedDisplacementProperty,
+                         ::testing::Values(21u, 42u, 63u, 84u));
+
+// ---- Abacus packing vs brute force -----------------------------------
+
+/// Reference: optimal unit-cell packing cost in [0, width) by trying
+/// every integer arrangement (cells keep their relative order).
+double brute_force_pack_cost(const std::vector<double>& targets, double width) {
+  const int n = static_cast<int>(targets.size());
+  const int w = static_cast<int>(width);
+  // dp[i][x] = min cost placing cells i.. with first at column >= x.
+  std::vector<std::vector<double>> dp(static_cast<std::size_t>(n + 1),
+                                      std::vector<double>(static_cast<std::size_t>(w + 1), 0.0));
+  for (int i = n - 1; i >= 0; --i) {
+    for (int x = w; x >= 0; --x) {
+      double best = std::numeric_limits<double>::infinity();
+      if (x < w - (n - i - 1)) {
+        // Place cell i at column x, or skip column x.
+        const double d = (x - targets[static_cast<std::size_t>(i)]);
+        const double place =
+            d * d + dp[static_cast<std::size_t>(i + 1)][static_cast<std::size_t>(x + 1)];
+        best = place;
+      }
+      if (x + 1 <= w) {
+        best = std::min(best, dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(x + 1)]);
+      }
+      dp[static_cast<std::size_t>(i)][static_cast<std::size_t>(x)] = best;
+    }
+  }
+  return dp[0][0];
+}
+
+class AbacusOptimality : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AbacusOptimality, RowPackingMatchesBruteForceOnSmallRows) {
+  // Single free row; uniform 1-wide cells. Abacus clumping is optimal
+  // for quadratic cost in continuous space; the integer snap stays
+  // within one cell of the integer optimum.
+  std::mt19937 rng(GetParam());
+  const double width = 10.0;
+  std::uniform_real_distribution<double> t(0.0, width - 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng() % 6);
+    QuantumNetlist nl;
+    nl.add_qubit({2.0, 8.0}, 3, 3, 5.0);   // parked away from the row
+    nl.add_qubit({8.0, 8.0}, 3, 3, 5.07);
+    nl.add_edge(0, 1, 6.5, static_cast<double>(n));
+    nl.partition_all_edges();
+    nl.set_die(Rect{0, 0, width, 10});
+    std::vector<double> targets;
+    for (int k = 0; k < n; ++k) {
+      const double tx = t(rng);
+      targets.push_back(tx);
+      nl.block(k).pos = {tx + 0.5, 0.5};  // row y = 0
+    }
+    std::sort(targets.begin(), targets.end());
+    BinGrid grid(nl.die());
+    grid.block_rect(Rect{0, 2, width, 10});  // only row 0 free
+    const auto res = AbacusLegalizer{}.legalize(nl, grid);
+    ASSERT_TRUE(res.success);
+    double cost = 0.0;
+    // Recompute quadratic cost in left-edge coordinates.
+    std::vector<double> placed;
+    for (int k = 0; k < n; ++k) placed.push_back(nl.block(k).pos.x - 0.5);
+    std::sort(placed.begin(), placed.end());
+    for (int k = 0; k < n; ++k) {
+      const double d = placed[static_cast<std::size_t>(k)] - targets[static_cast<std::size_t>(k)];
+      cost += d * d;
+    }
+    const double opt = brute_force_pack_cost(targets, width);
+    EXPECT_LE(cost, opt + 1.0 + 0.5 * n) << "n=" << n;  // snap slack
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbacusOptimality, ::testing::Values(7u, 77u, 777u));
+
+// ---- pipeline (topology × seed) matrix --------------------------------
+
+using SweepParam = std::tuple<int, unsigned>;  // topology index, GP seed
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, LegalAuditAndMetricInvariants) {
+  const auto [topo_idx, seed] = GetParam();
+  const auto spec = all_paper_topologies()[static_cast<std::size_t>(topo_idx)];
+  QuantumNetlist nl = build_netlist(spec);
+  PipelineOptions opt;
+  opt.gp.seed = seed;
+  opt.legalizer = LegalizerKind::kQgdp;
+  opt.run_detailed = true;
+  const auto out = Pipeline(opt).run(nl);
+
+  // Hard invariants.
+  AuditOptions aopt;
+  aopt.qubit_min_spacing = out.stats.qubit.spacing_used;
+  const auto audit = audit_layout(nl, aopt);
+  EXPECT_TRUE(audit.clean()) << spec.name << " seed " << seed;
+  EXPECT_EQ(out.stats.blocks.placed, static_cast<int>(nl.block_count()));
+
+  // Quality invariants that define qGDP.
+  EXPECT_GE(unified_edge_count(nl), static_cast<int>(nl.edge_count() * 9) / 10)
+      << spec.name << " seed " << seed;
+  EXPECT_EQ(compute_hotspots(nl).spacing_violations, 0);
+  // Crossings stay an order of magnitude under the edge count.
+  EXPECT_LE(compute_crossings(nl).total, static_cast<int>(nl.edge_count()) / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, PipelineSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 4, 5),
+                                            ::testing::Values(1u, 7u, 13u)));
+
+// Eagle only at one extra seed (expensive).
+INSTANTIATE_TEST_SUITE_P(EagleSpot, PipelineSweep,
+                         ::testing::Combine(::testing::Values(3), ::testing::Values(1u)));
+
+}  // namespace
+}  // namespace qgdp
