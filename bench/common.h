@@ -2,14 +2,27 @@
 // five legalization flows from one shared GP solution (paper §IV: "all
 // comparisons are based on the same GP positions with pseudo
 // connections") and bundles the per-flow layouts + stage stats.
+//
+// The flow×topology matrix is embarrassingly parallel, so the harness
+// executes it through the runtime's BatchRunner; results are merged in
+// submission order, making layouts and placement stats bit-identical
+// to the serial path (run_matrix with jobs = 1). The per-stage wall
+// times inside PipelineResult are measurements, not derived values —
+// under concurrent lanes they absorb scheduling contention, so treat
+// them as indicative when jobs > 1 and use jobs = 1 (or the
+// google-benchmark harness) for precise timing.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "netlist/netlist_builder.h"
 #include "netlist/topologies.h"
+#include "runtime/batch_runner.h"
 
 namespace qgdp::bench {
 
@@ -32,31 +45,54 @@ struct TopologyRuns {
   std::vector<FlowRun> flows;
 };
 
-/// Builds the netlist, runs GP once, then all five flows from the same
-/// GP positions. `detailed_for_qgdp` enables the DP stage on the qGDP
-/// flow (Table III compares LG vs DP).
-inline TopologyRuns run_topology(const DeviceSpec& spec, bool detailed_for_qgdp = false,
-                                 unsigned gp_seed = 1u) {
-  TopologyRuns out;
-  out.spec = spec;
-  out.gp_netlist = build_netlist(spec);
-  {
+/// Builds every netlist, runs GP once per topology, then all five
+/// flows from the same GP positions — the full evaluation matrix of
+/// Tables II–III — using up to `jobs` concurrent lanes (0 = hardware
+/// concurrency, 1 = serial reference). Per-job RNG seeding is
+/// deterministic and the merge is ordered, so the result is identical
+/// for every jobs value. `detailed_for_qgdp` enables the DP stage on
+/// the qGDP flow (Table III compares LG vs DP).
+inline std::vector<TopologyRuns> run_matrix(const std::vector<DeviceSpec>& specs,
+                                            bool detailed_for_qgdp = false, unsigned gp_seed = 1u,
+                                            std::size_t jobs = 0) {
+  std::vector<TopologyRuns> out(specs.size());
+  // Stage 1: shared GP layout per topology, one lane per topology.
+  parallel_for(0, specs.size(), jobs, [&](std::size_t t) {
+    out[t].spec = specs[t];
+    out[t].gp_netlist = build_netlist(specs[t]);
     GlobalPlacerOptions gp_opt;
     gp_opt.seed = gp_seed;
     GlobalPlacer gp(gp_opt);
-    gp.place(out.gp_netlist);
+    gp.place(out[t].gp_netlist);
+  });
+  // Stage 2: the (topology × flow) matrix from the shared layouts.
+  const auto& kinds = all_legalizer_kinds();
+  std::vector<BatchJob> matrix;
+  matrix.reserve(specs.size() * kinds.size());
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    auto flows = BatchRunner::shared_gp_flows(specs[t], kinds, out[t].gp_netlist, gp_seed,
+                                              detailed_for_qgdp);
+    std::move(flows.begin(), flows.end(), std::back_inserter(matrix));
   }
-  for (const LegalizerKind kind : all_legalizer_kinds()) {
-    FlowRun run{kind, legalizer_name(kind), out.gp_netlist, {}};
-    PipelineOptions opt;
-    opt.run_gp = false;  // shared GP already applied
-    opt.legalizer = kind;
-    opt.run_detailed = detailed_for_qgdp && kind == LegalizerKind::kQgdp;
-    Pipeline pipeline(opt);
-    run.stats = pipeline.run(run.netlist).stats;
-    out.flows.push_back(std::move(run));
+  BatchOptions bopt;
+  bopt.jobs = jobs;
+  auto results = BatchRunner(bopt).run(matrix);
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      auto& res = results[t * kinds.size() + k];
+      out[t].flows.push_back(FlowRun{res.job.kind, legalizer_name(res.job.kind),
+                                     std::move(res.netlist), res.stats});
+    }
   }
   return out;
+}
+
+/// Single-topology convenience wrapper over run_matrix (serial: one
+/// topology rarely has enough flows to amortize fan-out, and callers
+/// time the stages themselves).
+inline TopologyRuns run_topology(const DeviceSpec& spec, bool detailed_for_qgdp = false,
+                                 unsigned gp_seed = 1u) {
+  return std::move(run_matrix({spec}, detailed_for_qgdp, gp_seed, 1)[0]);
 }
 
 }  // namespace qgdp::bench

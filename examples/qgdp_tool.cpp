@@ -9,6 +9,7 @@
 //   $ ./examples/qgdp_tool --device mychip.qdev --flow q-abacus
 //   $ ./examples/qgdp_tool --list
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -22,6 +23,7 @@
 #include "metrics/hotspots.h"
 #include "netlist/netlist_builder.h"
 #include "netlist/topologies.h"
+#include "runtime/batch_runner.h"
 
 namespace {
 
@@ -35,10 +37,13 @@ options:
   --topology NAME   built-in topology (Grid, Xtree, Falcon, Eagle,
                     Aspen-11, Aspen-M)
   --device FILE     load a .qdev device description instead
-  --flow FLOW       qgdp | q-abacus | q-tetris | abacus | tetris
-                    (default qgdp)
+  --flow FLOW       qgdp | q-abacus | q-tetris | abacus | tetris | all
+                    (default qgdp; "all" batch-runs the five flows from
+                    one shared GP layout and prints a comparison)
   --dp              run the detailed-placement stage (qgdp flow only)
   --seed N          global-placement seed (default 1)
+  --jobs N          concurrent lanes for batch modes (default: all
+                    hardware threads; results are identical for any N)
   --out FILE        write the final layout as .qlay
   --svg FILE        render the final layout as SVG
   --list            list built-in topologies and exit
@@ -55,6 +60,50 @@ std::optional<LegalizerKind> parse_flow(const std::string& s) {
   return std::nullopt;
 }
 
+/// "--flow all": the five-flow comparison matrix from one shared GP
+/// layout, batch-executed over `jobs` lanes. Takes ownership of the
+/// freshly built netlist and places it.
+int run_all_flows(const DeviceSpec& spec, QuantumNetlist gp_nl, unsigned seed, bool run_dp,
+                  std::size_t jobs) {
+  {
+    GlobalPlacerOptions gp_opt;
+    gp_opt.seed = seed;
+    GlobalPlacer(gp_opt).place(gp_nl);
+  }
+  const auto matrix =
+      BatchRunner::shared_gp_flows(spec, all_legalizer_kinds(), gp_nl, seed, run_dp);
+  BatchOptions bopt;
+  bopt.jobs = jobs;
+  const auto results = BatchRunner(bopt).run(matrix);
+
+  Table t({"flow", "qubit disp", "block disp", "unified", "X", "Ph %", "viol", "tq ms", "te ms"});
+  int exit_code = 0;
+  for (const auto& res : results) {
+    const auto hs = compute_hotspots(res.netlist);
+    const auto cr = compute_crossings(res.netlist);
+    AuditOptions audit_opt;
+    audit_opt.qubit_min_spacing =
+        quantum_flow(res.job.kind) ? res.stats.qubit.spacing_used : 0.0;
+    const auto audit = audit_layout(res.netlist, audit_opt);
+    if (!audit.clean()) {
+      exit_code = 2;
+      std::cout << "audit failed for flow " << legalizer_name(res.job.kind) << ":\n";
+      audit.print(std::cout);
+    }
+    // shared_gp_flows already gates run_detailed on the qGDP flow.
+    t.add_row({legalizer_name(res.job.kind) + (res.job.run_detailed ? "+DP" : ""),
+               fmt(res.stats.qubit.total_displacement, 2),
+               fmt(res.stats.blocks.total_displacement, 2),
+               std::to_string(unified_edge_count(res.netlist)) + "/" +
+                   std::to_string(res.netlist.edge_count()),
+               std::to_string(cr.total), fmt(hs.ph * 100, 3),
+               std::to_string(hs.spacing_violations), fmt(res.stats.qubit_ms, 2),
+               fmt(res.stats.resonator_ms, 2)});
+  }
+  t.print(std::cout);
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +114,7 @@ int main(int argc, char** argv) {
   std::string svg_file;
   bool run_dp = false;
   unsigned seed = 1;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +124,19 @@ int main(int argc, char** argv) {
         std::exit(1);
       }
       return argv[++i];
+    };
+    auto numeric_value = [&](unsigned long max_value) -> unsigned long {
+      const std::string v = value();
+      // Digits only: std::stoul alone would accept "-1" by wrapping.
+      if (!v.empty() && v.find_first_not_of("0123456789") == std::string::npos) {
+        try {
+          const unsigned long n = std::stoul(v);
+          if (n <= max_value) return n;
+        } catch (const std::exception&) {  // out of range
+        }
+      }
+      std::cerr << "invalid number '" << v << "' for " << arg << "\n";
+      std::exit(1);
     };
     if (arg == "--help") {
       print_usage();
@@ -93,7 +156,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--dp") {
       run_dp = true;
     } else if (arg == "--seed") {
-      seed = static_cast<unsigned>(std::stoul(value()));
+      seed = static_cast<unsigned>(numeric_value(std::numeric_limits<unsigned>::max()));
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(numeric_value(std::numeric_limits<std::size_t>::max()));
     } else if (arg == "--out") {
       out_file = value();
     } else if (arg == "--svg") {
@@ -105,7 +170,7 @@ int main(int argc, char** argv) {
   }
 
   const auto flow = parse_flow(flow_name);
-  if (!flow) {
+  if (!flow && flow_name != "all") {
     std::cerr << "unknown flow '" << flow_name << "' (try --help)\n";
     return 1;
   }
@@ -133,6 +198,14 @@ int main(int argc, char** argv) {
             << nl.edge_count() << " resonators, " << nl.block_count() << " blocks, die "
             << nl.die().width() << "x" << nl.die().height() << "\n";
 
+  if (!flow) {
+    if (!out_file.empty() || !svg_file.empty()) {
+      std::cerr << "warning: --out/--svg are ignored with --flow all "
+                   "(no single final layout); run one flow to write artifacts\n";
+    }
+    return run_all_flows(spec, std::move(nl), seed, run_dp, jobs);
+  }
+
   PipelineOptions opt;
   opt.legalizer = *flow;
   opt.run_detailed = run_dp && *flow == LegalizerKind::kQgdp;
@@ -159,8 +232,7 @@ int main(int argc, char** argv) {
   t.print(std::cout);
 
   AuditOptions audit_opt;
-  const bool quantum = *flow != LegalizerKind::kTetris && *flow != LegalizerKind::kAbacus;
-  audit_opt.qubit_min_spacing = quantum ? out.stats.qubit.spacing_used : 0.0;
+  audit_opt.qubit_min_spacing = quantum_flow(*flow) ? out.stats.qubit.spacing_used : 0.0;
   const auto audit = audit_layout(nl, audit_opt);
   audit.print(std::cout);
   if (!audit.clean()) return 2;

@@ -1,13 +1,10 @@
 #include "circuits/generators.h"
 
-#include <numbers>
 #include <string>
 
-namespace qgdp {
+#include "geometry/point.h"
 
-namespace {
-constexpr double kPi = std::numbers::pi;
-}
+namespace qgdp {
 
 Circuit make_bv(int total_qubits) {
   Circuit c("bv-" + std::to_string(total_qubits), total_qubits);

@@ -52,9 +52,7 @@ PipelineOutput Pipeline::run(QuantumNetlist& nl) const {
   }
 
   // Stage 2: qubit legalization.
-  const bool quantum_qubits = opt_.legalizer == LegalizerKind::kQTetris ||
-                              opt_.legalizer == LegalizerKind::kQAbacus ||
-                              opt_.legalizer == LegalizerKind::kQgdp;
+  const bool quantum_qubits = quantum_flow(opt_.legalizer);
   {
     const auto t0 = std::chrono::steady_clock::now();
     QubitLegalizer ql(quantum_qubits);

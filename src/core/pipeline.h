@@ -23,6 +23,12 @@ enum class LegalizerKind { kTetris, kAbacus, kQTetris, kQAbacus, kQgdp };
 
 [[nodiscard]] std::string legalizer_name(LegalizerKind kind);
 
+/// True for the flows that use the qGDP quantum-aware qubit legalizer
+/// (qGDP, Q-Abacus, Q-Tetris); false for the classic baselines.
+[[nodiscard]] constexpr bool quantum_flow(LegalizerKind kind) {
+  return kind != LegalizerKind::kTetris && kind != LegalizerKind::kAbacus;
+}
+
 /// All five flows in the paper's reporting order
 /// (qGDP, Q-Abacus, Q-Tetris, Abacus, Tetris).
 [[nodiscard]] const std::vector<LegalizerKind>& all_legalizer_kinds();

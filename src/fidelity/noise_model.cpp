@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <set>
 #include <sstream>
 
@@ -16,12 +15,12 @@ double effective_coupling_ghz(double cc_fF, double fa, double fb, const NoisePar
 
 double rabi_error(double geff_ghz, double t_ns) {
   // GHz · ns is dimensionless; 2π converts to angular phase.
-  const double phase = 2.0 * std::numbers::pi * geff_ghz * t_ns;
+  const double phase = 2.0 * kPi * geff_ghz * t_ns;
   return 0.5 * (1.0 - std::exp(-2.0 * phase * phase));
 }
 
 double rabi_error_worst_case(double geff_ghz, double t_ns) {
-  const double phase = 2.0 * std::numbers::pi * geff_ghz * t_ns;
+  const double phase = 2.0 * kPi * geff_ghz * t_ns;
   return 1.0 - std::exp(-phase * phase);
 }
 

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cmath>
-#include <compare>
 #include <iosfwd>
 
 namespace qgdp {
+
+/// Shared π constant (C++17 — no std::numbers).
+inline constexpr double kPi = 3.14159265358979323846;
 
 struct Point {
   double x{0.0};

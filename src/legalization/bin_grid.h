@@ -20,8 +20,11 @@ namespace qgdp {
 struct BinCoord {
   int ix{0};
   int iy{0};
-  friend bool operator==(BinCoord, BinCoord) = default;
-  friend auto operator<=>(BinCoord, BinCoord) = default;
+  friend bool operator==(BinCoord a, BinCoord b) { return a.ix == b.ix && a.iy == b.iy; }
+  friend bool operator!=(BinCoord a, BinCoord b) { return !(a == b); }
+  friend bool operator<(BinCoord a, BinCoord b) {
+    return a.ix != b.ix ? a.ix < b.ix : a.iy < b.iy;
+  }
 };
 
 class BinGrid {

@@ -3,6 +3,7 @@
 // optimize, Eq. 5) and wirelength summaries over connection nets.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "netlist/quantum_netlist.h"

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstddef>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -21,7 +20,8 @@ struct NodeRef {
   Kind kind{Kind::kQubit};
   int id{-1};
 
-  friend bool operator==(NodeRef a, NodeRef b) = default;
+  friend bool operator==(NodeRef a, NodeRef b) { return a.kind == b.kind && a.id == b.id; }
+  friend bool operator!=(NodeRef a, NodeRef b) { return !(a == b); }
 };
 
 class QuantumNetlist {
@@ -56,9 +56,9 @@ class QuantumNetlist {
   [[nodiscard]] const WireBlock& block(int id) const { return blocks_[static_cast<std::size_t>(id)]; }
   [[nodiscard]] WireBlock& block(int id) { return blocks_[static_cast<std::size_t>(id)]; }
 
-  [[nodiscard]] std::span<const Qubit> qubits() const { return qubits_; }
-  [[nodiscard]] std::span<const ResonatorEdge> edges() const { return edges_; }
-  [[nodiscard]] std::span<const WireBlock> blocks() const { return blocks_; }
+  [[nodiscard]] const std::vector<Qubit>& qubits() const { return qubits_; }
+  [[nodiscard]] const std::vector<ResonatorEdge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<WireBlock>& blocks() const { return blocks_; }
 
   /// Edge ids incident to qubit q.
   [[nodiscard]] const std::vector<int>& incident_edges(int q) const {

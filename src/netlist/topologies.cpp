@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace qgdp {
@@ -118,7 +117,7 @@ DeviceSpec make_octagon_device(int rows, int cols, const std::string& name) {
       const Point center{kPitch * c, kPitch * r};
       for (int k = 0; k < 8; ++k) {
         // Qubit k sits at angle 22.5° + k·45° (counter-clockwise).
-        const double th = std::numbers::pi / 8 + k * std::numbers::pi / 4;
+        const double th = kPi / 8 + k * kPi / 4;
         d.coords[static_cast<std::size_t>(base + k)] =
             center + Point{kRadius * std::cos(th), kRadius * std::sin(th)};
         d.couplings.emplace_back(base + k, base + (k + 1) % 8);
@@ -183,10 +182,10 @@ DeviceSpec make_xtree(int root_branch, int branch, int depth) {
   for (int k = 0; k < root_branch; ++k) {
     const int child = next_id++;
     d.couplings.emplace_back(0, child);
-    const double a = 2 * std::numbers::pi * k / root_branch + std::numbers::pi / 4;
+    const double a = 2 * kPi * k / root_branch + kPi / 4;
     const double radius = 3.2;
     const Point cpos{radius * std::cos(a), radius * std::sin(a)};
-    place_subtree(d, child, cpos, a, std::numbers::pi / 2.2, radius * 0.62, branch,
+    place_subtree(d, child, cpos, a, kPi / 2.2, radius * 0.62, branch,
                   depth - 1, next_id);
   }
   assert(next_id == d.qubit_count);

@@ -1,0 +1,89 @@
+#include "runtime/batch_runner.h"
+
+#include "netlist/netlist_builder.h"
+
+namespace qgdp {
+
+BatchResult run_batch_job(const BatchJob& job) {
+  BatchResult out;
+  out.job = job;
+  PipelineOptions opt;
+  opt.legalizer = job.kind;
+  opt.run_detailed = job.run_detailed && job.kind == LegalizerKind::kQgdp;
+  if (job.gp_layout) {
+    out.netlist = *job.gp_layout;
+    opt.run_gp = false;
+  } else {
+    out.netlist = build_netlist(job.spec);
+    opt.gp.seed = job.gp_seed;
+  }
+  out.stats = Pipeline(opt).run(out.netlist).stats;
+  return out;
+}
+
+std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  std::vector<BatchResult> results(jobs.size());
+  ThreadPool& pool = opt_.pool ? *opt_.pool : ThreadPool::shared();
+  // jobs == 0 falls through to parallel_for, which sizes lanes to the
+  // pool — the right default for custom pools and the shared one alike.
+  // Ordered merge: lane i writes slot i only, so the result vector is
+  // independent of scheduling and identical to the lanes == 1 path.
+  parallel_for(pool, 0, jobs.size(), opt_.jobs,
+               [&](std::size_t i) { results[i] = run_batch_job(jobs[i]); });
+  return results;
+}
+
+std::vector<BatchJob> BatchRunner::matrix(const std::vector<DeviceSpec>& specs,
+                                          const std::vector<LegalizerKind>& kinds,
+                                          const std::vector<unsigned>& seeds, bool detailed) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(specs.size() * kinds.size() * seeds.size());
+  for (const auto& spec : specs) {
+    for (const LegalizerKind kind : kinds) {
+      for (const unsigned seed : seeds) {
+        BatchJob job;
+        job.spec = spec;
+        job.kind = kind;
+        job.gp_seed = seed;
+        job.run_detailed = detailed && kind == LegalizerKind::kQgdp;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+bool identical_layout(const QuantumNetlist& a, const QuantumNetlist& b) {
+  if (a.qubit_count() != b.qubit_count() || a.block_count() != b.block_count()) return false;
+  for (std::size_t q = 0; q < a.qubit_count(); ++q) {
+    const auto i = static_cast<int>(q);
+    if (a.qubit(i).pos.x != b.qubit(i).pos.x || a.qubit(i).pos.y != b.qubit(i).pos.y)
+      return false;
+  }
+  for (std::size_t w = 0; w < a.block_count(); ++w) {
+    const auto i = static_cast<int>(w);
+    if (a.block(i).pos.x != b.block(i).pos.x || a.block(i).pos.y != b.block(i).pos.y)
+      return false;
+  }
+  return true;
+}
+
+std::vector<BatchJob> BatchRunner::shared_gp_flows(const DeviceSpec& spec,
+                                                   const std::vector<LegalizerKind>& kinds,
+                                                   const QuantumNetlist& gp_layout,
+                                                   unsigned gp_seed, bool detailed) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(kinds.size());
+  for (const LegalizerKind kind : kinds) {
+    BatchJob job;
+    job.spec = spec;
+    job.kind = kind;
+    job.gp_seed = gp_seed;
+    job.run_detailed = detailed && kind == LegalizerKind::kQgdp;
+    job.gp_layout = &gp_layout;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace qgdp

@@ -1,0 +1,85 @@
+// BatchRunner: concurrent execution of the paper's evaluation matrix
+// (DeviceSpec × LegalizerKind × GP seed). Every job is independent —
+// it owns its netlist copy and a deterministically seeded pipeline —
+// and results are written into pre-allocated slots in submission
+// order, so the merged output is bit-identical to running the same
+// job list serially (jobs = 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "netlist/topologies.h"
+#include "runtime/thread_pool.h"
+
+namespace qgdp {
+
+/// One cell of the evaluation matrix.
+struct BatchJob {
+  DeviceSpec spec;
+  LegalizerKind kind{LegalizerKind::kQgdp};
+  unsigned gp_seed{1u};
+  bool run_detailed{false};
+  /// When set, the job copies this pre-placed layout and skips GP —
+  /// the paper's "all flows share the same GP positions" contract.
+  /// The pointed-to netlist must outlive BatchRunner::run().
+  const QuantumNetlist* gp_layout{nullptr};
+};
+
+/// Outcome of one job, in the same order as the submitted list.
+struct BatchResult {
+  BatchJob job;
+  QuantumNetlist netlist;  ///< final layout
+  PipelineResult stats;
+};
+
+struct BatchOptions {
+  /// Concurrency: 0 = one lane per pool thread, 1 = serial reference.
+  std::size_t jobs{0};
+  /// Pool to run on; nullptr = ThreadPool::shared().
+  ThreadPool* pool{nullptr};
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions opt = {}) : opt_(opt) {}
+
+  /// Executes all jobs with up to opt.jobs lanes; results come back in
+  /// submission order regardless of completion order.
+  [[nodiscard]] std::vector<BatchResult> run(const std::vector<BatchJob>& jobs) const;
+
+  [[nodiscard]] const BatchOptions& options() const { return opt_; }
+
+  /// Expands the full cross product specs × kinds × seeds, in
+  /// row-major (spec, kind, seed) order — the paper's reporting order
+  /// when given all_paper_topologies() × all_legalizer_kinds().
+  /// `detailed` enables the DP stage on qGDP jobs only (Table III).
+  [[nodiscard]] static std::vector<BatchJob> matrix(const std::vector<DeviceSpec>& specs,
+                                                    const std::vector<LegalizerKind>& kinds,
+                                                    const std::vector<unsigned>& seeds,
+                                                    bool detailed = false);
+
+  /// One job per kind, all starting from the same pre-placed layout
+  /// (the paper's shared-GP comparison setup). `gp_layout` must
+  /// outlive run(). `detailed` enables DP on qGDP jobs only.
+  [[nodiscard]] static std::vector<BatchJob> shared_gp_flows(const DeviceSpec& spec,
+                                                             const std::vector<LegalizerKind>& kinds,
+                                                             const QuantumNetlist& gp_layout,
+                                                             unsigned gp_seed,
+                                                             bool detailed = false);
+
+ private:
+  BatchOptions opt_;
+};
+
+/// Runs one job serially (the reference path BatchRunner must match).
+[[nodiscard]] BatchResult run_batch_job(const BatchJob& job);
+
+/// Exact coordinate equality of two layouts of the same device — the
+/// equality the BatchRunner determinism contract is defined by
+/// (asserted in tests/runtime_test.cpp, self-checked by the Table II
+/// harness).
+[[nodiscard]] bool identical_layout(const QuantumNetlist& a, const QuantumNetlist& b);
+
+}  // namespace qgdp

@@ -1,0 +1,146 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace qgdp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_concurrency();
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+std::size_t ThreadPool::default_concurrency() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace detail {
+
+namespace {
+
+/// One parallel_for invocation. Chunk boundaries are a pure function
+/// of (begin, end, jobs); lanes claim chunks from a locked cursor and
+/// the caller drains alongside the helpers. Completion is defined by
+/// *chunks* (all claimed and finished), never by helper tasks: a
+/// helper that the pool schedules late — or never, while workers are
+/// blocked in nested waits — finds nothing to claim and exits, so a
+/// saturated or single-thread pool degrades to inline execution
+/// instead of deadlocking.
+struct ForState {
+  std::size_t begin{0};
+  std::size_t end{0};
+  std::size_t chunk{1};
+  std::size_t chunk_count{0};
+  const std::function<void(std::size_t)>* body{nullptr};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t next_chunk{0};
+  std::size_t in_progress{0};
+  bool cancelled{false};
+  std::exception_ptr error;
+
+  void run_chunks() {
+    for (;;) {
+      std::size_t c;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (cancelled || next_chunk >= chunk_count) return;
+        c = next_chunk++;
+        ++in_progress;
+      }
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      std::exception_ptr thrown;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        --in_progress;
+        if (thrown) {
+          cancelled = true;
+          if (!error) error = thrown;
+        }
+        if (drained_locked()) done_cv.notify_all();
+        if (cancelled) return;
+      }
+    }
+  }
+
+  /// All chunks finished, or cancelled with none still running.
+  [[nodiscard]] bool drained_locked() const {
+    return in_progress == 0 && (cancelled || next_chunk >= chunk_count);
+  }
+};
+
+}  // namespace
+
+void parallel_for_impl(ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t jobs,
+                       const std::function<void(std::size_t)>& body) {
+  const std::size_t n = end - begin;
+  jobs = std::min(jobs, n);
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  // A few chunks per lane smooths uneven per-index cost without giving
+  // up contiguity; boundaries stay deterministic for given (n, jobs).
+  state->chunk = std::max<std::size_t>(1, n / (jobs * 4));
+  state->chunk_count = (n + state->chunk - 1) / state->chunk;
+  state->body = &body;
+
+  for (std::size_t h = 0; h + 1 < jobs; ++h) {
+    pool.submit([state] { state->run_chunks(); });
+  }
+  state->run_chunks();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] { return state->drained_locked(); });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace qgdp

@@ -1,0 +1,92 @@
+// Fixed-size thread pool and a chunked parallel_for helper — the
+// execution substrate for the batch runtime. Design goals, in order:
+// deterministic work assignment (contiguous chunks, ordered merge),
+// cache friendliness (each worker walks a contiguous index range), and
+// no work stealing (jobs in the flow×topology matrix are coarse and
+// similar-sized, so static chunking wins over stealing overhead).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qgdp {
+
+/// Fixed pool of worker threads consuming a FIFO task queue.
+///
+/// The pool never resizes after construction. The calling thread is
+/// expected to *help* (see parallel_for) rather than block on a full
+/// queue, so nested parallel sections cannot deadlock.
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it runs on some worker thread.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// hardware_concurrency clamped to >= 1.
+  [[nodiscard]] static std::size_t default_concurrency();
+
+  /// Process-wide shared pool (lazily constructed, default size).
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_{false};
+};
+
+namespace detail {
+
+/// Shared state of one parallel_for invocation: chunks are claimed
+/// from an atomic cursor; the caller participates until the range is
+/// drained, then waits for in-flight helpers. The first exception is
+/// captured and rethrown on the calling thread.
+void parallel_for_impl(ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t jobs,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace detail
+
+/// Runs body(i) for every i in [begin, end) using up to `jobs` lanes
+/// (0 = pool size). The index range is split into contiguous chunks so
+/// each lane touches a contiguous slice; assignment is deterministic
+/// but execution order across lanes is not — callers that reduce must
+/// write into per-index slots and merge in index order afterwards.
+/// jobs <= 1 (or a single-element range) runs inline on the caller.
+/// The first exception thrown by `body` is rethrown on the caller.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t jobs,
+                  Body&& body) {
+  if (begin >= end) return;
+  if (jobs == 0) jobs = pool.size();
+  if (jobs <= 1 || end - begin == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::function<void(std::size_t)> fn = std::forward<Body>(body);
+  detail::parallel_for_impl(pool, begin, end, jobs, fn);
+}
+
+/// Convenience overload on the shared pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t jobs, Body&& body) {
+  parallel_for(ThreadPool::shared(), begin, end, jobs, std::forward<Body>(body));
+}
+
+}  // namespace qgdp

@@ -107,8 +107,7 @@ TEST_P(PipelineAudit, FlowOutputIsClean) {
   opt.run_detailed = (p.kind == LegalizerKind::kQgdp);
   const auto out = Pipeline(opt).run(nl);
   AuditOptions audit_opt;
-  const bool quantum = p.kind != LegalizerKind::kTetris && p.kind != LegalizerKind::kAbacus;
-  audit_opt.qubit_min_spacing = quantum ? out.stats.qubit.spacing_used : 0.0;
+  audit_opt.qubit_min_spacing = quantum_flow(p.kind) ? out.stats.qubit.spacing_used : 0.0;
   const auto rep = audit_layout(nl, audit_opt);
   std::ostringstream os;
   rep.print(os);

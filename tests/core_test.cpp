@@ -180,8 +180,7 @@ TEST_P(PipelineMatrix, ProducesLegalLayout) {
   const auto out = Pipeline(opt).run(nl);
   EXPECT_TRUE(out.stats.qubit.success);
   EXPECT_TRUE(out.stats.blocks.success);
-  const bool quantum = p.kind != LegalizerKind::kTetris && p.kind != LegalizerKind::kAbacus;
-  expect_layout_legal(nl, quantum ? out.stats.qubit.spacing_used : 0.0);
+  expect_layout_legal(nl, quantum_flow(p.kind) ? out.stats.qubit.spacing_used : 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

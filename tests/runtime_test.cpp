@@ -1,0 +1,232 @@
+// Runtime subsystem tests: ThreadPool task execution, parallel_for
+// bounds / chunking / exception propagation, and the BatchRunner
+// determinism contract — the merged matrix results must be
+// bit-identical across any lane count (jobs = 1 vs jobs = 8).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+#include "runtime/batch_runner.h"
+#include "runtime/thread_pool.h"
+
+namespace qgdp {
+namespace {
+
+// ---- ThreadPool ------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  std::mutex m;
+  std::condition_variable cv;
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (counter.fetch_add(1) + 1 == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return counter.load() == kTasks; }));
+}
+
+TEST(ThreadPool, DefaultConcurrencyAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) pool.submit([&] { counter.fetch_add(1); });
+  }  // join on destruction
+  EXPECT_EQ(counter.load(), 32);
+}
+
+// ---- parallel_for ----------------------------------------------------
+
+class ParallelForJobs : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForJobs, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(pool, 0, kN, GetParam(), [&](std::size_t i) {
+    ASSERT_LT(i, kN);
+    visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, ParallelForJobs,
+                         ::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                           std::size_t{8}, std::size_t{0}));
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 5, 4, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for(pool, 7, 3, 4, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, NonZeroBeginOffset) {
+  ThreadPool pool(2);
+  std::vector<int> hit(20, 0);
+  parallel_for(pool, 10, 20, 4, [&](std::size_t i) { hit[i] = 1; });
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(hit[i], i >= 10 ? 1 : 0);
+}
+
+TEST(ParallelFor, MoreJobsThanIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(pool, 0, 3, 16, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptionFromBody) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100, 4,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, PropagatesExceptionSerially) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10, 1,
+                            [](std::size_t) { throw std::logic_error("serial boom"); }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, PoolStaysUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 8, 4, [](std::size_t) { throw std::runtime_error("once"); }),
+      std::runtime_error);
+  std::atomic<int> sum{0};
+  parallel_for(pool, 0, 10, 4, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ParallelFor, NestedInvocationDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> visits(64);
+  parallel_for(pool, 0, 8, 4, [&](std::size_t outer) {
+    parallel_for(pool, 0, 8, 4,
+                 [&](std::size_t inner) { visits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+// ---- BatchRunner determinism ----------------------------------------
+
+/// Exact structural + positional equality of two layouts: asserts the
+/// contract-defining identical_layout() helper, then re-walks the
+/// coordinates individually so a failure names the diverging component.
+void expect_identical_layout(const QuantumNetlist& a, const QuantumNetlist& b) {
+  EXPECT_TRUE(identical_layout(a, b));
+  ASSERT_EQ(a.qubit_count(), b.qubit_count());
+  ASSERT_EQ(a.block_count(), b.block_count());
+  for (std::size_t q = 0; q < a.qubit_count(); ++q) {
+    const auto i = static_cast<int>(q);
+    EXPECT_EQ(a.qubit(i).pos.x, b.qubit(i).pos.x) << "qubit " << q;
+    EXPECT_EQ(a.qubit(i).pos.y, b.qubit(i).pos.y) << "qubit " << q;
+  }
+  for (std::size_t w = 0; w < a.block_count(); ++w) {
+    const auto i = static_cast<int>(w);
+    EXPECT_EQ(a.block(i).pos.x, b.block(i).pos.x) << "block " << w;
+    EXPECT_EQ(a.block(i).pos.y, b.block(i).pos.y) << "block " << w;
+  }
+}
+
+std::vector<BatchJob> small_matrix() {
+  return BatchRunner::matrix({make_grid_device(), make_falcon27()},
+                             {LegalizerKind::kQgdp, LegalizerKind::kTetris}, {1u, 7u},
+                             /*detailed=*/true);
+}
+
+TEST(BatchRunner, MatrixExpandsFullCrossProduct) {
+  const auto jobs = small_matrix();
+  ASSERT_EQ(jobs.size(), 8u);  // 2 specs × 2 kinds × 2 seeds
+  // Row-major (spec, kind, seed) order.
+  EXPECT_EQ(jobs[0].spec.name, "Grid");
+  EXPECT_EQ(jobs[0].kind, LegalizerKind::kQgdp);
+  EXPECT_EQ(jobs[0].gp_seed, 1u);
+  EXPECT_EQ(jobs[1].gp_seed, 7u);
+  EXPECT_EQ(jobs[2].kind, LegalizerKind::kTetris);
+  EXPECT_EQ(jobs[4].spec.name, "Falcon");
+  // DP only on qGDP jobs.
+  EXPECT_TRUE(jobs[0].run_detailed);
+  EXPECT_FALSE(jobs[2].run_detailed);
+}
+
+TEST(BatchRunner, ResultsIdenticalAcrossJobs1AndJobs8) {
+  const auto jobs = small_matrix();
+
+  BatchOptions serial;
+  serial.jobs = 1;
+  const auto ref = BatchRunner(serial).run(jobs);
+
+  BatchOptions wide;
+  wide.jobs = 8;
+  ThreadPool pool(8);
+  wide.pool = &pool;
+  const auto par = BatchRunner(wide).run(jobs);
+
+  ASSERT_EQ(ref.size(), jobs.size());
+  ASSERT_EQ(par.size(), jobs.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    SCOPED_TRACE(ref[i].job.spec.name + "/" + legalizer_name(ref[i].job.kind) + "/seed " +
+                 std::to_string(ref[i].job.gp_seed));
+    // Ordered merge: slot i holds job i on both paths.
+    EXPECT_EQ(par[i].job.kind, jobs[i].kind);
+    EXPECT_EQ(par[i].job.gp_seed, jobs[i].gp_seed);
+    // Bit-identical layouts and stats.
+    expect_identical_layout(ref[i].netlist, par[i].netlist);
+    EXPECT_EQ(ref[i].stats.qubit.total_displacement, par[i].stats.qubit.total_displacement);
+    EXPECT_EQ(ref[i].stats.blocks.total_displacement, par[i].stats.blocks.total_displacement);
+    EXPECT_EQ(ref[i].stats.blocks.placed, par[i].stats.blocks.placed);
+    EXPECT_EQ(ref[i].stats.qubit.spacing_used, par[i].stats.qubit.spacing_used);
+  }
+}
+
+TEST(BatchRunner, SharedGpLayoutSkipsGlobalPlacement) {
+  // Two flows from one pre-placed layout must start from identical
+  // positions (the paper's shared-GP contract) and leave the source
+  // layout untouched.
+  QuantumNetlist gp = build_netlist(make_grid_device());
+  GlobalPlacer{}.place(gp);
+  const QuantumNetlist gp_copy = gp;
+
+  std::vector<BatchJob> jobs(2);
+  jobs[0].spec = make_grid_device();
+  jobs[0].kind = LegalizerKind::kQgdp;
+  jobs[0].gp_layout = &gp;
+  jobs[1].spec = make_grid_device();
+  jobs[1].kind = LegalizerKind::kTetris;
+  jobs[1].gp_layout = &gp;
+
+  BatchOptions opt;
+  opt.jobs = 2;
+  const auto results = BatchRunner(opt).run(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  expect_identical_layout(gp, gp_copy);
+  // Each flow legalized something (layouts differ from raw GP).
+  EXPECT_GT(results[0].stats.qubit.total_displacement +
+                results[0].stats.blocks.total_displacement,
+            0.0);
+}
+
+}  // namespace
+}  // namespace qgdp

@@ -15,6 +15,7 @@
 #include "metrics/hotspots.h"
 #include "netlist/netlist_builder.h"
 #include "netlist/topologies.h"
+#include "runtime/batch_runner.h"
 
 namespace qgdp {
 namespace {
@@ -153,42 +154,53 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AbacusOptimality, ::testing::Values(7u, 77u, 777
 
 // ---- pipeline (topology × seed) matrix --------------------------------
 
-using SweepParam = std::tuple<int, unsigned>;  // topology index, GP seed
+/// The (topology × seed) sweep of the qGDP flow, batch-executed over
+/// the runtime's BatchRunner (one lane per hardware thread) instead of
+/// one pipeline per gtest case — the whole matrix runs concurrently
+/// and every cell's invariants are checked from the merged results.
+TEST(PipelineSweep, LegalAuditAndMetricInvariantsAcrossMatrix) {
+  const auto topologies = all_paper_topologies();
+  std::vector<BatchJob> jobs;
+  for (const int topo_idx : {0, 1, 2, 4, 5}) {
+    for (const unsigned seed : {1u, 7u, 13u}) {
+      BatchJob job;
+      job.spec = topologies[static_cast<std::size_t>(topo_idx)];
+      job.kind = LegalizerKind::kQgdp;
+      job.gp_seed = seed;
+      job.run_detailed = true;
+      jobs.push_back(std::move(job));
+    }
+  }
+  {
+    // Eagle only at one seed (expensive).
+    BatchJob job;
+    job.spec = topologies[3];
+    job.kind = LegalizerKind::kQgdp;
+    job.gp_seed = 1u;
+    job.run_detailed = true;
+    jobs.push_back(std::move(job));
+  }
 
-class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+  const auto results = BatchRunner{}.run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (const auto& res : results) {
+    SCOPED_TRACE(res.job.spec.name + " seed " + std::to_string(res.job.gp_seed));
+    const QuantumNetlist& nl = res.netlist;
 
-TEST_P(PipelineSweep, LegalAuditAndMetricInvariants) {
-  const auto [topo_idx, seed] = GetParam();
-  const auto spec = all_paper_topologies()[static_cast<std::size_t>(topo_idx)];
-  QuantumNetlist nl = build_netlist(spec);
-  PipelineOptions opt;
-  opt.gp.seed = seed;
-  opt.legalizer = LegalizerKind::kQgdp;
-  opt.run_detailed = true;
-  const auto out = Pipeline(opt).run(nl);
+    // Hard invariants.
+    AuditOptions aopt;
+    aopt.qubit_min_spacing = res.stats.qubit.spacing_used;
+    const auto audit = audit_layout(nl, aopt);
+    EXPECT_TRUE(audit.clean());
+    EXPECT_EQ(res.stats.blocks.placed, static_cast<int>(nl.block_count()));
 
-  // Hard invariants.
-  AuditOptions aopt;
-  aopt.qubit_min_spacing = out.stats.qubit.spacing_used;
-  const auto audit = audit_layout(nl, aopt);
-  EXPECT_TRUE(audit.clean()) << spec.name << " seed " << seed;
-  EXPECT_EQ(out.stats.blocks.placed, static_cast<int>(nl.block_count()));
-
-  // Quality invariants that define qGDP.
-  EXPECT_GE(unified_edge_count(nl), static_cast<int>(nl.edge_count() * 9) / 10)
-      << spec.name << " seed " << seed;
-  EXPECT_EQ(compute_hotspots(nl).spacing_violations, 0);
-  // Crossings stay an order of magnitude under the edge count.
-  EXPECT_LE(compute_crossings(nl).total, static_cast<int>(nl.edge_count()) / 4);
+    // Quality invariants that define qGDP.
+    EXPECT_GE(unified_edge_count(nl), static_cast<int>(nl.edge_count() * 9) / 10);
+    EXPECT_EQ(compute_hotspots(nl).spacing_violations, 0);
+    // Crossings stay an order of magnitude under the edge count.
+    EXPECT_LE(compute_crossings(nl).total, static_cast<int>(nl.edge_count()) / 4);
+  }
 }
-
-INSTANTIATE_TEST_SUITE_P(Matrix, PipelineSweep,
-                         ::testing::Combine(::testing::Values(0, 1, 2, 4, 5),
-                                            ::testing::Values(1u, 7u, 13u)));
-
-// Eagle only at one extra seed (expensive).
-INSTANTIATE_TEST_SUITE_P(EagleSpot, PipelineSweep,
-                         ::testing::Combine(::testing::Values(3), ::testing::Values(1u)));
 
 }  // namespace
 }  // namespace qgdp
