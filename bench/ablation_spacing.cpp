@@ -29,7 +29,11 @@ int main() {
   };
   const Sched schedules[] = {{0.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}, {2.0, 3.0}};
 
-  for (const auto& spec : {make_falcon27(), make_eagle127()}) {
+  // Two heavy-hex devices by default; QGDP_BENCH_SPACING_TOPOLOGIES
+  // routes any registered names (e.g. "Falcon,heavyhex-15x23") through
+  // the shared registry.
+  const char* env = std::getenv("QGDP_BENCH_SPACING_TOPOLOGIES");
+  for (const auto& spec : bench::topologies_from_names(env ? env : "Falcon,Eagle")) {
     QuantumNetlist gp = build_netlist(spec);
     GlobalPlacer{}.place(gp);
     for (const auto& s : schedules) {

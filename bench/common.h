@@ -15,7 +15,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
+#include <iostream>
 #include <iterator>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,9 +29,35 @@
 
 namespace qgdp::bench {
 
-/// Topology set for the benchmark harnesses (the six of Table I, in
-/// the paper's reporting order).
+/// Resolves a comma-separated topology-name list through the shared
+/// registry (any name topology_by_name() accepts — paper devices and
+/// parameterized families alike). Unknown names abort loudly: a silent
+/// skip would fake coverage.
+inline std::vector<DeviceSpec> topologies_from_names(const std::string& csv) {
+  std::vector<DeviceSpec> specs;
+  std::istringstream ss(csv);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (name.empty()) continue;
+    auto spec = topology_by_name(name);
+    if (!spec) {
+      std::cerr << "bench: unknown topology '" << name << "' in topology list\n";
+      std::exit(1);
+    }
+    specs.push_back(std::move(*spec));
+  }
+  return specs;
+}
+
+/// Topology set for the benchmark harnesses: the six of Table I in the
+/// paper's reporting order by default; the QGDP_BENCH_TOPOLOGIES env
+/// var ("Grid,heavyhex-27x43,hex-32x32") swaps in any registered set,
+/// so new families flow into every harness without code edits.
 inline std::vector<DeviceSpec> all_paper_topologies_for_bench() {
+  if (const char* env = std::getenv("QGDP_BENCH_TOPOLOGIES")) {
+    auto specs = topologies_from_names(env);
+    if (!specs.empty()) return specs;
+  }
   return all_paper_topologies();
 }
 

@@ -53,7 +53,10 @@ int main() {
   using namespace qgdp;
   std::cout << "=== Figure 1: layout quality vs placement stage ===\n\n";
 
-  for (const auto& spec : {make_grid_device(), make_falcon27()}) {
+  // Registry-routed topology pair; QGDP_BENCH_FIG1_TOPOLOGIES swaps in
+  // any registered names.
+  const char* env = std::getenv("QGDP_BENCH_FIG1_TOPOLOGIES");
+  for (const auto& spec : bench::topologies_from_names(env ? env : "Grid,Falcon")) {
     QuantumNetlist gp_nl = build_netlist(spec);
     double gp_ms = 0.0;
     {

@@ -1,0 +1,320 @@
+// Kilo-qubit scaling sweep: wall time + peak RSS versus qubit count
+// per flow, on the parameterized heavy-hex family (100 → 2000+
+// qubits), with the retained quadratic hot-path baselines timed
+// side-by-side. Emits BENCH_scaling.json so the perf trajectory is
+// recorded in-tree; CI's scaling-smoke job runs a bounded subset and
+// uploads the artifact.
+//
+//   $ ./bench_scaling_sweep                      # full sweep → BENCH_scaling.json
+//   $ ./bench_scaling_sweep --max-qubits 500 --quick --out /tmp/s.json
+//
+// "Quadratic baseline" = the same legalization algorithms running on
+// the O(n²) data paths kept for differential testing: all-pairs
+// constraint generation in the qubit legalizer, exhaustive linear-scan
+// nearest-free queries in the resonator legalizer, and the all-pairs /
+// all-blocks crossing counter. The acceptance bar for the indexed hot
+// paths is ≥10× on 1000-qubit heavy-hex legalization (tq + te).
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "core/pipeline.h"
+#include "io/table.h"
+#include "metrics/audit.h"
+#include "metrics/clusters.h"
+#include "metrics/crossings.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace {
+
+using namespace qgdp;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Process high-water-mark RSS in MiB (monotonic over the sweep).
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+#if defined(__APPLE__)
+  return static_cast<double>(u.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(u.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+struct FlowSample {
+  std::string name;
+  double tq_ms{0.0};
+  double te_ms{0.0};
+  double qubit_disp{0.0};
+  double block_disp{0.0};
+  int unified{0};
+  bool audit_clean{false};
+};
+
+struct HotPaths {
+  bool measured{false};
+  double qubit_fast_ms{0.0}, qubit_quad_ms{0.0};
+  double blocks_fast_ms{0.0}, blocks_quad_ms{0.0};
+  double crossings_fast_ms{0.0}, crossings_quad_ms{0.0};
+  bool crossings_match{false};
+  [[nodiscard]] double lg_fast_ms() const { return qubit_fast_ms + blocks_fast_ms; }
+  [[nodiscard]] double lg_quad_ms() const { return qubit_quad_ms + blocks_quad_ms; }
+  [[nodiscard]] double lg_speedup() const { return lg_quad_ms() / std::max(lg_fast_ms(), 1e-6); }
+};
+
+struct Entry {
+  DeviceSpec spec;
+  std::size_t blocks{0};
+  double die_w{0.0}, die_h{0.0};
+  double gp_ms{0.0};
+  double rss_mb{0.0};
+  std::vector<FlowSample> flows;
+  HotPaths hot;
+};
+
+FlowSample run_flow(const QuantumNetlist& gp_nl, LegalizerKind kind) {
+  FlowSample s;
+  s.name = legalizer_name(kind);
+  QuantumNetlist nl = gp_nl;
+  PipelineOptions opt;
+  opt.run_gp = false;
+  opt.legalizer = kind;
+  const auto out = Pipeline(opt).run(nl);
+  s.tq_ms = out.stats.qubit_ms;
+  s.te_ms = out.stats.resonator_ms;
+  s.qubit_disp = out.stats.qubit.total_displacement;
+  s.block_disp = out.stats.blocks.total_displacement;
+  s.unified = unified_edge_count(nl);
+  AuditOptions aopt;
+  aopt.qubit_min_spacing = quantum_flow(kind) ? out.stats.qubit.spacing_used : 0.0;
+  s.audit_clean = audit_layout(nl, aopt).clean();
+  return s;
+}
+
+/// Times the qGDP legalization stages on the quadratic data paths.
+HotPaths measure_hot_paths(const QuantumNetlist& gp_nl) {
+  HotPaths h;
+  h.measured = true;
+
+  // Fast: windowed pair constraints + indexed nearest-free.
+  QuantumNetlist fast_nl = gp_nl;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = QubitLegalizer(true).legalize(fast_nl);
+    h.qubit_fast_ms = ms_since(t0);
+    if (!res.success) std::cerr << "warning: fast qubit LG failed\n";
+  }
+  {
+    BinGrid grid(fast_nl.die());
+    for (const auto& q : fast_nl.qubits()) grid.block_rect(q.rect());
+    const auto t0 = std::chrono::steady_clock::now();
+    ResonatorLegalizer{}.legalize(fast_nl, grid);
+    h.blocks_fast_ms = ms_since(t0);
+  }
+
+  // Quadratic: all-pairs constraints + exhaustive nearest-free scans.
+  QuantumNetlist quad_nl = gp_nl;
+  {
+    MacroLegalizerOptions mopt;
+    mopt.min_spacing = 1.0;
+    mopt.start_spacing = 2.0;
+    mopt.pair_window = -1.0;  // historical all-pairs behaviour
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = QubitLegalizer(mopt).legalize(quad_nl);
+    h.qubit_quad_ms = ms_since(t0);
+    if (!res.success) std::cerr << "warning: quadratic qubit LG failed\n";
+  }
+  {
+    BinGrid grid(quad_nl.die());
+    for (const auto& q : quad_nl.qubits()) grid.block_rect(q.rect());
+    ResonatorLegalizerOptions ropt;
+    ropt.linear_scan_baseline = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    ResonatorLegalizer(ropt).legalize(quad_nl, grid);
+    h.blocks_quad_ms = ms_since(t0);
+  }
+
+  // Crossing counter, sweep-line vs brute force, on the fast layout.
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto fast = compute_crossings(fast_nl);
+    h.crossings_fast_ms = ms_since(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto brute = compute_crossings_brute(fast_nl);
+    h.crossings_quad_ms = ms_since(t1);
+    h.crossings_match = fast.total == brute.total;
+    if (!h.crossings_match) {
+      std::cerr << "warning: crossing counters disagree (" << fast.total << " vs "
+                << brute.total << ")\n";
+    }
+  }
+  return h;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const std::vector<Entry>& entries, unsigned gp_seed, const std::string& path) {
+  std::ofstream os(path);
+  os.precision(4);
+  os << std::fixed;
+  os << "{\n"
+     << "  \"bench\": \"scaling_sweep\",\n"
+     << "  \"family\": \"heavyhex\",\n"
+     << "  \"gp_seed\": " << gp_seed << ",\n"
+     << "  \"note\": \"times in ms; peak_rss_mb is the process high-water mark, monotonic "
+        "over the sweep; quadratic baselines = retained all-pairs/linear-scan paths\",\n"
+     << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    os << "    {\n"
+       << "      \"topology\": \"" << json_escape(e.spec.name) << "\",\n"
+       << "      \"qubits\": " << e.spec.qubit_count << ",\n"
+       << "      \"resonators\": " << e.spec.edge_count() << ",\n"
+       << "      \"blocks\": " << e.blocks << ",\n"
+       << "      \"die\": [" << e.die_w << ", " << e.die_h << "],\n"
+       << "      \"gp_ms\": " << e.gp_ms << ",\n"
+       << "      \"peak_rss_mb\": " << e.rss_mb << ",\n"
+       << "      \"flows\": [\n";
+    for (std::size_t f = 0; f < e.flows.size(); ++f) {
+      const FlowSample& s = e.flows[f];
+      os << "        {\"flow\": \"" << json_escape(s.name) << "\", \"tq_ms\": " << s.tq_ms
+         << ", \"te_ms\": " << s.te_ms << ", \"qubit_disp\": " << s.qubit_disp
+         << ", \"block_disp\": " << s.block_disp << ", \"unified\": " << s.unified
+         << ", \"audit_clean\": " << (s.audit_clean ? "true" : "false") << "}"
+         << (f + 1 < e.flows.size() ? "," : "") << "\n";
+    }
+    os << "      ],\n";
+    if (e.hot.measured) {
+      os << "      \"hot_paths\": {\n"
+         << "        \"qubit_lg_fast_ms\": " << e.hot.qubit_fast_ms
+         << ", \"qubit_lg_quadratic_ms\": " << e.hot.qubit_quad_ms << ",\n"
+         << "        \"block_lg_fast_ms\": " << e.hot.blocks_fast_ms
+         << ", \"block_lg_quadratic_ms\": " << e.hot.blocks_quad_ms << ",\n"
+         << "        \"legalization_fast_ms\": " << e.hot.lg_fast_ms()
+         << ", \"legalization_quadratic_ms\": " << e.hot.lg_quad_ms()
+         << ", \"legalization_speedup\": " << e.hot.lg_speedup() << ",\n"
+         << "        \"crossings_fast_ms\": " << e.hot.crossings_fast_ms
+         << ", \"crossings_quadratic_ms\": " << e.hot.crossings_quad_ms
+         << ", \"crossings_speedup\": "
+         << e.hot.crossings_quad_ms / std::max(e.hot.crossings_fast_ms, 1e-6)
+         << ", \"crossings_total_match\": " << (e.hot.crossings_match ? "true" : "false")
+         << "\n      }\n";
+    } else {
+      os << "      \"hot_paths\": null\n";
+    }
+    os << "    }" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_scaling.json";
+  int max_qubits = 2100;
+  int baseline_max_qubits = 1300;
+  bool quick = false;
+  unsigned gp_seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--max-qubits") {
+      max_qubits = std::stoi(value());
+    } else if (arg == "--baseline-max-qubits") {
+      baseline_max_qubits = std::stoi(value());
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--seed") {
+      gp_seed = static_cast<unsigned>(std::stoul(value()));
+    } else {
+      std::cerr << "usage: bench_scaling_sweep [--out FILE] [--max-qubits N]\n"
+                   "         [--baseline-max-qubits N] [--quick] [--seed N]\n";
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  // Heavy-hex ladder: ~100, ~250, ~500, ~1100, ~2000 qubits.
+  const std::vector<std::pair<int, int>> ladder = {{7, 12}, {11, 18}, {16, 27}, {23, 39}, {30, 53}};
+  std::vector<LegalizerKind> flows = {LegalizerKind::kQgdp, LegalizerKind::kAbacus,
+                                      LegalizerKind::kTetris};
+  if (quick) flows = {LegalizerKind::kQgdp, LegalizerKind::kTetris};
+
+  std::vector<Entry> entries;
+  Table t({"topology", "qubits", "blocks", "gp ms", "qGDP tq/te ms", "LG speedup", "X speedup",
+           "RSS MB"});
+  for (const auto& [rows, cols] : ladder) {
+    if (heavy_hex_qubit_count(rows, cols) > max_qubits) continue;
+    Entry e;
+    e.spec = make_heavy_hex_device(rows, cols);
+    QuantumNetlist gp_nl = build_netlist(e.spec);
+    e.blocks = gp_nl.block_count();
+    e.die_w = gp_nl.die().width();
+    e.die_h = gp_nl.die().height();
+    {
+      GlobalPlacerOptions gopt;
+      gopt.seed = gp_seed;
+      const auto t0 = std::chrono::steady_clock::now();
+      GlobalPlacer(gopt).place(gp_nl);
+      e.gp_ms = ms_since(t0);
+    }
+    for (const LegalizerKind kind : flows) e.flows.push_back(run_flow(gp_nl, kind));
+    if (e.spec.qubit_count <= baseline_max_qubits) e.hot = measure_hot_paths(gp_nl);
+    e.rss_mb = peak_rss_mb();
+
+    std::ostringstream tqte;
+    tqte.precision(1);
+    tqte << std::fixed << e.flows[0].tq_ms << " / " << e.flows[0].te_ms;
+    t.add_row({e.spec.name, std::to_string(e.spec.qubit_count), std::to_string(e.blocks),
+               fmt(e.gp_ms, 0), tqte.str(),
+               e.hot.measured ? fmt(e.hot.lg_speedup(), 1) + "x" : "-",
+               e.hot.measured
+                   ? fmt(e.hot.crossings_quad_ms / std::max(e.hot.crossings_fast_ms, 1e-6), 1) +
+                         "x"
+                   : "-",
+               fmt(e.rss_mb, 0)});
+    entries.push_back(std::move(e));
+  }
+  t.print(std::cout);
+
+  bool all_clean = true;
+  for (const auto& e : entries) {
+    for (const auto& f : e.flows) all_clean = all_clean && f.audit_clean;
+  }
+  std::cout << "\ninvariants: " << (all_clean ? "clean at every size" : "VIOLATIONS FOUND")
+            << "\n";
+  write_json(entries, gp_seed, out_path);
+  std::cout << "json written to " << out_path << "\n";
+  return all_clean ? 0 : 2;
+}

@@ -34,8 +34,10 @@ void print_usage() {
       R"(qgdp_tool — quantum legalization and detailed placement driver
 
 options:
-  --topology NAME   built-in topology (Grid, Xtree, Falcon, Eagle,
-                    Aspen-11, Aspen-M)
+  --topology NAME   built-in topology: a paper device (Grid, Xtree,
+                    Falcon, Eagle, Aspen-11, Aspen-M) or a parameterized
+                    family like grid-32x32, heavyhex-27x43, hex-32x32,
+                    octagon-8x16 (see --list)
   --device FILE     load a .qdev device description instead
   --flow FLOW       qgdp | q-abacus | q-tetris | abacus | tetris | all
                     (default qgdp; "all" batch-runs the five flows from
@@ -142,10 +144,7 @@ int main(int argc, char** argv) {
       print_usage();
       return 0;
     } else if (arg == "--list") {
-      for (const auto& d : all_paper_topologies()) {
-        std::cout << d.name << "  (" << d.qubit_count << " qubits, " << d.edge_count()
-                  << " resonators)\n";
-      }
+      for (const auto& line : topology_catalog()) std::cout << line << "\n";
       return 0;
     } else if (arg == "--topology") {
       topology = value();
@@ -180,17 +179,12 @@ int main(int argc, char** argv) {
   if (!device_file.empty()) {
     spec = read_device_file(device_file);
   } else {
-    bool found = false;
-    for (const auto& d : all_paper_topologies()) {
-      if (d.name == topology) {
-        spec = d;
-        found = true;
-      }
-    }
-    if (!found) {
+    auto resolved = topology_by_name(topology);
+    if (!resolved) {
       std::cerr << "unknown topology '" << topology << "' (see --list)\n";
       return 1;
     }
+    spec = std::move(*resolved);
   }
 
   QuantumNetlist nl = build_netlist(spec);

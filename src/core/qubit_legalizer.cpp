@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "geometry/spatial_hash.h"
+
 namespace qgdp {
 
 namespace {
@@ -25,6 +27,13 @@ bool greedy_fallback(QuantumNetlist& nl, double spacing, QubitLegalizeResult& re
   });
   std::vector<Point> placed;
   std::vector<int> placed_ids;
+  // Spacing checks against already placed qubits go through a spatial
+  // hash: a conflicting neighbour is within (max extent + spacing) on
+  // both axes, so that cell size makes the 3×3 query exhaustive.
+  double max_extent = 0.0;
+  for (const auto& q : nl.qubits()) max_extent = std::max({max_extent, q.width, q.height});
+  const double cell = std::max(1.0, max_extent + spacing);
+  SpatialHash placed_hash(die.inflated(cell), cell);
   for (const int qi : order) {
     auto& q = nl.qubit(qi);
     const double half_w = q.width / 2;
@@ -47,16 +56,16 @@ bool greedy_fallback(QuantumNetlist& nl, double spacing, QubitLegalizeResult& re
             continue;
           }
           bool ok = true;
-          for (std::size_t k = 0; k < placed.size(); ++k) {
-            const auto& other = nl.qubit(placed_ids[k]);
+          placed_hash.for_each_near(c, [&](int k) {
+            if (!ok) return;
+            const auto& other = nl.qubit(placed_ids[static_cast<std::size_t>(k)]);
             const double need_x = (q.width + other.width) / 2 + spacing;
             const double need_y = (q.height + other.height) / 2 + spacing;
-            if (std::abs(c.x - placed[k].x) < need_x - 1e-9 &&
-                std::abs(c.y - placed[k].y) < need_y - 1e-9) {
+            if (std::abs(c.x - placed[static_cast<std::size_t>(k)].x) < need_x - 1e-9 &&
+                std::abs(c.y - placed[static_cast<std::size_t>(k)].y) < need_y - 1e-9) {
               ok = false;
-              break;
             }
-          }
+          });
           if (!ok) continue;
           const double d2 = distance2(c, t);
           if (d2 < best) {
@@ -72,6 +81,7 @@ bool greedy_fallback(QuantumNetlist& nl, double spacing, QubitLegalizeResult& re
     res.total_displacement += d;
     res.max_displacement = std::max(res.max_displacement, d);
     q.pos = best_pos;
+    placed_hash.insert(static_cast<int>(placed.size()), best_pos);
     placed.push_back(best_pos);
     placed_ids.push_back(qi);
   }

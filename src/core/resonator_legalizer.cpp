@@ -6,6 +6,8 @@
 #include <numeric>
 #include <set>
 
+#include "geometry/spatial_hash.h"
+
 namespace qgdp {
 
 namespace {
@@ -34,17 +36,23 @@ BlockLegalizeResult ResonatorLegalizer::legalize(QuantumNetlist& nl, BinGrid& gr
       break;
     case ResonatorLegalizerOptions::EdgeOrder::kContention: {
       // Crowding = blocks of other edges whose GP centroid falls within
-      // 4 cells of this edge's centroid. Most crowded first.
+      // 4 cells of this edge's centroid. Most crowded first. Candidate
+      // neighbours come from a spatial hash over the centroids (cell =
+      // the 4-cell radius, so the 3×3 neighbourhood is exhaustive)
+      // instead of the all-pairs edge scan.
       std::vector<double> crowd(nl.edge_count(), 0.0);
       std::vector<Point> centroids(nl.edge_count());
       for (const auto& e : nl.edges()) centroids[static_cast<std::size_t>(e.id)] = edge_gp_centroid(nl, e);
+      constexpr double kRadius = 4.0;
+      SpatialHash hash(nl.die().inflated(kRadius), kRadius);
+      for (const auto& e : nl.edges()) hash.insert(e.id, centroids[static_cast<std::size_t>(e.id)]);
       for (const auto& e : nl.edges()) {
-        for (const auto& f : nl.edges()) {
-          if (e.id == f.id) continue;
+        hash.for_each_near(centroids[static_cast<std::size_t>(e.id)], [&](int fid) {
+          if (fid == e.id) return;
           const double d = distance(centroids[static_cast<std::size_t>(e.id)],
-                                    centroids[static_cast<std::size_t>(f.id)]);
-          if (d < 4.0) crowd[static_cast<std::size_t>(e.id)] += f.block_count();
-        }
+                                    centroids[static_cast<std::size_t>(fid)]);
+          if (d < kRadius) crowd[static_cast<std::size_t>(e.id)] += nl.edge(fid).block_count();
+        });
       }
       std::stable_sort(edge_order.begin(), edge_order.end(), [&](int a, int b) {
         return crowd[static_cast<std::size_t>(a)] > crowd[static_cast<std::size_t>(b)];
@@ -85,7 +93,8 @@ BlockLegalizeResult ResonatorLegalizer::legalize(QuantumNetlist& nl, BinGrid& gr
       }
       if (!chosen) {
         // Algorithm 1 line 8: nearest free bin overall.
-        chosen = grid.nearest_free(blk.pos);
+        chosen = opt_.linear_scan_baseline ? grid.nearest_free_linear_scan(blk.pos)
+                                           : grid.nearest_free(blk.pos);
       }
       if (!chosen) {
         ++res.failed;

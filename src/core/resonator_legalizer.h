@@ -24,6 +24,12 @@ struct ResonatorLegalizerOptions {
   /// Disables the Baa discipline entirely — every block goes to its
   /// individually nearest free bin. Used by the integration ablation.
   bool integration_aware{true};
+  /// Replaces the indexed nearest-free query with the exhaustive
+  /// O(bins) scan — the quadratic reference for differential tests and
+  /// the scaling benchmark. Every query returns a bin at the same
+  /// distance as the indexed path (equidistant ties may break
+  /// differently); runtime is quadratic.
+  bool linear_scan_baseline{false};
 };
 
 class ResonatorLegalizer final : public BlockLegalizer {

@@ -1,0 +1,107 @@
+// Uniform-grid spatial hash shared by the placement, legalization, and
+// metrics layers. Buckets items by point into cells of a fixed edge
+// length; neighbour queries then touch only the buckets that can
+// contain a match, turning the pairwise O(n²) scans of the quadratic
+// baselines into O(n · bucket occupancy).
+//
+// Two query shapes are provided:
+//  * for_each_near(p, fn)      — the 3×3 bucket neighbourhood of p
+//    (choose cell ≥ the largest interaction radius so this covers
+//    every candidate pair);
+//  * for_each_in_rect(r, fn)   — every bucket overlapping an arbitrary
+//    rectangle (used for radius > cell queries and segment stabbing;
+//    the rect is expanded by the caller to cover item extents).
+// Neither query reports an item twice — each bucket is visited once
+// and an item lives in exactly one bucket — so no dedup is needed;
+// callers still apply their exact predicate to candidates.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace qgdp {
+
+class SpatialHash {
+ public:
+  /// `cell` is the bucket edge length; choose ≥ the largest interaction
+  /// radius so a 3×3 bucket neighbourhood covers every candidate pair.
+  SpatialHash(Rect area, double cell)
+      : origin_(area.lo),
+        cell_(cell),
+        nx_(std::max(1, static_cast<int>(std::ceil(area.width() / cell)))),
+        ny_(std::max(1, static_cast<int>(std::ceil(area.height() / cell)))),
+        buckets_(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_)) {}
+
+  void clear() {
+    for (auto& b : buckets_) b.clear();
+  }
+
+  void insert(int item, Point p) {
+    buckets_[bucket_index(p)].push_back(item);
+  }
+
+  /// Reserve capacity hint spread uniformly over the buckets.
+  void reserve(std::size_t total_items) {
+    const std::size_t per = total_items / buckets_.size() + 1;
+    for (auto& b : buckets_) b.reserve(per);
+  }
+
+  /// Invokes fn(item) for every item in the 3×3 bucket neighbourhood of p.
+  template <typename Fn>
+  void for_each_near(Point p, Fn&& fn) const {
+    const int cx = clamp_x(cell_x(p.x));
+    const int cy = clamp_y(cell_y(p.y));
+    for (int y = std::max(0, cy - 1); y <= std::min(ny_ - 1, cy + 1); ++y) {
+      for (int x = std::max(0, cx - 1); x <= std::min(nx_ - 1, cx + 1); ++x) {
+        for (const int item : buckets_[static_cast<std::size_t>(y) * nx_ + x]) {
+          fn(item);
+        }
+      }
+    }
+  }
+
+  /// Invokes fn(item) for every item whose bucket overlaps `r`. Items
+  /// were inserted by point, so callers must inflate `r` by the largest
+  /// item extent they need to catch.
+  template <typename Fn>
+  void for_each_in_rect(const Rect& r, Fn&& fn) const {
+    const int x0 = clamp_x(cell_x(r.lo.x));
+    const int x1 = clamp_x(cell_x(r.hi.x));
+    const int y0 = clamp_y(cell_y(r.lo.y));
+    const int y1 = clamp_y(cell_y(r.hi.y));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        for (const int item : buckets_[static_cast<std::size_t>(y) * nx_ + x]) {
+          fn(item);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double cell() const { return cell_; }
+
+ private:
+  [[nodiscard]] int cell_x(double x) const {
+    return static_cast<int>(std::floor((x - origin_.x) / cell_));
+  }
+  [[nodiscard]] int cell_y(double y) const {
+    return static_cast<int>(std::floor((y - origin_.y) / cell_));
+  }
+  [[nodiscard]] int clamp_x(int x) const { return std::min(std::max(x, 0), nx_ - 1); }
+  [[nodiscard]] int clamp_y(int y) const { return std::min(std::max(y, 0), ny_ - 1); }
+  [[nodiscard]] std::size_t bucket_index(Point p) const {
+    return static_cast<std::size_t>(clamp_y(cell_y(p.y))) * nx_ + clamp_x(cell_x(p.x));
+  }
+
+  Point origin_;
+  double cell_;
+  int nx_;
+  int ny_;
+  std::vector<std::vector<int>> buckets_;
+};
+
+}  // namespace qgdp

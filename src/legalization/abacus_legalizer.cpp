@@ -63,8 +63,16 @@ class Interval {
     return cost;
   }
 
-  /// Cost of this interval's current content.
-  [[nodiscard]] double current_cost() const { return pack(targets_, nullptr); }
+  /// Cost of this interval's current content. Cached between commits —
+  /// every candidate interval is priced once per cell insertion, so
+  /// recomputing the unchanged base cost dominated large runs.
+  [[nodiscard]] double current_cost() const {
+    if (!cost_cached_) {
+      cached_cost_ = pack(targets_, nullptr);
+      cost_cached_ = true;
+    }
+    return cached_cost_;
+  }
 
   /// Trial: cost after inserting a cell with target x `tx`.
   [[nodiscard]] double trial_cost(double tx) const {
@@ -75,7 +83,8 @@ class Interval {
   void commit(int block, double tx) {
     auto [t, idx] = with_inserted(tx);
     targets_ = std::move(t);
-    blocks_.insert(blocks_.begin() + idx, block);
+    blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(idx), block);
+    cost_cached_ = false;
   }
 
   /// Final integer bin columns for the packed cells.
@@ -106,6 +115,8 @@ class Interval {
   double hi_;
   std::vector<double> targets_;  ///< desired left edges, ascending
   std::vector<int> blocks_;      ///< block ids parallel to targets_
+  mutable double cached_cost_{0.0};
+  mutable bool cost_cached_{false};
 };
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 
@@ -15,6 +16,7 @@ BinGrid::BinGrid(Rect die) : die_(die) {
   free_by_row_.resize(static_cast<std::size_t>(ny_));
   for (int y = 0; y < ny_; ++y) {
     for (int x = 0; x < nx_; ++x) free_by_row_[static_cast<std::size_t>(y)].insert(x);
+    free_rows_.insert(y);
   }
   free_total_ = state_.size();
 }
@@ -30,11 +32,15 @@ void BinGrid::set_state(BinCoord b, State s) {
   const State old = state_[i];
   if (old == s) return;
   if (old == State::kFree) {
-    free_by_row_[static_cast<std::size_t>(b.iy)].erase(b.ix);
+    auto& row = free_by_row_[static_cast<std::size_t>(b.iy)];
+    row.erase(b.ix);
+    if (row.empty()) free_rows_.erase(b.iy);
     --free_total_;
   }
   if (s == State::kFree) {
-    free_by_row_[static_cast<std::size_t>(b.iy)].insert(b.ix);
+    auto& row = free_by_row_[static_cast<std::size_t>(b.iy)];
+    if (row.empty()) free_rows_.insert(b.iy);
+    row.insert(b.ix);
     ++free_total_;
     occupant_[i] = -1;
   }
@@ -124,14 +130,36 @@ std::optional<BinCoord> BinGrid::nearest_free_in(Point target, const Rect& regio
   };
 
   // Expand rows outward from the target row; stop once the row offset
-  // alone cannot beat the best distance.
-  const int max_span = std::max(ny_, 1);
+  // alone cannot beat the best distance. Rows without free bins are
+  // skipped through the free-row index — the candidate rows below and
+  // above come from set iterators, so a nearly full grid costs
+  // O(free rows inspected · log n) instead of a walk over every row.
+  // Visit order (lower row before upper at equal offset, both rows of
+  // an offset tried before re-checking the prune) matches the plain
+  // outward loop exactly, so results are unchanged.
   try_row(std::clamp(t.iy, ry0, ry1));
-  for (int off = 1; off <= max_span; ++off) {
+  auto up = free_rows_.upper_bound(t.iy);    // first free row above t.iy
+  auto down = std::make_reverse_iterator(free_rows_.lower_bound(t.iy));  // first below
+  while (down != free_rows_.rend() && *down < ry0) down = free_rows_.rend();
+  while (up != free_rows_.end() && *up > ry1) up = free_rows_.end();
+  const int inf = std::numeric_limits<int>::max();
+  while (true) {
+    const int off_down = down != free_rows_.rend() ? t.iy - *down : inf;
+    const int off_up = up != free_rows_.end() ? *up - t.iy : inf;
+    const int off = std::min(off_down, off_up);
+    if (off == inf) break;
     const double dy = static_cast<double>(off) - 0.5;  // tightest possible
     if (best_bin && dy * dy >= best) break;
-    try_row(t.iy - off);
-    try_row(t.iy + off);
+    if (off_down == off) {
+      try_row(*down);
+      ++down;
+      if (down != free_rows_.rend() && *down < ry0) down = free_rows_.rend();
+    }
+    if (off_up == off) {
+      try_row(*up);
+      ++up;
+      if (up != free_rows_.end() && *up > ry1) up = free_rows_.end();
+    }
   }
   return best_bin;
 }

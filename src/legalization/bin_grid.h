@@ -65,6 +65,9 @@ class BinGrid {
 
   /// Nearest free bin to `target` by Euclidean bin-center distance,
   /// via the row-hierarchical search (O(rows_inspected · log n)).
+  /// Rows with no free bins are skipped wholesale through the
+  /// free-row index, so near-full grids — the kilo-qubit end game —
+  /// do not degrade to a scan over every row.
   [[nodiscard]] std::optional<BinCoord> nearest_free(Point target) const;
 
   /// Nearest free bin, restricted to `region` (used by windowed DP).
@@ -92,6 +95,7 @@ class BinGrid {
   std::vector<State> state_;
   std::vector<int> occupant_;
   std::vector<std::set<int>> free_by_row_;  ///< free x-indices per row
+  std::set<int> free_rows_;                 ///< rows with ≥1 free bin
   std::size_t free_total_{0};
 };
 

@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "geometry/spatial_hash.h"
+
 namespace qgdp {
 
 namespace {
@@ -47,19 +49,33 @@ MacroLegalizer MacroLegalizer::quantum() {
 
 bool qubits_legal(const QuantumNetlist& nl, double min_spacing, double eps) {
   const Rect die = nl.die();
-  const auto qs = nl.qubits();
+  const auto& qs = nl.qubits();
   for (const auto& q : qs) {
     const Rect r = q.rect();
     if (!die.inflated(eps).contains(r)) return false;
   }
+  if (qs.empty()) return true;
+  // Pairwise separation via a spatial hash: a violating pair is within
+  // (max extent + spacing) on both axes, so a cell of that size makes
+  // the 3×3 neighbourhood exhaustive — same verdict as the all-pairs
+  // scan at O(n · neighbourhood).
+  double max_extent = 0.0;
+  for (const auto& q : qs) max_extent = std::max({max_extent, q.width, q.height});
+  const double cell = std::max(1.0, max_extent + min_spacing);
+  SpatialHash hash(die.inflated(cell), cell);
+  for (const auto& q : qs) hash.insert(q.id, q.pos);
   for (std::size_t i = 0; i < qs.size(); ++i) {
-    for (std::size_t j = i + 1; j < qs.size(); ++j) {
-      const double need_x = (qs[i].width + qs[j].width) / 2 + min_spacing;
-      const double need_y = (qs[i].height + qs[j].height) / 2 + min_spacing;
-      const double dx = std::abs(qs[i].pos.x - qs[j].pos.x);
-      const double dy = std::abs(qs[i].pos.y - qs[j].pos.y);
-      if (dx < need_x - eps && dy < need_y - eps) return false;
-    }
+    bool bad = false;
+    hash.for_each_near(qs[i].pos, [&](int j) {
+      if (static_cast<std::size_t>(j) <= i || bad) return;
+      const auto& qj = qs[static_cast<std::size_t>(j)];
+      const double need_x = (qs[i].width + qj.width) / 2 + min_spacing;
+      const double need_y = (qs[i].height + qj.height) / 2 + min_spacing;
+      const double dx = std::abs(qs[i].pos.x - qj.pos.x);
+      const double dy = std::abs(qs[i].pos.y - qj.pos.y);
+      if (dx < need_x - eps && dy < need_y - eps) bad = true;
+    });
+    if (bad) return false;
   }
   return true;
 }
@@ -83,29 +99,68 @@ MacroLegalizeResult MacroLegalizer::legalize(QuantumNetlist& nl) const {
                           : q.pos;
   }
 
+  // Pair-constraint window: 0 means every pair gets a constraint; when
+  // windowed, only pairs whose targets are within `window` (Chebyshev)
+  // do. The final qubits_legal() verification still covers all pairs,
+  // and a missed far-pair collision (never observed in practice — the
+  // window is several times the realistic legalization displacement)
+  // lands in the caller's greedy fallback, so legality is unaffected.
+  double window = opt_.pair_window;
+  if (window < 0.0) {
+    window = 0.0;
+  } else if (window == 0.0 && n > opt_.auto_window_qubits) {
+    double max_extent = 0.0;
+    for (const auto& q : nl.qubits()) max_extent = std::max({max_extent, q.width, q.height});
+    window = std::max(16.0, 4.0 * (max_extent + std::max(opt_.start_spacing, opt_.min_spacing)));
+  }
+
   // Initial axis assignment for every pair: the axis with more slack at
   // the GP positions receives the separation constraint.
+  auto make_pair = [&](int i, int j, double spacing) {
+    const auto& qi = nl.qubit(i);
+    const auto& qj = nl.qubit(j);
+    PairConstraint pc;
+    pc.spacing = spacing;
+    pc.gap_x = (qi.width + qj.width) / 2 + spacing;
+    pc.gap_y = (qi.height + qj.height) / 2 + spacing;
+    const Point ti = target[static_cast<std::size_t>(i)];
+    const Point tj = target[static_cast<std::size_t>(j)];
+    const double slack_x = std::abs(ti.x - tj.x) - pc.gap_x;
+    const double slack_y = std::abs(ti.y - tj.y) - pc.gap_y;
+    pc.axis = (slack_x >= slack_y) ? Axis::kX : Axis::kY;
+    const bool i_first = (pc.axis == Axis::kX) ? (ti.x <= tj.x) : (ti.y <= tj.y);
+    pc.a = i_first ? i : j;
+    pc.b = i_first ? j : i;
+    return pc;
+  };
   auto build_pairs = [&](double spacing) {
     std::vector<PairConstraint> pairs;
-    pairs.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
-    for (int i = 0; i < n; ++i) {
-      for (int j = i + 1; j < n; ++j) {
-        const auto& qi = nl.qubit(i);
-        const auto& qj = nl.qubit(j);
-        PairConstraint pc;
-        pc.spacing = spacing;
-        pc.gap_x = (qi.width + qj.width) / 2 + spacing;
-        pc.gap_y = (qi.height + qj.height) / 2 + spacing;
-        const Point ti = target[static_cast<std::size_t>(i)];
-        const Point tj = target[static_cast<std::size_t>(j)];
-        const double slack_x = std::abs(ti.x - tj.x) - pc.gap_x;
-        const double slack_y = std::abs(ti.y - tj.y) - pc.gap_y;
-        pc.axis = (slack_x >= slack_y) ? Axis::kX : Axis::kY;
-        const bool i_first = (pc.axis == Axis::kX) ? (ti.x <= tj.x) : (ti.y <= tj.y);
-        pc.a = i_first ? i : j;
-        pc.b = i_first ? j : i;
-        pairs.push_back(pc);
+    if (window <= 0.0) {
+      pairs.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) pairs.push_back(make_pair(i, j, spacing));
       }
+      return pairs;
+    }
+    // Windowed: candidate partners from a spatial hash over the targets
+    // (cell = window, so the 3×3 neighbourhood covers the window).
+    // Partners are sorted per anchor, keeping the (i, j) emission order
+    // of the dense loop for the pairs that survive.
+    SpatialHash hash(die.inflated(window), window);
+    for (int i = 0; i < n; ++i) hash.insert(i, target[static_cast<std::size_t>(i)]);
+    std::vector<int> partners;
+    for (int i = 0; i < n; ++i) {
+      partners.clear();
+      const Point ti = target[static_cast<std::size_t>(i)];
+      hash.for_each_near(ti, [&](int j) {
+        if (j <= i) return;
+        const Point tj = target[static_cast<std::size_t>(j)];
+        if (std::max(std::abs(ti.x - tj.x), std::abs(ti.y - tj.y)) <= window) {
+          partners.push_back(j);
+        }
+      });
+      std::sort(partners.begin(), partners.end());
+      for (const int j : partners) pairs.push_back(make_pair(i, j, spacing));
     }
     return pairs;
   };

@@ -33,6 +33,18 @@ struct MacroLegalizerOptions {
   int max_axis_flips{200};    ///< repair budget for infeasible graphs
   bool snap_to_grid{true};    ///< snap targets so solutions are integral
   SpacingRelaxation relaxation{SpacingRelaxation::kGlobal};
+
+  /// Pair-constraint window (cells): pairs whose snapped GP targets are
+  /// further apart than this (Chebyshev) get no explicit constraint —
+  /// the legality verification at the end still covers them, and the
+  /// greedy lattice fallback repairs the (rare) miss. 0 = automatic:
+  /// all pairs up to `auto_window_qubits` qubits (bit-identical to the
+  /// historical behaviour on every paper topology), windowed beyond
+  /// that so kilo-qubit devices avoid the O(n²) pair explosion.
+  /// Negative = always all pairs.
+  double pair_window{0.0};
+  /// Qubit count at which the automatic mode starts windowing.
+  int auto_window_qubits{150};
 };
 
 struct MacroLegalizeResult {

@@ -17,7 +17,8 @@ BlockLegalizeResult TetrisLegalizer::legalize(QuantumNetlist& nl, BinGrid& grid)
 
   for (const int bid : order) {
     WireBlock& blk = nl.block(bid);
-    const auto bin = grid.nearest_free(blk.pos);
+    const auto bin = linear_scan_baseline_ ? grid.nearest_free_linear_scan(blk.pos)
+                                           : grid.nearest_free(blk.pos);
     if (!bin) {
       ++res.failed;
       continue;

@@ -11,8 +11,17 @@ namespace qgdp {
 
 class TetrisLegalizer final : public BlockLegalizer {
  public:
+  /// `linear_scan_baseline` swaps the indexed nearest-free query for
+  /// the exhaustive O(bins) scan — the quadratic reference kept for
+  /// differential tests and the scaling benchmark.
+  explicit TetrisLegalizer(bool linear_scan_baseline = false)
+      : linear_scan_baseline_(linear_scan_baseline) {}
+
   BlockLegalizeResult legalize(QuantumNetlist& nl, BinGrid& grid) const override;
   [[nodiscard]] std::string name() const override { return "Tetris"; }
+
+ private:
+  bool linear_scan_baseline_;
 };
 
 }  // namespace qgdp

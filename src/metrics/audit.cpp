@@ -5,7 +5,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "placement/spatial_hash.h"
+#include "geometry/spatial_hash.h"
 
 namespace qgdp {
 

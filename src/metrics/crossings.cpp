@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <tuple>
 
+#include "geometry/spatial_hash.h"
 #include "metrics/clusters.h"
 
 namespace qgdp {
@@ -55,6 +57,47 @@ Segment trimmed(Segment s, double trim_a, double trim_b) {
   return {s.a + dir * trim_a, s.b - dir * trim_b};
 }
 
+/// Per-edge virtual segments for every active edge.
+std::vector<std::vector<Segment>> collect_segments(const QuantumNetlist& nl,
+                                                   const std::vector<int>& active_edges) {
+  std::vector<std::vector<Segment>> segs(nl.edge_count());
+  for (const int e : active_edges) segs[static_cast<std::size_t>(e)] = edge_virtual_segments(nl, e);
+  return segs;
+}
+
+/// Airbridge runs of one stitching segment over foreign wire blocks:
+/// `hits` is the (foreign edge, param t) list of crossed blocks; each
+/// maximal same-edge run within 1.5 cells collapses to one crossing.
+void emit_airbridge_runs(const Segment& s, int ea, std::vector<std::pair<int, double>>& hits,
+                         CrossingReport& rep) {
+  std::sort(hits.begin(), hits.end());
+  std::size_t i = 0;
+  while (i < hits.size()) {
+    std::size_t j = i;
+    const int foreign = hits[i].first;
+    while (j + 1 < hits.size() && hits[j + 1].first == foreign &&
+           (hits[j + 1].second - hits[j].second) * s.length() <= 1.5) {
+      ++j;
+    }
+    const double tm = (hits[i].second + hits[j].second) / 2;
+    rep.points.push_back({ea, foreign, s.a + (s.b - s.a) * tm});
+    i = j + 1;
+  }
+}
+
+/// Exact per-block test shared by both implementations: does segment
+/// `s` (bbox `sbb`, already inflated) cross block rect `br`, and at
+/// which parameter along `s`?
+bool block_hit(const Segment& s, const Rect& sbb, const Rect& br, double* t_out) {
+  if (!sbb.overlaps(br)) return false;
+  if (!segment_crosses_rect(s, br)) return false;
+  const auto clipped = clip_segment(s, br);
+  if (!clipped) return false;
+  const Point mid = (clipped->a + clipped->b) / 2;
+  *t_out = distance(s.a, mid) / std::max(s.length(), 1e-9);
+  return true;
+}
+
 }  // namespace
 
 std::vector<Segment> edge_virtual_segments(const QuantumNetlist& nl, int edge) {
@@ -76,11 +119,123 @@ CrossingReport compute_crossings(const QuantumNetlist& nl) {
   return compute_crossings_among(nl, all);
 }
 
+CrossingReport compute_crossings_brute(const QuantumNetlist& nl) {
+  std::vector<int> all(nl.edge_count());
+  std::iota(all.begin(), all.end(), 0);
+  return compute_crossings_brute_among(nl, all);
+}
+
 CrossingReport compute_crossings_among(const QuantumNetlist& nl,
                                        const std::vector<int>& active_edges) {
   CrossingReport rep;
-  std::vector<std::vector<Segment>> segs(nl.edge_count());
-  for (const int e : active_edges) segs[static_cast<std::size_t>(e)] = edge_virtual_segments(nl, e);
+  const auto segs = collect_segments(nl, active_edges);
+
+  // Active-edge membership for filtering spatial-hash candidates.
+  std::vector<char> active(nl.edge_count(), 0);
+  for (const int e : active_edges) active[static_cast<std::size_t>(e)] = 1;
+
+  // (a) Airbridges over foreign reserved regions. Candidate blocks for
+  // each stitching segment come from a spatial hash over the wire
+  // blocks of active edges instead of a scan of every foreign edge's
+  // block list; the exact hit predicate and run-collapsing are shared
+  // with the brute-force reference, so the reports match bit for bit.
+  const Rect die = nl.die();
+  SpatialHash block_hash(die.inflated(2.0), 4.0);
+  for (const int eb : active_edges) {
+    for (const int bid : nl.edge(eb).blocks) {
+      block_hash.insert(bid, nl.block(bid).pos);
+    }
+  }
+  for (const int ea : active_edges) {
+    for (const auto& s : segs[static_cast<std::size_t>(ea)]) {
+      const Rect sbb = s.bounding_box().inflated(1.0);
+      std::vector<std::pair<int, double>> hits;  // (foreign edge, param t)
+      // Inflate by the block half-extent so every block whose rect can
+      // overlap sbb has its center inside the queried region.
+      block_hash.for_each_in_rect(sbb.inflated(1.0), [&](int bid) {
+        const WireBlock& blk = nl.block(bid);
+        if (blk.edge == ea || !active[static_cast<std::size_t>(blk.edge)]) return;
+        double t = 0.0;
+        if (block_hit(s, sbb, blk.rect(), &t)) hits.emplace_back(blk.edge, t);
+      });
+      emit_airbridge_runs(s, ea, hits, rep);
+    }
+  }
+
+  // (b) Proper intersections between virtual segments of distinct
+  // edges, via a sweep line over segment bounding boxes: segments enter
+  // the active list in ascending bbox-min-x order and leave once their
+  // bbox-max-x falls behind the sweep; only y-overlapping survivors are
+  // tested with the exact predicate. Output-sensitive — near-linear
+  // for the short, scattered stitching wires of real layouts — versus
+  // the all-pairs reference.
+  struct SweepSeg {
+    Rect bb;
+    int edge_pos;  ///< index of the owning edge in active_edges
+    int seg_idx;   ///< index within that edge's segment list
+  };
+  std::vector<SweepSeg> sweep;
+  for (std::size_t x = 0; x < active_edges.size(); ++x) {
+    const auto& list = segs[static_cast<std::size_t>(active_edges[x])];
+    for (std::size_t si = 0; si < list.size(); ++si) {
+      sweep.push_back({list[si].bounding_box(), static_cast<int>(x), static_cast<int>(si)});
+    }
+  }
+  std::vector<int> order(sweep.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return sweep[static_cast<std::size_t>(a)].bb.lo.x < sweep[static_cast<std::size_t>(b)].bb.lo.x;
+  });
+
+  // Crossings keyed so the emission order matches the brute-force
+  // nested loops: (edge pos x, edge pos y, segment of x, segment of y).
+  using Key = std::tuple<int, int, int, int>;
+  std::vector<std::pair<Key, Point>> found;
+  std::vector<int> live;  // indices into sweep, compacted lazily
+  for (const int idx : order) {
+    const SweepSeg& cur = sweep[static_cast<std::size_t>(idx)];
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < live.size(); ++r) {
+      const SweepSeg& other = sweep[static_cast<std::size_t>(live[r])];
+      if (other.bb.hi.x < cur.bb.lo.x) continue;  // left the sweep window
+      live[w++] = live[r];
+      if (other.edge_pos == cur.edge_pos) continue;
+      if (other.bb.hi.y < cur.bb.lo.y || cur.bb.hi.y < other.bb.lo.y) continue;
+      const Segment& sa =
+          segs[static_cast<std::size_t>(active_edges[static_cast<std::size_t>(cur.edge_pos)])]
+              [static_cast<std::size_t>(cur.seg_idx)];
+      const Segment& sb =
+          segs[static_cast<std::size_t>(active_edges[static_cast<std::size_t>(other.edge_pos)])]
+              [static_cast<std::size_t>(other.seg_idx)];
+      const bool cur_first = cur.edge_pos < other.edge_pos;
+      const SweepSeg& lo = cur_first ? cur : other;
+      const SweepSeg& hi = cur_first ? other : cur;
+      const Segment& slo = cur_first ? sa : sb;
+      const Segment& shi = cur_first ? sb : sa;
+      // Argument order matters bit-wise: call the predicates exactly as
+      // the brute-force reference does (lower edge position first).
+      if (!segments_properly_intersect(slo, shi)) continue;
+      const auto pt = segment_intersection_point(slo, shi);
+      found.emplace_back(Key{lo.edge_pos, hi.edge_pos, lo.seg_idx, hi.seg_idx},
+                         pt.value_or((slo.a + slo.b) / 2));
+    }
+    live.resize(w);
+    live.push_back(idx);
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, pt] : found) {
+    rep.points.push_back({active_edges[static_cast<std::size_t>(std::get<0>(key))],
+                          active_edges[static_cast<std::size_t>(std::get<1>(key))], pt});
+  }
+  rep.total = static_cast<int>(rep.points.size());
+  return rep;
+}
+
+CrossingReport compute_crossings_brute_among(const QuantumNetlist& nl,
+                                             const std::vector<int>& active_edges) {
+  CrossingReport rep;
+  const auto segs = collect_segments(nl, active_edges);
 
   // (a) Each maximal run of foreign wire blocks crossed by a virtual
   // segment is one airbridge: the stitching wire of edge `ea` bridges
@@ -93,29 +248,11 @@ CrossingReport compute_crossings_among(const QuantumNetlist& nl,
       for (const int eb : active_edges) {
         if (eb == ea) continue;
         for (const int bid : nl.edge(eb).blocks) {
-          const Rect br = nl.block(bid).rect();
-          if (!sbb.overlaps(br)) continue;
-          if (!segment_crosses_rect(s, br)) continue;
-          const auto clipped = clip_segment(s, br);
-          if (!clipped) continue;
-          const Point mid = (clipped->a + clipped->b) / 2;
-          const double t = distance(s.a, mid) / std::max(s.length(), 1e-9);
-          hits.emplace_back(eb, t);
+          double t = 0.0;
+          if (block_hit(s, sbb, nl.block(bid).rect(), &t)) hits.emplace_back(eb, t);
         }
       }
-      std::sort(hits.begin(), hits.end());
-      std::size_t i = 0;
-      while (i < hits.size()) {
-        std::size_t j = i;
-        const int foreign = hits[i].first;
-        while (j + 1 < hits.size() && hits[j + 1].first == foreign &&
-               (hits[j + 1].second - hits[j].second) * s.length() <= 1.5) {
-          ++j;
-        }
-        const double tm = (hits[i].second + hits[j].second) / 2;
-        rep.points.push_back({ea, foreign, s.a + (s.b - s.a) * tm});
-        i = j + 1;
-      }
+      emit_airbridge_runs(s, ea, hits, rep);
     }
   }
 

@@ -36,12 +36,23 @@ struct CrossingReport {
 /// with segments shrunk to exclude the components they connect).
 [[nodiscard]] std::vector<Segment> edge_virtual_segments(const QuantumNetlist& nl, int edge);
 
-/// Full crossing analysis over the layout.
+/// Full crossing analysis over the layout. Candidate pairs come from a
+/// bounding-box sweep line over the virtual segments plus a spatial
+/// hash over wire blocks, so the cost is near-linear in segments +
+/// blocks + crossings found; the report is identical (same order, same
+/// points) to the retained brute-force reference.
 [[nodiscard]] CrossingReport compute_crossings(const QuantumNetlist& nl);
 
 /// Crossing count restricted to a set of active edges (fidelity model
 /// only charges errors on resonators engaged by the program).
 [[nodiscard]] CrossingReport compute_crossings_among(const QuantumNetlist& nl,
                                                      const std::vector<int>& active_edges);
+
+/// Brute-force reference (all segment pairs, all foreign blocks per
+/// segment): O(S² + S·B). Retained as the differential-test oracle and
+/// the quadratic baseline of the scaling benchmark.
+[[nodiscard]] CrossingReport compute_crossings_brute(const QuantumNetlist& nl);
+[[nodiscard]] CrossingReport compute_crossings_brute_among(const QuantumNetlist& nl,
+                                                           const std::vector<int>& active_edges);
 
 }  // namespace qgdp

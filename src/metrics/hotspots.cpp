@@ -4,7 +4,7 @@
 #include <cmath>
 #include <set>
 
-#include "placement/spatial_hash.h"
+#include "geometry/spatial_hash.h"
 
 namespace qgdp {
 

@@ -1,8 +1,10 @@
 #include "netlist/topologies.h"
 
 #include <cassert>
+#include <cctype>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace qgdp {
 
@@ -192,6 +194,80 @@ DeviceSpec make_xtree(int root_branch, int branch, int depth) {
   return d;
 }
 
+int heavy_hex_qubit_count(int rows, int cols) {
+  int count = rows * cols;
+  for (int gap = 0; gap + 1 < rows; ++gap) {
+    const int offset = (gap % 2 == 0) ? 0 : 2;
+    if (cols > offset) count += (cols - offset + 3) / 4;
+  }
+  return count;
+}
+
+DeviceSpec make_heavy_hex_device(int rows, int cols, const std::string& name) {
+  if (rows < 1 || cols < 3) {
+    throw std::invalid_argument("heavyhex: rows must be >= 1 and cols >= 3");
+  }
+  DeviceSpec d;
+  d.name = name.empty() ? ("HeavyHex-" + std::to_string(rows) + "x" + std::to_string(cols))
+                        : name;
+  d.qubit_count = heavy_hex_qubit_count(rows, cols);
+  d.coords.assign(static_cast<std::size_t>(d.qubit_count), Point{});
+
+  // Ids follow the Eagle convention: chain row 0, its connectors, chain
+  // row 1, ... so adjacent ids stay spatially adjacent.
+  std::vector<int> chain_first(static_cast<std::size_t>(rows), 0);
+  int next = 0;
+  for (int r = 0; r < rows; ++r) {
+    chain_first[static_cast<std::size_t>(r)] = next;
+    next += cols;
+    if (r + 1 < rows) {
+      const int offset = (r % 2 == 0) ? 0 : 2;
+      if (cols > offset) next += (cols - offset + 3) / 4;
+    }
+  }
+  assert(next == d.qubit_count);
+
+  for (int r = 0; r < rows; ++r) {
+    const int first = chain_first[static_cast<std::size_t>(r)];
+    for (int c = 0; c < cols; ++c) {
+      const int id = first + c;
+      d.coords[static_cast<std::size_t>(id)] = {static_cast<double>(c),
+                                                static_cast<double>((rows - 1 - r) * 2)};
+      if (c + 1 < cols) d.couplings.emplace_back(id, id + 1);
+    }
+    if (r + 1 < rows) {
+      const int offset = (r % 2 == 0) ? 0 : 2;
+      int cid = first + cols;
+      for (int c = offset; c < cols; c += 4, ++cid) {
+        d.coords[static_cast<std::size_t>(cid)] = {
+            static_cast<double>(c), static_cast<double>((rows - 1 - r) * 2 - 1)};
+        d.couplings.emplace_back(first + c, cid);
+        d.couplings.emplace_back(cid, chain_first[static_cast<std::size_t>(r + 1)] + c);
+      }
+    }
+  }
+  return d;
+}
+
+DeviceSpec make_hex_grid_device(int rows, int cols, const std::string& name) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("hex: rows/cols must be >= 1");
+  DeviceSpec d;
+  d.name = name.empty() ? ("Hex-" + std::to_string(rows) + "x" + std::to_string(cols)) : name;
+  d.qubit_count = rows * cols;
+  d.coords.reserve(static_cast<std::size_t>(d.qubit_count));
+  // Brick-wall honeycomb: full chains along every row, vertical rungs
+  // only where (row + col) is even — interior degree tops out at 3.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      d.coords.push_back({static_cast<double>(c), static_cast<double>(r) * 1.5});
+      const int id = r * cols + c;
+      if (c + 1 < cols) d.couplings.emplace_back(id, id + 1);
+      if (r + 1 < rows && (r + c) % 2 == 0) d.couplings.emplace_back(id, id + cols);
+    }
+  }
+  return d;
+}
+
 std::vector<DeviceSpec> all_paper_topologies() {
   return {make_grid_device(),           make_xtree(),
           make_falcon27(),              make_eagle127(),
@@ -199,4 +275,93 @@ std::vector<DeviceSpec> all_paper_topologies() {
           make_octagon_device(2, 5, "Aspen-M")};
 }
 
+namespace {
+
+/// Parses "RxC" (both positive integers); nullopt on malformed input.
+std::optional<std::pair<int, int>> parse_dims(const std::string& s) {
+  const auto x = s.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= s.size()) return std::nullopt;
+  const std::string rs = s.substr(0, x);
+  const std::string cs = s.substr(x + 1);
+  if (rs.find_first_not_of("0123456789") != std::string::npos ||
+      cs.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  try {
+    const int r = std::stoi(rs);
+    const int c = std::stoi(cs);
+    if (r < 1 || c < 1) return std::nullopt;
+    return std::make_pair(r, c);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::string to_lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+std::optional<DeviceSpec> topology_by_name(const std::string& name) {
+  for (auto& d : all_paper_topologies()) {
+    if (d.name == name) return std::move(d);
+  }
+  const auto dash = name.find('-');
+  if (dash == std::string::npos) return std::nullopt;
+  // Family matching is case-insensitive so every name the generators
+  // themselves print ("HeavyHex-7x12", "Grid-32x32", "Hex-9x12")
+  // round-trips through the registry.
+  const std::string family = to_lower(name.substr(0, dash));
+  const auto dims = parse_dims(name.substr(dash + 1));
+  if (!dims) return std::nullopt;
+  const auto [rows, cols] = *dims;
+  // Sanity cap on the resulting qubit count (not rows·cols — octagon
+  // cells hold 8 qubits each) so a typo cannot allocate the world.
+  constexpr long long kMaxQubits = 100000;
+  try {
+    if (family == "grid") {
+      if (static_cast<long long>(rows) * cols > kMaxQubits) return std::nullopt;
+      DeviceSpec d = make_grid_device(rows, cols);
+      d.name = "Grid-" + std::to_string(rows) + "x" + std::to_string(cols);
+      return d;
+    }
+    if (family == "heavyhex") {
+      // Chain qubits alone (rows·cols) bound the count from below;
+      // check that before evaluating the exact int-typed formula.
+      if (cols < 3 || static_cast<long long>(rows) * cols > kMaxQubits ||
+          heavy_hex_qubit_count(rows, cols) > kMaxQubits) {
+        return std::nullopt;
+      }
+      return make_heavy_hex_device(rows, cols);
+    }
+    if (family == "hex") {
+      if (static_cast<long long>(rows) * cols > kMaxQubits) return std::nullopt;
+      return make_hex_grid_device(rows, cols);
+    }
+    if (family == "octagon") {
+      if (static_cast<long long>(rows) * cols * 8 > kMaxQubits) return std::nullopt;
+      return make_octagon_device(rows, cols);
+    }
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> topology_catalog() {
+  std::vector<std::string> out;
+  for (const auto& d : all_paper_topologies()) {
+    out.push_back(d.name + "  (" + std::to_string(d.qubit_count) + " qubits, " +
+                  std::to_string(d.edge_count()) + " resonators)");
+  }
+  out.push_back("grid-RxC      square lattice at R rows x C cols (e.g. grid-32x32)");
+  out.push_back("heavyhex-RxC  heavy-hex family, R chains x C cols (e.g. heavyhex-27x43)");
+  out.push_back("hex-RxC       honeycomb/brick-wall lattice (e.g. hex-32x32)");
+  out.push_back("octagon-RxC   Rigetti octagon lattice, R x C octagons (e.g. octagon-8x16)");
+  return out;
+}
+
 }  // namespace qgdp
+

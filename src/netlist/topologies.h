@@ -10,8 +10,14 @@
 // Each generator also provides canonical drawing coordinates used to
 // seed the global placer, mirroring how QPlacer starts from the
 // schematic layout of the device.
+//
+// Beyond the paper set, parameterized families (square grid, heavy-hex,
+// hex/honeycomb, octagon) scale the same patterns to kilo-qubit
+// devices; topology_by_name() resolves any of them from a string like
+// "heavyhex-27x43" for tools, benches, and the BatchRunner matrix.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,8 +55,35 @@ struct DeviceSpec {
 /// Defaults give the paper's 53-qubit level-3 instance (52 edges).
 [[nodiscard]] DeviceSpec make_xtree(int root_branch = 4, int branch = 3, int depth = 3);
 
+/// Generalized heavy-hex lattice (the Eagle pattern at arbitrary
+/// size): `rows` horizontal chains of `cols` qubits, bridged by
+/// connector qubits every fourth column with the per-gap column offset
+/// alternating between 0 and 2. rows ≥ 1, cols ≥ 3. Scales the family
+/// from double-digit devices to the kilo-qubit range, e.g.
+/// (7, 15) ≈ Eagle-class 129 q and (27, 43) ≈ 1000+ q.
+[[nodiscard]] DeviceSpec make_heavy_hex_device(int rows, int cols, const std::string& name = "");
+
+/// Qubit count of make_heavy_hex_device(rows, cols) without building it.
+[[nodiscard]] int heavy_hex_qubit_count(int rows, int cols);
+
+/// Hexagonal (honeycomb / brick-wall) lattice: a rows×cols grid with
+/// full in-row chains and vertical rungs on alternating columns, so
+/// every qubit has degree ≤ 3. rows, cols ≥ 1.
+[[nodiscard]] DeviceSpec make_hex_grid_device(int rows, int cols, const std::string& name = "");
+
 /// The six topologies of Table I, in the paper's reporting order:
 /// Grid, Xtree, Falcon, Eagle, Aspen-11, Aspen-M.
 [[nodiscard]] std::vector<DeviceSpec> all_paper_topologies();
+
+/// Topology registry: resolves a device by name. Accepts the six paper
+/// names verbatim plus the parameterized families
+///   grid-RxC · heavyhex-RxC · hex-RxC · octagon-RxC
+/// (lower-case family, R rows × C cols, e.g. "heavyhex-27x43").
+/// Returns nullopt for unknown names or invalid parameters.
+[[nodiscard]] std::optional<DeviceSpec> topology_by_name(const std::string& name);
+
+/// Human-readable catalog of everything topology_by_name() accepts,
+/// one entry per line (used by qgdp_tool --list).
+[[nodiscard]] std::vector<std::string> topology_catalog();
 
 }  // namespace qgdp

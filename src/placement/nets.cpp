@@ -1,5 +1,6 @@
 #include "placement/nets.h"
 
+#include <cassert>
 #include <cmath>
 
 namespace qgdp {
@@ -9,28 +10,35 @@ namespace {
 NodeRef qubit_ref(int id) { return {NodeRef::Kind::kQubit, id}; }
 NodeRef block_ref(int id) { return {NodeRef::Kind::kBlock, id}; }
 
-void add_snake_nets(const ResonatorEdge& e, std::vector<Net>& nets) {
-  const int n = e.block_count();
-  if (n == 0) {
-    nets.push_back({qubit_ref(e.q0), qubit_ref(e.q1), 1.0});
-    return;
-  }
-  nets.push_back({qubit_ref(e.q0), block_ref(e.blocks.front()), 1.0});
-  for (int k = 0; k + 1 < n; ++k) {
-    nets.push_back({block_ref(e.blocks[static_cast<std::size_t>(k)]),
-                    block_ref(e.blocks[static_cast<std::size_t>(k + 1)]), 1.0});
-  }
-  nets.push_back({block_ref(e.blocks.back()), qubit_ref(e.q1), 1.0});
+/// Conceptual near-square arrangement: cols × rows with cols = ceil(√n).
+int pseudo_cols(int n) {
+  return static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
 }
 
-void add_pseudo_nets(const ResonatorEdge& e, std::vector<Net>& nets) {
+/// Writes edge `e`'s snake nets at `out`; returns one past the last.
+Net* emit_snake_nets(const ResonatorEdge& e, Net* out) {
   const int n = e.block_count();
   if (n == 0) {
-    nets.push_back({qubit_ref(e.q0), qubit_ref(e.q1), 1.0});
-    return;
+    *out++ = {qubit_ref(e.q0), qubit_ref(e.q1), 1.0};
+    return out;
   }
-  // Conceptual near-square arrangement: cols × rows with cols = ceil(√n).
-  const int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  *out++ = {qubit_ref(e.q0), block_ref(e.blocks.front()), 1.0};
+  for (int k = 0; k + 1 < n; ++k) {
+    *out++ = {block_ref(e.blocks[static_cast<std::size_t>(k)]),
+              block_ref(e.blocks[static_cast<std::size_t>(k + 1)]), 1.0};
+  }
+  *out++ = {block_ref(e.blocks.back()), qubit_ref(e.q1), 1.0};
+  return out;
+}
+
+/// Writes edge `e`'s pseudo nets at `out`; returns one past the last.
+Net* emit_pseudo_nets(const ResonatorEdge& e, Net* out) {
+  const int n = e.block_count();
+  if (n == 0) {
+    *out++ = {qubit_ref(e.q0), qubit_ref(e.q1), 1.0};
+    return out;
+  }
+  const int cols = pseudo_cols(n);
   auto at = [&](int r, int c) -> int {
     const int idx = r * cols + c;
     return idx < n ? e.blocks[static_cast<std::size_t>(idx)] : -1;
@@ -43,31 +51,63 @@ void add_pseudo_nets(const ResonatorEdge& e, std::vector<Net>& nets) {
       // Right and up neighbours ("interconnected with all neighbouring
       // segments"; each undirected pair added once).
       if (const int right = (c + 1 < cols) ? at(r, c + 1) : -1; right >= 0) {
-        nets.push_back({block_ref(b), block_ref(right), 1.0});
+        *out++ = {block_ref(b), block_ref(right), 1.0};
       }
       if (const int up = (r + 1 < rows) ? at(r + 1, c) : -1; up >= 0) {
-        nets.push_back({block_ref(b), block_ref(up), 1.0});
+        *out++ = {block_ref(b), block_ref(up), 1.0};
       }
     }
   }
   // Qubit taps at opposite corners of the arrangement.
-  nets.push_back({qubit_ref(e.q0), block_ref(e.blocks.front()), 1.0});
-  nets.push_back({qubit_ref(e.q1), block_ref(e.blocks.back()), 1.0});
+  *out++ = {qubit_ref(e.q0), block_ref(e.blocks.front()), 1.0};
+  *out++ = {qubit_ref(e.q1), block_ref(e.blocks.back()), 1.0};
+  return out;
 }
 
 }  // namespace
 
-std::vector<Net> build_connection_nets(const QuantumNetlist& nl, ConnectionStyle style) {
-  std::vector<Net> nets;
-  nets.reserve(nl.block_count() * 2 + nl.edge_count() * 2);
-  for (const auto& e : nl.edges()) {
-    if (style == ConnectionStyle::kSnake) {
-      add_snake_nets(e, nets);
-    } else {
-      add_pseudo_nets(e, nets);
-    }
+std::size_t edge_net_count(const ResonatorEdge& e, ConnectionStyle style) {
+  const int n = e.block_count();
+  if (n == 0) return 1;  // direct qubit-qubit net
+  if (style == ConnectionStyle::kSnake) {
+    // q0 tap + (n-1) chain links + q1 tap.
+    return static_cast<std::size_t>(n) + 1;
   }
-  return nets;
+  // Pseudo: in a cols-wide arrangement holding n cells, horizontal
+  // pairs number n - rows (each of the `rows` rows contributes
+  // cells-in-row − 1) and vertical pairs n - cols (every cell with an
+  // occupied cell directly above, i.e. idx + cols < n), plus two taps.
+  const int cols = pseudo_cols(n);
+  const int rows = (n + cols - 1) / cols;
+  const int horizontal = n - rows;
+  const int vertical = n > cols ? n - cols : 0;
+  return static_cast<std::size_t>(horizontal + vertical + 2);
+}
+
+NetBundle build_connection_net_bundle(const QuantumNetlist& nl, ConnectionStyle style) {
+  NetBundle bundle;
+  bundle.edge_spans.resize(nl.edge_count());
+  std::size_t total = 0;
+  for (const auto& e : nl.edges()) {
+    const std::size_t count = edge_net_count(e, style);
+    bundle.edge_spans[static_cast<std::size_t>(e.id)] = {total, total + count};
+    total += count;
+  }
+  bundle.nets.resize(total);
+  for (const auto& e : nl.edges()) {
+    const auto [begin, end] = bundle.edge_spans[static_cast<std::size_t>(e.id)];
+    Net* out = bundle.nets.data() + begin;
+    Net* const written = style == ConnectionStyle::kSnake ? emit_snake_nets(e, out)
+                                                          : emit_pseudo_nets(e, out);
+    assert(written == bundle.nets.data() + end);
+    (void)written;
+    (void)end;
+  }
+  return bundle;
+}
+
+std::vector<Net> build_connection_nets(const QuantumNetlist& nl, ConnectionStyle style) {
+  return build_connection_net_bundle(nl, style).nets;
 }
 
 }  // namespace qgdp

@@ -5,8 +5,17 @@
 // rectangular arrangement, instead of the snake chain used in QPlacer.
 // Pseudo connections pull the blocks of a resonator into a compact
 // rectangle during GP, which is dramatically easier to legalize.
+//
+// Construction is bucketed: the exact net count of every edge is known
+// up front (closed-form per style), so the full net array is allocated
+// once and each edge writes its nets into its own contiguous span. No
+// reallocation at kilo-qubit block counts, and the per-edge spans give
+// downstream consumers (incremental updates, per-edge wirelength) an
+// O(1) view of one resonator's nets.
 #pragma once
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "netlist/quantum_netlist.h"
@@ -24,6 +33,29 @@ struct Net {
   NodeRef b;
   double weight{1.0};
 };
+
+/// Net set plus the contiguous [begin, end) span each edge wrote.
+struct NetBundle {
+  std::vector<Net> nets;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_spans;  ///< per edge id
+
+  /// Nets of one resonator edge.
+  [[nodiscard]] const Net* edge_begin(int edge) const {
+    return nets.data() + edge_spans[static_cast<std::size_t>(edge)].first;
+  }
+  [[nodiscard]] const Net* edge_end(int edge) const {
+    return nets.data() + edge_spans[static_cast<std::size_t>(edge)].second;
+  }
+};
+
+/// Exact number of nets edge `e` contributes under `style` (closed
+/// form, no materialization).
+[[nodiscard]] std::size_t edge_net_count(const ResonatorEdge& e, ConnectionStyle style);
+
+/// Bucketed construction: single exact-size allocation, one contiguous
+/// span per edge.
+[[nodiscard]] NetBundle build_connection_net_bundle(const QuantumNetlist& nl,
+                                                    ConnectionStyle style);
 
 /// Builds the GP net set for every resonator of the netlist.
 [[nodiscard]] std::vector<Net> build_connection_nets(const QuantumNetlist& nl,

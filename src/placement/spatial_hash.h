@@ -1,63 +1,7 @@
-// Uniform-grid spatial hash for neighbour queries during global
-// placement (pairwise repulsion would otherwise be O(n²)).
+// Forwarding header: SpatialHash graduated to the shared geometry
+// layer (src/geometry/spatial_hash.h) when the legalizers and metrics
+// started using it too. Include the geometry header directly in new
+// code.
 #pragma once
 
-#include <cmath>
-#include <cstddef>
-#include <vector>
-
-#include "geometry/point.h"
-#include "geometry/rect.h"
-
-namespace qgdp {
-
-class SpatialHash {
- public:
-  /// `cell` is the bucket edge length; choose ≥ the largest interaction
-  /// radius so a 3×3 bucket neighbourhood covers every candidate pair.
-  SpatialHash(Rect area, double cell)
-      : origin_(area.lo),
-        cell_(cell),
-        nx_(std::max(1, static_cast<int>(std::ceil(area.width() / cell)))),
-        ny_(std::max(1, static_cast<int>(std::ceil(area.height() / cell)))),
-        buckets_(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_)) {}
-
-  void clear() {
-    for (auto& b : buckets_) b.clear();
-  }
-
-  void insert(int item, Point p) {
-    buckets_[bucket_index(p)].push_back(item);
-  }
-
-  /// Invokes fn(item) for every item in the 3×3 bucket neighbourhood of p.
-  template <typename Fn>
-  void for_each_near(Point p, Fn&& fn) const {
-    const int cx = clamp_x(static_cast<int>(std::floor((p.x - origin_.x) / cell_)));
-    const int cy = clamp_y(static_cast<int>(std::floor((p.y - origin_.y) / cell_)));
-    for (int y = std::max(0, cy - 1); y <= std::min(ny_ - 1, cy + 1); ++y) {
-      for (int x = std::max(0, cx - 1); x <= std::min(nx_ - 1, cx + 1); ++x) {
-        for (const int item : buckets_[static_cast<std::size_t>(y) * nx_ + x]) {
-          fn(item);
-        }
-      }
-    }
-  }
-
- private:
-  [[nodiscard]] int clamp_x(int x) const { return std::min(std::max(x, 0), nx_ - 1); }
-  [[nodiscard]] int clamp_y(int y) const { return std::min(std::max(y, 0), ny_ - 1); }
-  [[nodiscard]] std::size_t bucket_index(Point p) const {
-    const int cx = clamp_x(static_cast<int>(std::floor((p.x - origin_.x) / cell_)));
-    const int cy = clamp_y(static_cast<int>(std::floor((p.y - origin_.y) / cell_)));
-    return static_cast<std::size_t>(cy) * nx_ + cx;
-  }
-
-  Point origin_;
-  double cell_;
-  int nx_;
-  int ny_;
-  std::vector<std::vector<int>> buckets_;
-};
-
-}  // namespace qgdp
+#include "geometry/spatial_hash.h"

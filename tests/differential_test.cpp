@@ -1,0 +1,170 @@
+// Differential tests pinning the indexed hot paths bit-exact against
+// the retained brute-force references on randomized inputs:
+//   * sweep-line + spatial-hash crossing counter  vs  all-pairs scan
+//   * BinGrid hierarchical nearest-free           vs  linear scan
+//   * indexed legalizer runs                      vs  linear-scan runs
+// The references are the quadratic baselines the scaling benchmark
+// times; these tests are what make that comparison honest.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "legalization/bin_grid.h"
+#include "legalization/tetris_legalizer.h"
+#include "metrics/crossings.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+void expect_identical_reports(const CrossingReport& fast, const CrossingReport& brute,
+                              const std::string& context) {
+  ASSERT_EQ(fast.total, brute.total) << context;
+  ASSERT_EQ(fast.points.size(), brute.points.size()) << context;
+  for (std::size_t i = 0; i < fast.points.size(); ++i) {
+    EXPECT_EQ(fast.points[i].edge_a, brute.points[i].edge_a) << context << " point " << i;
+    EXPECT_EQ(fast.points[i].edge_b, brute.points[i].edge_b) << context << " point " << i;
+    // Bit-exact, not approximately equal: the sweep must call the same
+    // predicates in the same argument order as the reference.
+    EXPECT_EQ(fast.points[i].where.x, brute.points[i].where.x) << context << " point " << i;
+    EXPECT_EQ(fast.points[i].where.y, brute.points[i].where.y) << context << " point " << i;
+  }
+}
+
+TEST(CrossingsDifferential, LegalizedLayoutsMatchBruteForce) {
+  // Classic flows fragment resonators heavily (many stitching wires);
+  // qGDP keeps them unified (few). Both regimes must match.
+  for (const char* name : {"Grid", "Falcon", "hex-6x8", "heavyhex-4x8"}) {
+    const auto spec = topology_by_name(name);
+    ASSERT_TRUE(spec.has_value()) << name;
+    for (const LegalizerKind kind : {LegalizerKind::kTetris, LegalizerKind::kQgdp}) {
+      QuantumNetlist nl = build_netlist(*spec);
+      PipelineOptions opt;
+      opt.legalizer = kind;
+      (void)Pipeline(opt).run(nl);
+      expect_identical_reports(compute_crossings(nl), compute_crossings_brute(nl),
+                               std::string(name) + "/" + legalizer_name(kind));
+    }
+  }
+}
+
+TEST(CrossingsDifferential, RandomizedScatteredBlocksMatchBruteForce) {
+  // Worst-case stitching: blocks strewn uniformly over the die produce
+  // maximal cluster counts, long MST wires, and dense airbridge runs.
+  const auto spec = topology_by_name("grid-6x6");
+  ASSERT_TRUE(spec.has_value());
+  for (const unsigned seed : {3u, 11u, 29u}) {
+    QuantumNetlist nl = build_netlist(*spec);
+    std::mt19937 rng(seed);
+    const Rect die = nl.die();
+    const int nx = static_cast<int>(die.width());
+    const int ny = static_cast<int>(die.height());
+    std::uniform_int_distribution<int> dx(0, nx - 1);
+    std::uniform_int_distribution<int> dy(0, ny - 1);
+    for (const auto& b : nl.blocks()) {
+      nl.block(b.id).pos = {die.lo.x + dx(rng) + 0.5, die.lo.y + dy(rng) + 0.5};
+    }
+    expect_identical_reports(compute_crossings(nl), compute_crossings_brute(nl),
+                             "scatter seed " + std::to_string(seed));
+  }
+
+  // Restriction to an active-edge subset must match too (fidelity path).
+  QuantumNetlist nl = build_netlist(*spec);
+  std::vector<int> active;
+  for (int e = 0; e < static_cast<int>(nl.edge_count()); e += 3) active.push_back(e);
+  expect_identical_reports(compute_crossings_among(nl, active),
+                           compute_crossings_brute_among(nl, active), "active subset");
+}
+
+/// Random grid with `fill` fraction of bins occupied/blocked.
+BinGrid random_grid(int side, double fill, unsigned seed) {
+  BinGrid g(Rect{0, 0, static_cast<double>(side), static_cast<double>(side)});
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> c(0, side - 1);
+  std::bernoulli_distribution as_block(0.3);
+  const auto target = static_cast<std::size_t>(fill * side * side);
+  int id = 0;
+  while (g.free_count() > static_cast<std::size_t>(side) * side - target) {
+    const BinCoord b{c(rng), c(rng)};
+    if (!g.is_free(b)) continue;
+    if (as_block(rng)) {
+      g.block_rect(Rect{static_cast<double>(b.ix), static_cast<double>(b.iy),
+                        static_cast<double>(b.ix + 1), static_cast<double>(b.iy + 1)});
+    } else {
+      g.occupy(b, id++);
+    }
+  }
+  return g;
+}
+
+TEST(BinGridDifferential, NearestFreeMatchesLinearScanDistance) {
+  // The indexed query must return a bin at exactly the linear-scan
+  // distance for every target (equidistant ties may pick a different
+  // bin; the metric is what legalization quality depends on).
+  for (const int side : {17, 48}) {
+    for (const double fill : {0.3, 0.85, 0.99}) {
+      const BinGrid g = random_grid(side, fill, 1234u + side);
+      std::mt19937 rng(99);
+      std::uniform_real_distribution<double> p(-2.0, side + 2.0);
+      for (int q = 0; q < 200; ++q) {
+        const Point target{p(rng), p(rng)};
+        const auto fast = g.nearest_free(target);
+        const auto ref = g.nearest_free_linear_scan(target);
+        ASSERT_EQ(fast.has_value(), ref.has_value());
+        if (!fast) continue;
+        EXPECT_EQ(distance2(g.center_of(*fast), target), distance2(g.center_of(*ref), target))
+            << "side " << side << " fill " << fill << " target (" << target.x << ", "
+            << target.y << ")";
+        EXPECT_TRUE(g.is_free(*fast));
+      }
+    }
+  }
+}
+
+TEST(BinGridDifferential, FullGridAndEmptyRegionEdgeCases) {
+  BinGrid g(Rect{0, 0, 8, 8});
+  // Fill the grid completely: both paths must agree there is nothing.
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) g.occupy({x, y}, y * 8 + x);
+  }
+  EXPECT_FALSE(g.nearest_free({4, 4}).has_value());
+  EXPECT_FALSE(g.nearest_free_linear_scan({4, 4}).has_value());
+  // Free exactly one far-corner bin: the row-skip index must find it.
+  g.release({7, 0});
+  const auto fast = g.nearest_free({0.5, 7.5});
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(fast->ix, 7);
+  EXPECT_EQ(fast->iy, 0);
+  // Region-restricted query that excludes the only free bin.
+  EXPECT_FALSE(g.nearest_free_in({0.5, 7.5}, Rect{0, 4, 8, 8}).has_value());
+}
+
+TEST(LegalizerDifferential, TetrisLinearScanBaselineSameDisplacementMetric) {
+  // Whole-run comparison: every placement decision queries the same
+  // metric, so the per-step distances agree; with distinct distances
+  // at every step (generic GP positions) the layouts coincide.
+  const auto spec = topology_by_name("Falcon");
+  ASSERT_TRUE(spec.has_value());
+  QuantumNetlist gp = build_netlist(*spec);
+  GlobalPlacer{}.place(gp);
+  auto run = [&](bool linear) {
+    QuantumNetlist nl = gp;
+    QubitLegalizer(false).legalize(nl);
+    BinGrid grid(nl.die());
+    for (const auto& q : nl.qubits()) grid.block_rect(q.rect());
+    const auto res = TetrisLegalizer(linear).legalize(nl, grid);
+    return std::make_pair(res, nl);
+  };
+  const auto [fast_res, fast_nl] = run(false);
+  const auto [ref_res, ref_nl] = run(true);
+  EXPECT_EQ(fast_res.placed, ref_res.placed);
+  EXPECT_EQ(fast_res.failed, ref_res.failed);
+  EXPECT_NEAR(fast_res.total_displacement, ref_res.total_displacement,
+              1e-6 * std::max(1.0, ref_res.total_displacement));
+}
+
+}  // namespace
+}  // namespace qgdp

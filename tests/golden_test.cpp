@@ -1,0 +1,114 @@
+// Golden-file regression for the Table II quality stats on the six
+// seed topologies: the full flow × topology matrix is re-run and
+// compared against the checked-in JSON snapshot, so a refactor that
+// silently drifts placement quality (displacement, resonator
+// integrity, crossings, hotspot rate) fails loudly instead of slipping
+// through.
+//
+// Regenerate intentionally with
+//   QGDP_UPDATE_GOLDEN=1 ./golden_test
+// and commit the diff of tests/golden/table2_stats.json alongside the
+// change that explains it. Timing columns are excluded (machine
+// dependent); doubles compare with a small relative tolerance so a
+// compiler's reassociation cannot flip the verdict.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "metrics/clusters.h"
+#include "metrics/crossings.h"
+#include "metrics/hotspots.h"
+
+#include "../bench/common.h"
+
+#ifndef QGDP_GOLDEN_DIR
+#define QGDP_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace qgdp {
+namespace {
+
+using Stats = std::map<std::string, double>;
+
+/// Flat stat map keyed "Topology/Flow/metric" for the whole matrix.
+Stats collect_stats() {
+  Stats stats;
+  for (const auto& runs : bench::run_matrix(all_paper_topologies())) {
+    for (const auto& flow : runs.flows) {
+      const std::string prefix = runs.spec.name + "/" + flow.name + "/";
+      const auto hs = compute_hotspots(flow.netlist);
+      const auto cr = compute_crossings(flow.netlist);
+      stats[prefix + "qubit_disp"] = flow.stats.qubit.total_displacement;
+      stats[prefix + "block_disp"] = flow.stats.blocks.total_displacement;
+      stats[prefix + "spacing"] = flow.stats.qubit.spacing_used;
+      stats[prefix + "unified"] = unified_edge_count(flow.netlist);
+      stats[prefix + "crossings"] = cr.total;
+      stats[prefix + "ph_pct"] = hs.ph * 100.0;
+      stats[prefix + "spacing_violations"] = hs.spacing_violations;
+    }
+  }
+  return stats;
+}
+
+std::string golden_path() { return std::string(QGDP_GOLDEN_DIR) + "/table2_stats.json"; }
+
+void write_golden(const Stats& stats) {
+  std::ofstream os(golden_path());
+  ASSERT_TRUE(os.good()) << "cannot write " << golden_path();
+  os.precision(9);
+  os << "{\n";
+  std::size_t i = 0;
+  for (const auto& [key, value] : stats) {
+    os << "  \"" << key << "\": " << value << (++i < stats.size() ? "," : "") << "\n";
+  }
+  os << "}\n";
+}
+
+/// Parses the flat one-entry-per-line JSON written by write_golden.
+Stats read_golden() {
+  Stats stats;
+  std::ifstream is(golden_path());
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto k0 = line.find('"');
+    if (k0 == std::string::npos) continue;
+    const auto k1 = line.find('"', k0 + 1);
+    const auto colon = line.find(':', k1);
+    if (k1 == std::string::npos || colon == std::string::npos) continue;
+    const std::string key = line.substr(k0 + 1, k1 - k0 - 1);
+    std::string value = line.substr(colon + 1);
+    if (!value.empty() && value.back() == ',') value.pop_back();
+    stats[key] = std::stod(value);
+  }
+  return stats;
+}
+
+TEST(GoldenTable2, SeedTopologyStatsMatchSnapshot) {
+  const Stats current = collect_stats();
+  if (std::getenv("QGDP_UPDATE_GOLDEN") != nullptr) {
+    write_golden(current);
+    GTEST_SKIP() << "golden snapshot regenerated at " << golden_path();
+  }
+  const Stats golden = read_golden();
+  ASSERT_FALSE(golden.empty()) << "missing or empty " << golden_path()
+                               << " — run with QGDP_UPDATE_GOLDEN=1 to create it";
+
+  for (const auto& [key, expected] : golden) {
+    const auto it = current.find(key);
+    ASSERT_NE(it, current.end()) << "stat disappeared: " << key;
+    const double tol = 1e-6 * std::max(1.0, std::abs(expected));
+    EXPECT_NEAR(it->second, expected, tol) << key;
+  }
+  for (const auto& [key, value] : current) {
+    (void)value;
+    EXPECT_TRUE(golden.count(key)) << "new stat not in snapshot (regenerate): " << key;
+  }
+}
+
+}  // namespace
+}  // namespace qgdp

@@ -8,7 +8,7 @@
 #include "netlist/topologies.h"
 #include "placement/global_placer.h"
 #include "placement/nets.h"
-#include "placement/spatial_hash.h"
+#include "geometry/spatial_hash.h"
 
 namespace qgdp {
 namespace {

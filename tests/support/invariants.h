@@ -1,0 +1,107 @@
+// Reusable legality-invariant checker for property-based tests.
+//
+// A legalized quantum layout must satisfy, for every flow and every
+// topology (paper §III-B):
+//   1. no site overlap        — component rects disjoint AND no two
+//                               wire blocks share a bin center;
+//   2. all components on-fabric — rects inside the die (Eq. 2);
+//   3. wire blocks on the bin lattice (centers at k+0.5);
+//   4. min-spacing respected  — qubit pairs separated per-axis by the
+//                               flow's achieved spacing (Eq. 1);
+//   5. no resonator left at its pre-placement seed stack;
+//   6. frequency constraints  — coupled qubits detuned, and resonators
+//                               sharing a qubit detuned (the crosstalk
+//                               preconditions the frequency planner
+//                               guarantees by construction).
+//
+// check_legality_invariants() returns human-readable failure strings
+// (empty = legal), so gtest callers can EXPECT_TRUE(failures.empty())
+// and print exactly what broke. Builders adding a new flow or topology
+// should run their layouts through this checker — see
+// tests/invariants_test.cpp for the randomized seeds × flows ×
+// topologies matrix.
+#pragma once
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/audit.h"
+#include "netlist/quantum_netlist.h"
+
+namespace qgdp::test_support {
+
+struct InvariantOptions {
+  /// Achieved qubit spacing of the flow under test (0 disables rule 4).
+  double qubit_min_spacing{0.0};
+  /// Minimum detuning (GHz) between coupled qubits / resonators sharing
+  /// a qubit. The default builder plan separates adjacent qubit groups
+  /// by 70 MHz with ±8 MHz jitter, so 40 MHz is a safe floor; set to 0
+  /// to skip the frequency rules (e.g. hand-built netlists).
+  double min_qubit_detuning_ghz{0.040};
+  double min_resonator_detuning_ghz{0.001};
+  double eps{1e-6};
+};
+
+/// All invariant violations of the current layout (empty = legal).
+inline std::vector<std::string> check_legality_invariants(const QuantumNetlist& nl,
+                                                          const InvariantOptions& opt = {}) {
+  std::vector<std::string> failures;
+
+  // Rules 1–5 (geometric) ride on the audit DRC, which is itself
+  // differential-tested; the checker adds the site-uniqueness and
+  // frequency rules the audit does not cover.
+  AuditOptions aopt;
+  aopt.qubit_min_spacing = opt.qubit_min_spacing;
+  aopt.eps = opt.eps;
+  const AuditReport audit = audit_layout(nl, aopt);
+  for (const auto& v : audit.violations) {
+    failures.push_back("[" + to_string(v.kind) + "] " + v.detail);
+  }
+
+  // Rule 1b: no two wire blocks on the same bin (site). Overlap would
+  // catch coincident unit blocks too, but this check stays valid even
+  // for zero-area degenerate blocks.
+  std::set<std::pair<long long, long long>> bins;
+  for (const auto& b : nl.blocks()) {
+    const auto key = std::make_pair(static_cast<long long>(std::llround(b.pos.x * 2)),
+                                    static_cast<long long>(std::llround(b.pos.y * 2)));
+    if (!bins.insert(key).second) {
+      failures.push_back("[site-overlap] two blocks share bin center (" +
+                         std::to_string(b.pos.x) + ", " + std::to_string(b.pos.y) + ")");
+    }
+  }
+
+  // Rule 6: frequency constraints.
+  if (opt.min_qubit_detuning_ghz > 0.0) {
+    for (const auto& e : nl.edges()) {
+      const double df = std::abs(nl.qubit(e.q0).frequency - nl.qubit(e.q1).frequency);
+      if (df < opt.min_qubit_detuning_ghz) {
+        failures.push_back("[frequency] coupled qubits " + std::to_string(e.q0) + "," +
+                           std::to_string(e.q1) + " detuned by only " + std::to_string(df) +
+                           " GHz");
+      }
+    }
+  }
+  if (opt.min_resonator_detuning_ghz > 0.0) {
+    for (std::size_t q = 0; q < nl.qubit_count(); ++q) {
+      const auto& inc = nl.incident_edges(static_cast<int>(q));
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        for (std::size_t j = i + 1; j < inc.size(); ++j) {
+          const double df =
+              std::abs(nl.edge(inc[i]).frequency - nl.edge(inc[j]).frequency);
+          if (df < opt.min_resonator_detuning_ghz) {
+            failures.push_back("[frequency] resonators " + std::to_string(inc[i]) + "," +
+                               std::to_string(inc[j]) + " sharing qubit " + std::to_string(q) +
+                               " detuned by only " + std::to_string(df) + " GHz");
+          }
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+}  // namespace qgdp::test_support
