@@ -79,11 +79,31 @@ struct HotPaths {
   [[nodiscard]] double lg_speedup() const { return lg_quad_ms() / std::max(lg_fast_ms(), 1e-6); }
 };
 
+/// Global-placement phase breakdown: the multilevel deterministic-
+/// parallel path (production default) timed against the retained flat
+/// single-thread baseline on the same netlist + seed.
+struct GpSample {
+  double gp_ms{0.0};           ///< multilevel wall time
+  double net_ms{0.0};          ///< net-attraction kernel
+  double repulsion_ms{0.0};    ///< overlap+frequency kernel
+  double integrate_ms{0.0};    ///< integration/clamp
+  double coarsen_ms{0.0};      ///< hierarchy construction
+  int levels{1};
+  int iterations{0};
+  int hash_rebuilds{0};
+  double wirelength{0.0};
+  double overlap{0.0};
+  double flat_ms{0.0};         ///< retained flat single-thread loop
+  double flat_wirelength{0.0};
+  double flat_overlap{0.0};
+  [[nodiscard]] double speedup() const { return flat_ms / std::max(gp_ms, 1e-6); }
+};
+
 struct Entry {
   DeviceSpec spec;
   std::size_t blocks{0};
   double die_w{0.0}, die_h{0.0};
-  double gp_ms{0.0};
+  GpSample gp;
   double rss_mb{0.0};
   std::vector<FlowSample> flows;
   HotPaths hot;
@@ -153,6 +173,10 @@ HotPaths measure_hot_paths(const QuantumNetlist& gp_nl) {
 
   // Crossing counter, sweep-line vs brute force, on the fast layout.
   {
+    // Untimed warmup: the first crossing analysis pays the cold-cache
+    // cost of gathering cluster centroids, which at small sizes dwarfs
+    // the counting itself and skewed whichever side ran first.
+    (void)compute_crossings(fast_nl);
     const auto t0 = std::chrono::steady_clock::now();
     const auto fast = compute_crossings(fast_nl);
     h.crossings_fast_ms = ms_since(t0);
@@ -177,7 +201,8 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void write_json(const std::vector<Entry>& entries, unsigned gp_seed, const std::string& path) {
+void write_json(const std::vector<Entry>& entries, unsigned gp_seed, std::size_t gp_jobs,
+                const std::string& path) {
   std::ofstream os(path);
   os.precision(4);
   os << std::fixed;
@@ -185,8 +210,10 @@ void write_json(const std::vector<Entry>& entries, unsigned gp_seed, const std::
      << "  \"bench\": \"scaling_sweep\",\n"
      << "  \"family\": \"heavyhex\",\n"
      << "  \"gp_seed\": " << gp_seed << ",\n"
+     << "  \"gp_jobs\": " << gp_jobs << ",\n"
      << "  \"note\": \"times in ms; peak_rss_mb is the process high-water mark, monotonic "
-        "over the sweep; quadratic baselines = retained all-pairs/linear-scan paths\",\n"
+        "over the sweep; quadratic baselines = retained all-pairs/linear-scan paths; "
+        "gp.flat_* = retained flat single-thread GP loop on the same netlist + seed\",\n"
      << "  \"entries\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
@@ -196,7 +223,21 @@ void write_json(const std::vector<Entry>& entries, unsigned gp_seed, const std::
        << "      \"resonators\": " << e.spec.edge_count() << ",\n"
        << "      \"blocks\": " << e.blocks << ",\n"
        << "      \"die\": [" << e.die_w << ", " << e.die_h << "],\n"
-       << "      \"gp_ms\": " << e.gp_ms << ",\n"
+       << "      \"gp_ms\": " << e.gp.gp_ms << ",\n"
+       << "      \"gp\": {\n"
+       << "        \"gp_net_ms\": " << e.gp.net_ms << ", \"gp_repulsion_ms\": "
+       << e.gp.repulsion_ms << ", \"gp_integrate_ms\": " << e.gp.integrate_ms
+       << ", \"gp_coarsen_ms\": " << e.gp.coarsen_ms << ",\n"
+       << "        \"gp_levels\": " << e.gp.levels << ", \"gp_iterations\": "
+       << e.gp.iterations << ", \"gp_hash_rebuilds\": " << e.gp.hash_rebuilds << ",\n"
+       << "        \"gp_wirelength\": " << e.gp.wirelength << ", \"gp_overlap\": "
+       << e.gp.overlap << ",\n"
+       << "        \"gp_flat_ms\": " << e.gp.flat_ms << ", \"gp_flat_wirelength\": "
+       << e.gp.flat_wirelength << ", \"gp_flat_overlap\": " << e.gp.flat_overlap << ",\n"
+       << "        \"gp_speedup\": " << e.gp.speedup() << ", \"gp_wirelength_ratio\": "
+       << e.gp.wirelength / std::max(e.gp.flat_wirelength, 1e-6)
+       << ", \"gp_overlap_ratio\": " << e.gp.overlap / std::max(e.gp.flat_overlap, 1e-6)
+       << "\n      },\n"
        << "      \"peak_rss_mb\": " << e.rss_mb << ",\n"
        << "      \"flows\": [\n";
     for (std::size_t f = 0; f < e.flows.size(); ++f) {
@@ -235,10 +276,12 @@ void write_json(const std::vector<Entry>& entries, unsigned gp_seed, const std::
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_scaling.json";
+  std::string dump_gp_path;
   int max_qubits = 2100;
   int baseline_max_qubits = 1300;
   bool quick = false;
   unsigned gp_seed = 1;
+  std::size_t gp_jobs = 0;  // 0 = all hardware threads (bit-identical for any N)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
@@ -258,11 +301,24 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--seed") {
       gp_seed = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--jobs") {
+      gp_jobs = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--dump-gp") {
+      dump_gp_path = value();
     } else {
       std::cerr << "usage: bench_scaling_sweep [--out FILE] [--max-qubits N]\n"
-                   "         [--baseline-max-qubits N] [--quick] [--seed N]\n";
+                   "         [--baseline-max-qubits N] [--quick] [--seed N]\n"
+                   "         [--jobs N] [--dump-gp FILE]\n";
       return arg == "--help" ? 0 : 1;
     }
+  }
+
+  // Full-precision GP position dump (hexfloat) — CI diffs the dumps of
+  // two --jobs values to assert the bit-identical determinism contract.
+  std::ofstream gp_dump;
+  if (!dump_gp_path.empty()) {
+    gp_dump.open(dump_gp_path);
+    gp_dump << std::hexfloat;
   }
 
   // Heavy-hex ladder: ~100, ~250, ~500, ~1100, ~2000 qubits.
@@ -272,8 +328,8 @@ int main(int argc, char** argv) {
   if (quick) flows = {LegalizerKind::kQgdp, LegalizerKind::kTetris};
 
   std::vector<Entry> entries;
-  Table t({"topology", "qubits", "blocks", "gp ms", "qGDP tq/te ms", "LG speedup", "X speedup",
-           "RSS MB"});
+  Table t({"topology", "qubits", "blocks", "gp ms", "gp flat ms", "gp speedup", "qGDP tq/te ms",
+           "LG speedup", "X speedup", "RSS MB"});
   for (const auto& [rows, cols] : ladder) {
     if (heavy_hex_qubit_count(rows, cols) > max_qubits) continue;
     Entry e;
@@ -285,9 +341,36 @@ int main(int argc, char** argv) {
     {
       GlobalPlacerOptions gopt;
       gopt.seed = gp_seed;
+      gopt.jobs = gp_jobs;
       const auto t0 = std::chrono::steady_clock::now();
-      GlobalPlacer(gopt).place(gp_nl);
-      e.gp_ms = ms_since(t0);
+      const auto stats = GlobalPlacer(gopt).place(gp_nl);
+      e.gp.gp_ms = ms_since(t0);
+      e.gp.net_ms = stats.net_ms;
+      e.gp.repulsion_ms = stats.repulsion_ms;
+      e.gp.integrate_ms = stats.integrate_ms;
+      e.gp.coarsen_ms = stats.coarsen_ms;
+      e.gp.levels = stats.levels_used;
+      e.gp.iterations = stats.iterations_run;
+      e.gp.hash_rebuilds = stats.hash_rebuilds;
+      e.gp.wirelength = stats.total_wirelength;
+      e.gp.overlap = stats.overlap_area;
+    }
+    {
+      // Retained flat single-thread loop on a fresh netlist + same seed.
+      QuantumNetlist flat_nl = build_netlist(e.spec);
+      GlobalPlacerOptions gopt;
+      gopt.seed = gp_seed;
+      gopt.flat_baseline = true;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto stats = GlobalPlacer(gopt).place(flat_nl);
+      e.gp.flat_ms = ms_since(t0);
+      e.gp.flat_wirelength = stats.total_wirelength;
+      e.gp.flat_overlap = stats.overlap_area;
+    }
+    if (gp_dump.is_open()) {
+      gp_dump << "# " << e.spec.name << "\n";
+      for (const auto& q : gp_nl.qubits()) gp_dump << q.pos.x << " " << q.pos.y << "\n";
+      for (const auto& b : gp_nl.blocks()) gp_dump << b.pos.x << " " << b.pos.y << "\n";
     }
     for (const LegalizerKind kind : flows) e.flows.push_back(run_flow(gp_nl, kind));
     if (e.spec.qubit_count <= baseline_max_qubits) e.hot = measure_hot_paths(gp_nl);
@@ -297,7 +380,7 @@ int main(int argc, char** argv) {
     tqte.precision(1);
     tqte << std::fixed << e.flows[0].tq_ms << " / " << e.flows[0].te_ms;
     t.add_row({e.spec.name, std::to_string(e.spec.qubit_count), std::to_string(e.blocks),
-               fmt(e.gp_ms, 0), tqte.str(),
+               fmt(e.gp.gp_ms, 0), fmt(e.gp.flat_ms, 0), fmt(e.gp.speedup(), 1) + "x", tqte.str(),
                e.hot.measured ? fmt(e.hot.lg_speedup(), 1) + "x" : "-",
                e.hot.measured
                    ? fmt(e.hot.crossings_quad_ms / std::max(e.hot.crossings_fast_ms, 1e-6), 1) +
@@ -314,7 +397,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "\ninvariants: " << (all_clean ? "clean at every size" : "VIOLATIONS FOUND")
             << "\n";
-  write_json(entries, gp_seed, out_path);
+  write_json(entries, gp_seed, gp_jobs, out_path);
   std::cout << "json written to " << out_path << "\n";
   return all_clean ? 0 : 2;
 }

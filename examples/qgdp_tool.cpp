@@ -44,8 +44,12 @@ options:
                     one shared GP layout and prints a comparison)
   --dp              run the detailed-placement stage (qgdp flow only)
   --seed N          global-placement seed (default 1)
-  --jobs N          concurrent lanes for batch modes (default: all
-                    hardware threads; results are identical for any N)
+  --gp-levels N     global-placement hierarchy depth: 0 = auto from the
+                    component count (default), 1 = single level (flat),
+                    up to 4
+  --jobs N          concurrent lanes for batch modes and the GP force
+                    kernels (default: all hardware threads; results are
+                    bit-identical for any N)
   --out FILE        write the final layout as .qlay
   --svg FILE        render the final layout as SVG
   --list            list built-in topologies and exit
@@ -65,11 +69,13 @@ std::optional<LegalizerKind> parse_flow(const std::string& s) {
 /// "--flow all": the five-flow comparison matrix from one shared GP
 /// layout, batch-executed over `jobs` lanes. Takes ownership of the
 /// freshly built netlist and places it.
-int run_all_flows(const DeviceSpec& spec, QuantumNetlist gp_nl, unsigned seed, bool run_dp,
-                  std::size_t jobs) {
+int run_all_flows(const DeviceSpec& spec, QuantumNetlist gp_nl, unsigned seed, int gp_levels,
+                  bool run_dp, std::size_t jobs) {
   {
     GlobalPlacerOptions gp_opt;
     gp_opt.seed = seed;
+    gp_opt.levels = gp_levels;
+    gp_opt.jobs = jobs;
     GlobalPlacer(gp_opt).place(gp_nl);
   }
   const auto matrix =
@@ -116,6 +122,7 @@ int main(int argc, char** argv) {
   std::string svg_file;
   bool run_dp = false;
   unsigned seed = 1;
+  int gp_levels = 0;     // 0 = auto from component count
   std::size_t jobs = 0;  // 0 = hardware concurrency
 
   for (int i = 1; i < argc; ++i) {
@@ -156,6 +163,8 @@ int main(int argc, char** argv) {
       run_dp = true;
     } else if (arg == "--seed") {
       seed = static_cast<unsigned>(numeric_value(std::numeric_limits<unsigned>::max()));
+    } else if (arg == "--gp-levels") {
+      gp_levels = static_cast<int>(numeric_value(4));
     } else if (arg == "--jobs") {
       jobs = static_cast<std::size_t>(numeric_value(std::numeric_limits<std::size_t>::max()));
     } else if (arg == "--out") {
@@ -197,13 +206,15 @@ int main(int argc, char** argv) {
       std::cerr << "warning: --out/--svg are ignored with --flow all "
                    "(no single final layout); run one flow to write artifacts\n";
     }
-    return run_all_flows(spec, std::move(nl), seed, run_dp, jobs);
+    return run_all_flows(spec, std::move(nl), seed, gp_levels, run_dp, jobs);
   }
 
   PipelineOptions opt;
   opt.legalizer = *flow;
   opt.run_detailed = run_dp && *flow == LegalizerKind::kQgdp;
   opt.gp.seed = seed;
+  opt.gp.levels = gp_levels;
+  opt.gp.jobs = jobs;
   const auto out = Pipeline(opt).run(nl);
 
   // Metrics + audit.

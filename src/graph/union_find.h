@@ -42,6 +42,22 @@ class UnionFind {
   [[nodiscard]] std::size_t component_count() const { return components_; }
   [[nodiscard]] std::size_t element_count() const { return parent_.size(); }
 
+  /// Maps every element to a dense cluster id in [0, component_count()),
+  /// numbered by first appearance in element order — a deterministic
+  /// relabeling used by the multilevel coarsener to turn a matching
+  /// into contiguous coarse-body ids. Returns the cluster count.
+  std::size_t compact_roots(std::vector<int>& cluster_of) {
+    cluster_of.assign(parent_.size(), -1);
+    std::vector<int> root_id(parent_.size(), -1);
+    int next = 0;
+    for (std::size_t i = 0; i < parent_.size(); ++i) {
+      const std::size_t r = find(i);
+      if (root_id[r] < 0) root_id[r] = next++;
+      cluster_of[i] = root_id[r];
+    }
+    return static_cast<std::size_t>(next);
+  }
+
  private:
   std::vector<std::size_t> parent_;
   std::vector<std::size_t> size_;

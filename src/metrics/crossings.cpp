@@ -98,6 +98,60 @@ bool block_hit(const Segment& s, const Rect& sbb, const Rect& br, double* t_out)
   return true;
 }
 
+/// Below this many virtual segments the sweep-line + spatial-hash
+/// machinery costs more than it saves (hash construction dominates the
+/// handful of candidate pairs), so the indexed counter falls back to
+/// the brute-force body. Both bodies share the exact predicates and
+/// emission order, so the fallback is invisible to callers — the
+/// differential test pins the reports bit-identical either way.
+constexpr std::size_t kBruteSegmentCutoff = 200;
+
+std::size_t total_segment_count(const std::vector<std::vector<Segment>>& segs) {
+  std::size_t total = 0;
+  for (const auto& list : segs) total += list.size();
+  return total;
+}
+
+/// Brute-force crossing analysis over pre-collected segments:
+/// all foreign blocks per segment, all segment pairs.
+void crossings_brute_impl(const QuantumNetlist& nl, const std::vector<int>& active_edges,
+                          const std::vector<std::vector<Segment>>& segs, CrossingReport& rep) {
+  // (a) Each maximal run of foreign wire blocks crossed by a virtual
+  // segment is one airbridge: the stitching wire of edge `ea` bridges
+  // over the reserved region of edge `eb`. Runs of A-over-B and
+  // B-over-A are physically distinct bridges — no symmetric dedup.
+  for (const int ea : active_edges) {
+    for (const auto& s : segs[static_cast<std::size_t>(ea)]) {
+      const Rect sbb = s.bounding_box().inflated(1.0);
+      std::vector<std::pair<int, double>> hits;  // (foreign edge, param t)
+      for (const int eb : active_edges) {
+        if (eb == ea) continue;
+        for (const int bid : nl.edge(eb).blocks) {
+          double t = 0.0;
+          if (block_hit(s, sbb, nl.block(bid).rect(), &t)) hits.emplace_back(eb, t);
+        }
+      }
+      emit_airbridge_runs(s, ea, hits, rep);
+    }
+  }
+
+  // (b) Proper intersections between virtual segments of distinct edges.
+  for (std::size_t x = 0; x < active_edges.size(); ++x) {
+    for (std::size_t y = x + 1; y < active_edges.size(); ++y) {
+      const int ea = active_edges[x];
+      const int eb = active_edges[y];
+      for (const auto& sa : segs[static_cast<std::size_t>(ea)]) {
+        for (const auto& sb : segs[static_cast<std::size_t>(eb)]) {
+          if (segments_properly_intersect(sa, sb)) {
+            const auto pt = segment_intersection_point(sa, sb);
+            rep.points.push_back({ea, eb, pt.value_or((sa.a + sa.b) / 2)});
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Segment> edge_virtual_segments(const QuantumNetlist& nl, int edge) {
@@ -129,6 +183,14 @@ CrossingReport compute_crossings_among(const QuantumNetlist& nl,
                                        const std::vector<int>& active_edges) {
   CrossingReport rep;
   const auto segs = collect_segments(nl, active_edges);
+
+  // Small layouts: the brute-force body wins below the cutoff (and is
+  // bit-identical, so callers cannot tell which body ran).
+  if (total_segment_count(segs) < kBruteSegmentCutoff) {
+    crossings_brute_impl(nl, active_edges, segs, rep);
+    rep.total = static_cast<int>(rep.points.size());
+    return rep;
+  }
 
   // Active-edge membership for filtering spatial-hash candidates.
   std::vector<char> active(nl.edge_count(), 0);
@@ -236,41 +298,7 @@ CrossingReport compute_crossings_brute_among(const QuantumNetlist& nl,
                                              const std::vector<int>& active_edges) {
   CrossingReport rep;
   const auto segs = collect_segments(nl, active_edges);
-
-  // (a) Each maximal run of foreign wire blocks crossed by a virtual
-  // segment is one airbridge: the stitching wire of edge `ea` bridges
-  // over the reserved region of edge `eb`. Runs of A-over-B and
-  // B-over-A are physically distinct bridges — no symmetric dedup.
-  for (const int ea : active_edges) {
-    for (const auto& s : segs[static_cast<std::size_t>(ea)]) {
-      const Rect sbb = s.bounding_box().inflated(1.0);
-      std::vector<std::pair<int, double>> hits;  // (foreign edge, param t)
-      for (const int eb : active_edges) {
-        if (eb == ea) continue;
-        for (const int bid : nl.edge(eb).blocks) {
-          double t = 0.0;
-          if (block_hit(s, sbb, nl.block(bid).rect(), &t)) hits.emplace_back(eb, t);
-        }
-      }
-      emit_airbridge_runs(s, ea, hits, rep);
-    }
-  }
-
-  // (b) Proper intersections between virtual segments of distinct edges.
-  for (std::size_t x = 0; x < active_edges.size(); ++x) {
-    for (std::size_t y = x + 1; y < active_edges.size(); ++y) {
-      const int ea = active_edges[x];
-      const int eb = active_edges[y];
-      for (const auto& sa : segs[static_cast<std::size_t>(ea)]) {
-        for (const auto& sb : segs[static_cast<std::size_t>(eb)]) {
-          if (segments_properly_intersect(sa, sb)) {
-            const auto pt = segment_intersection_point(sa, sb);
-            rep.points.push_back({ea, eb, pt.value_or((sa.a + sa.b) / 2)});
-          }
-        }
-      }
-    }
-  }
+  crossings_brute_impl(nl, active_edges, segs, rep);
   rep.total = static_cast<int>(rep.points.size());
   return rep;
 }

@@ -40,7 +40,9 @@ struct CrossingReport {
 /// bounding-box sweep line over the virtual segments plus a spatial
 /// hash over wire blocks, so the cost is near-linear in segments +
 /// blocks + crossings found; the report is identical (same order, same
-/// points) to the retained brute-force reference.
+/// points) to the retained brute-force reference. Below ~200 virtual
+/// segments the indexed machinery costs more than it saves, so the
+/// call transparently runs the brute-force body instead (same report).
 [[nodiscard]] CrossingReport compute_crossings(const QuantumNetlist& nl);
 
 /// Crossing count restricted to a set of active edges (fidelity model

@@ -1,0 +1,187 @@
+#include "placement/multilevel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/union_find.h"
+
+namespace qgdp {
+
+namespace {
+
+/// Aggregates `fine` bodies into `cluster_count` coarse bodies given a
+/// dense cluster id per fine body. Coarse position is the area-weighted
+/// centroid, the footprint is the equivalent-area square, the frequency
+/// is the largest member's (lowest index on ties), and nets are fine
+/// nets remapped to cluster endpoints with self-loops dropped and
+/// parallel nets merged by weight sum. Deterministic throughout.
+PlacementLevel aggregate(const PlacementLevel& fine, std::vector<int> cluster_of,
+                         std::size_t cluster_count) {
+  PlacementLevel coarse;
+  const std::size_t n = cluster_count;
+  coarse.x.assign(n, 0.0);
+  coarse.y.assign(n, 0.0);
+  coarse.half_w.assign(n, 0.0);
+  coarse.half_h.assign(n, 0.0);
+  coarse.freq.assign(n, 0.0);
+  coarse.mass.assign(n, 0.0);
+
+  std::vector<double> area(n, 0.0);
+  std::vector<double> best_area(n, -1.0);
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    const auto c = static_cast<std::size_t>(cluster_of[i]);
+    const double a = 4.0 * fine.half_w[i] * fine.half_h[i];
+    coarse.x[c] += fine.x[i] * a;
+    coarse.y[c] += fine.y[i] * a;
+    area[c] += a;
+    coarse.mass[c] += fine.mass[i];
+    if (a > best_area[c]) {
+      best_area[c] = a;
+      coarse.freq[c] = fine.freq[i];
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const double a = std::max(area[c], 1e-12);
+    coarse.x[c] /= a;
+    coarse.y[c] /= a;
+    const double half = std::sqrt(a) / 2.0;
+    coarse.half_w[c] = half;
+    coarse.half_h[c] = half;
+  }
+
+  // Remap nets; merge parallel coarse nets deterministically.
+  std::vector<IndexedNet> remapped;
+  remapped.reserve(fine.nets.size());
+  for (const auto& net : fine.nets) {
+    int ca = cluster_of[static_cast<std::size_t>(net.a)];
+    int cb = cluster_of[static_cast<std::size_t>(net.b)];
+    if (ca == cb) continue;  // internal to a cluster
+    if (ca > cb) std::swap(ca, cb);
+    remapped.push_back({ca, cb, net.weight});
+  }
+  std::sort(remapped.begin(), remapped.end(), [](const IndexedNet& p, const IndexedNet& q) {
+    return p.a != q.a ? p.a < q.a : p.b < q.b;
+  });
+  for (const auto& net : remapped) {
+    if (!coarse.nets.empty() && coarse.nets.back().a == net.a && coarse.nets.back().b == net.b) {
+      coarse.nets.back().weight += net.weight;
+    } else {
+      coarse.nets.push_back(net);
+    }
+  }
+
+  coarse.fine_to_coarse = std::move(cluster_of);
+  coarse.build_incidence();
+  return coarse;
+}
+
+}  // namespace
+
+void PlacementLevel::build_incidence() {
+  const std::size_t n = size();
+  inc_off.assign(n + 1, 0);
+  for (const auto& net : nets) {
+    ++inc_off[static_cast<std::size_t>(net.a) + 1];
+    ++inc_off[static_cast<std::size_t>(net.b) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) inc_off[i + 1] += inc_off[i];
+  inc_nbr.assign(inc_off[n], 0);
+  inc_w.assign(inc_off[n], 0.0);
+  std::vector<std::size_t> cursor(inc_off.begin(), inc_off.end() - 1);
+  for (const auto& net : nets) {
+    const auto a = static_cast<std::size_t>(net.a);
+    const auto b = static_cast<std::size_t>(net.b);
+    inc_nbr[cursor[a]] = net.b;
+    inc_w[cursor[a]++] = net.weight;
+    inc_nbr[cursor[b]] = net.a;
+    inc_w[cursor[b]++] = net.weight;
+  }
+}
+
+PlacementLevel make_finest_level(const QuantumNetlist& nl, const std::vector<Net>& nets) {
+  PlacementLevel level;
+  const std::size_t n = nl.component_count();
+  level.x.reserve(n);
+  level.y.reserve(n);
+  level.half_w.reserve(n);
+  level.half_h.reserve(n);
+  level.freq.reserve(n);
+  level.mass.assign(n, 1.0);
+  for (const auto& q : nl.qubits()) {
+    level.x.push_back(q.pos.x);
+    level.y.push_back(q.pos.y);
+    level.half_w.push_back(q.width / 2.0);
+    level.half_h.push_back(q.height / 2.0);
+    level.freq.push_back(q.frequency);
+  }
+  for (const auto& b : nl.blocks()) {
+    level.x.push_back(b.pos.x);
+    level.y.push_back(b.pos.y);
+    level.half_w.push_back(b.size / 2.0);
+    level.half_h.push_back(b.size / 2.0);
+    level.freq.push_back(nl.edge(b.edge).frequency);
+  }
+  level.nets.reserve(nets.size());
+  for (const auto& net : nets) {
+    level.nets.push_back({body_index(nl, net.a), body_index(nl, net.b), net.weight});
+  }
+  level.build_incidence();
+  return level;
+}
+
+PlacementLevel coarsen_edge_clusters(const QuantumNetlist& nl, const PlacementLevel& fine) {
+  const int nq = static_cast<int>(nl.qubit_count());
+  // Qubits keep their index; edges with blocks get dense ids after.
+  std::vector<int> edge_cluster(nl.edge_count(), -1);
+  int next = nq;
+  for (const auto& e : nl.edges()) {
+    if (!e.blocks.empty()) edge_cluster[static_cast<std::size_t>(e.id)] = next++;
+  }
+  std::vector<int> cluster_of(fine.size());
+  for (int q = 0; q < nq; ++q) cluster_of[static_cast<std::size_t>(q)] = q;
+  for (const auto& b : nl.blocks()) {
+    cluster_of[static_cast<std::size_t>(nq + b.id)] =
+        edge_cluster[static_cast<std::size_t>(b.edge)];
+  }
+  return aggregate(fine, std::move(cluster_of), static_cast<std::size_t>(next));
+}
+
+PlacementLevel coarsen_matching(const PlacementLevel& fine, double max_mass) {
+  // Strongest nets first; ties broken by endpoint indices so the
+  // matching is a pure function of the level.
+  std::vector<std::size_t> order(fine.nets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t p, std::size_t q) {
+    const IndexedNet& np = fine.nets[p];
+    const IndexedNet& nq = fine.nets[q];
+    if (np.weight != nq.weight) return np.weight > nq.weight;
+    return np.a != nq.a ? np.a < nq.a : np.b < nq.b;
+  });
+
+  UnionFind uf(fine.size());
+  std::vector<double> cluster_mass(fine.mass);
+  for (const std::size_t idx : order) {
+    const IndexedNet& net = fine.nets[idx];
+    const std::size_t ra = uf.find(static_cast<std::size_t>(net.a));
+    const std::size_t rb = uf.find(static_cast<std::size_t>(net.b));
+    if (ra == rb) continue;
+    if (cluster_mass[ra] + cluster_mass[rb] > max_mass) continue;
+    const double merged = cluster_mass[ra] + cluster_mass[rb];
+    uf.unite(ra, rb);
+    cluster_mass[uf.find(ra)] = merged;
+  }
+  std::vector<int> cluster_of;
+  const std::size_t count = uf.compact_roots(cluster_of);
+  return aggregate(fine, std::move(cluster_of), count);
+}
+
+void interpolate_to_finer(const PlacementLevel& coarse, const std::vector<double>& x0,
+                          const std::vector<double>& y0, PlacementLevel& fine) {
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    const auto c = static_cast<std::size_t>(coarse.fine_to_coarse[i]);
+    fine.x[i] += coarse.x[c] - x0[c];
+    fine.y[i] += coarse.y[c] - y0[c];
+  }
+}
+
+}  // namespace qgdp

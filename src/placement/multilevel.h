@@ -1,0 +1,93 @@
+// Multilevel clustering for the global placer.
+//
+// Force-directed global placement is the pipeline's dominant cost at
+// kilo-qubit scale: the flat loop needs hundreds of full-size
+// iterations to spread tens of thousands of wire blocks. The standard
+// fix (multilevel placement, as in mPL/SimPL-family placers) is to
+// coarsen the netlist bottom-up, place the small coarse problem with a
+// full iteration budget, then interpolate down and *refine* each finer
+// level with a shrinking budget — most iterations run on a fraction of
+// the bodies.
+//
+// The hierarchy here has two coarsening rules:
+//   1. edge-cluster level — the wire blocks of one resonator collapse
+//      into their edge's super-body (they are tightly bound by the
+//      pseudo-connection nets and move as a blob anyway); qubits stay
+//      singletons;
+//   2. heavy-edge matching — further levels merge the strongest-
+//      connected cluster pairs (union-find over nets sorted by weight,
+//      capped by cluster mass so a level cannot collapse into one blob).
+//
+// Levels are structure-of-arrays (pos/extent/freq/mass vectors) and
+// carry a CSR incidence of their attraction nets, so the force kernels
+// are cache-linear and index-resolved once per level instead of doing
+// per-net per-iteration NodeRef lookups. Everything is deterministic:
+// cluster ids are dense first-appearance relabelings, coarse nets are
+// sorted and merged by endpoint pair, and no construction step depends
+// on thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/quantum_netlist.h"
+#include "placement/nets.h"
+
+namespace qgdp {
+
+/// Index-resolved two-pin attraction net: endpoints are dense body
+/// indices (qubits first, then wire blocks at the finest level).
+struct IndexedNet {
+  int a{0};
+  int b{0};
+  double weight{1.0};
+};
+
+/// One level of the placement hierarchy, structure-of-arrays.
+struct PlacementLevel {
+  std::vector<double> x, y;            ///< body centers
+  std::vector<double> half_w, half_h;  ///< half extents (overlap repulsion)
+  std::vector<double> freq;            ///< GHz (frequency repulsion)
+  std::vector<double> mass;            ///< fine components represented
+  std::vector<IndexedNet> nets;        ///< merged attraction nets
+  /// CSR incidence of `nets`: every net appears in both endpoints'
+  /// rows, so force kernels gather per body with no reduction.
+  std::vector<std::size_t> inc_off;
+  std::vector<int> inc_nbr;
+  std::vector<double> inc_w;
+  /// For a coarse level: cluster id of each next-finer-level body.
+  std::vector<int> fine_to_coarse;
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+
+  /// (Re)builds inc_* from `nets` (counting sort, deterministic).
+  void build_incidence();
+};
+
+/// Dense body index of a NodeRef at the finest level (qubits first).
+[[nodiscard]] inline int body_index(const QuantumNetlist& nl, NodeRef ref) {
+  return ref.kind == NodeRef::Kind::kQubit ? ref.id
+                                           : static_cast<int>(nl.qubit_count()) + ref.id;
+}
+
+/// Finest level from the netlist's current positions + a connection-net
+/// set (endpoints resolved to body indices once, here).
+[[nodiscard]] PlacementLevel make_finest_level(const QuantumNetlist& nl,
+                                               const std::vector<Net>& nets);
+
+/// Coarsening rule 1: qubits stay singletons; each resonator's blocks
+/// collapse into one super-body at their area centroid.
+[[nodiscard]] PlacementLevel coarsen_edge_clusters(const QuantumNetlist& nl,
+                                                   const PlacementLevel& fine);
+
+/// Coarsening rule 2: heavy-edge matching. Merges net-connected cluster
+/// pairs strongest-first while the merged mass stays ≤ `max_mass`.
+[[nodiscard]] PlacementLevel coarsen_matching(const PlacementLevel& fine, double max_mass);
+
+/// Pushes a placed coarse level down: every finer-level body moves by
+/// its cluster's displacement (current coarse position minus the
+/// position snapshotted in `x0`/`y0` before the coarse level ran).
+void interpolate_to_finer(const PlacementLevel& coarse, const std::vector<double>& x0,
+                          const std::vector<double>& y0, PlacementLevel& fine);
+
+}  // namespace qgdp

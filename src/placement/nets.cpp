@@ -10,11 +10,6 @@ namespace {
 NodeRef qubit_ref(int id) { return {NodeRef::Kind::kQubit, id}; }
 NodeRef block_ref(int id) { return {NodeRef::Kind::kBlock, id}; }
 
-/// Conceptual near-square arrangement: cols × rows with cols = ceil(√n).
-int pseudo_cols(int n) {
-  return static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
-}
-
 /// Writes edge `e`'s snake nets at `out`; returns one past the last.
 Net* emit_snake_nets(const ResonatorEdge& e, Net* out) {
   const int n = e.block_count();
@@ -38,7 +33,7 @@ Net* emit_pseudo_nets(const ResonatorEdge& e, Net* out) {
     *out++ = {qubit_ref(e.q0), qubit_ref(e.q1), 1.0};
     return out;
   }
-  const int cols = pseudo_cols(n);
+  const int cols = pseudo_grid_cols(n);
   auto at = [&](int r, int c) -> int {
     const int idx = r * cols + c;
     return idx < n ? e.blocks[static_cast<std::size_t>(idx)] : -1;
@@ -66,6 +61,10 @@ Net* emit_pseudo_nets(const ResonatorEdge& e, Net* out) {
 
 }  // namespace
 
+int pseudo_grid_cols(int n) {
+  return static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+}
+
 std::size_t edge_net_count(const ResonatorEdge& e, ConnectionStyle style) {
   const int n = e.block_count();
   if (n == 0) return 1;  // direct qubit-qubit net
@@ -77,7 +76,7 @@ std::size_t edge_net_count(const ResonatorEdge& e, ConnectionStyle style) {
   // pairs number n - rows (each of the `rows` rows contributes
   // cells-in-row − 1) and vertical pairs n - cols (every cell with an
   // occupied cell directly above, i.e. idx + cols < n), plus two taps.
-  const int cols = pseudo_cols(n);
+  const int cols = pseudo_grid_cols(n);
   const int rows = (n + cols - 1) / cols;
   const int horizontal = n - rows;
   const int vertical = n > cols ? n - cols : 0;

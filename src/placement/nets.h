@@ -48,6 +48,11 @@ struct NetBundle {
   }
 };
 
+/// Columns of the conceptual near-square √n×√n block arrangement the
+/// pseudo style connects (cols = ⌈√n⌉). Shared with the global
+/// placer, which seeds each resonator's blocks in this arrangement.
+[[nodiscard]] int pseudo_grid_cols(int n);
+
 /// Exact number of nets edge `e` contributes under `style` (closed
 /// form, no materialization).
 [[nodiscard]] std::size_t edge_net_count(const ResonatorEdge& e, ConnectionStyle style);

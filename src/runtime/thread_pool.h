@@ -89,4 +89,21 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t jobs, Body&& b
   parallel_for(ThreadPool::shared(), begin, end, jobs, std::forward<Body>(body));
 }
 
+/// Deterministic-reduction building block: runs body(chunk, lo, hi)
+/// over the ⌈n / chunk_size⌉ fixed-size chunks of [0, n). Chunk
+/// boundaries depend only on (n, chunk_size) — never on `jobs` or the
+/// pool size — so a caller that writes per-chunk partials and folds
+/// them in chunk-index order afterwards gets bit-identical results at
+/// any thread count (the determinism contract of the global placer's
+/// force kernels).
+template <typename ChunkBody>
+void parallel_for_chunks(ThreadPool& pool, std::size_t n, std::size_t chunk_size,
+                         std::size_t jobs, ChunkBody&& body) {
+  if (n == 0) return;
+  const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
+  parallel_for(pool, 0, chunks, jobs, [&](std::size_t c) {
+    body(c, c * chunk_size, std::min(n, (c + 1) * chunk_size));
+  });
+}
+
 }  // namespace qgdp

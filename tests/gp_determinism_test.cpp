@@ -1,0 +1,106 @@
+// The global placer's determinism contract: positions are
+// byte-identical across ThreadPool sizes and across repeated runs with
+// the same seed. The force kernels are owner-computes (per-body gather
+// in fixed order) and every reduction folds fixed-size chunks in chunk
+// order, so neither the pool size nor the `jobs` lane count may change
+// a single bit of the output — the same contract the batch runtime
+// established for the flow×topology matrix.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+#include "placement/global_placer.h"
+#include "runtime/thread_pool.h"
+
+namespace qgdp {
+namespace {
+
+/// All component coordinates in netlist order.
+std::vector<double> layout_coords(const QuantumNetlist& nl) {
+  std::vector<double> out;
+  out.reserve(2 * nl.component_count());
+  for (const auto& q : nl.qubits()) {
+    out.push_back(q.pos.x);
+    out.push_back(q.pos.y);
+  }
+  for (const auto& b : nl.blocks()) {
+    out.push_back(b.pos.x);
+    out.push_back(b.pos.y);
+  }
+  return out;
+}
+
+/// Byte-level equality (stricter than ==: distinguishes -0.0 / 0.0).
+bool bytes_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+std::vector<double> place_with_pool(const DeviceSpec& spec, std::size_t pool_threads) {
+  QuantumNetlist nl = build_netlist(spec);
+  GlobalPlacerOptions opt;
+  opt.seed = 7u;
+  opt.jobs = 0;  // one lane per pool thread
+  ThreadPool pool(pool_threads);
+  GlobalPlacer(opt, pool).place(nl);
+  return layout_coords(nl);
+}
+
+class GpDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GpDeterminism, ByteIdenticalAcrossThreadPoolSizes) {
+  const auto spec = topology_by_name(GetParam());
+  ASSERT_TRUE(spec.has_value()) << GetParam();
+  const auto reference = place_with_pool(*spec, 1);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t threads : {4u, 8u}) {
+    const auto coords = place_with_pool(*spec, threads);
+    EXPECT_TRUE(bytes_equal(reference, coords))
+        << GetParam() << ": positions differ between pool sizes 1 and " << threads;
+  }
+}
+
+TEST_P(GpDeterminism, ByteIdenticalAcrossRepeatedRuns) {
+  const auto spec = topology_by_name(GetParam());
+  ASSERT_TRUE(spec.has_value()) << GetParam();
+  const auto first = place_with_pool(*spec, 4);
+  const auto second = place_with_pool(*spec, 4);
+  EXPECT_TRUE(bytes_equal(first, second))
+      << GetParam() << ": repeated runs with the same seed differ";
+}
+
+TEST_P(GpDeterminism, ByteIdenticalAcrossJobCounts) {
+  const auto spec = topology_by_name(GetParam());
+  ASSERT_TRUE(spec.has_value()) << GetParam();
+  std::vector<std::vector<double>> runs;
+  for (const std::size_t jobs : {1u, 3u, 8u}) {
+    QuantumNetlist nl = build_netlist(*spec);
+    GlobalPlacerOptions opt;
+    opt.seed = 7u;
+    opt.jobs = jobs;
+    GlobalPlacer(opt).place(nl);
+    runs.push_back(layout_coords(nl));
+  }
+  EXPECT_TRUE(bytes_equal(runs[0], runs[1])) << GetParam() << ": jobs 1 vs 3 differ";
+  EXPECT_TRUE(bytes_equal(runs[0], runs[2])) << GetParam() << ": jobs 1 vs 8 differ";
+}
+
+// One paper device and one kilo-qubit-family instance (the CI
+// scaling-smoke job re-checks 16x27 end-to-end via --dump-gp diffs).
+INSTANTIATE_TEST_SUITE_P(Topologies, GpDeterminism,
+                         ::testing::Values(std::string("Falcon"),
+                                           std::string("heavyhex-16x27")),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace qgdp

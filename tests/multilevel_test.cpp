@@ -1,0 +1,172 @@
+// Coarsening coverage for the multilevel global placer: the hierarchy
+// construction preserves what it must (mass, connectivity, valid
+// cluster maps), and — the property that actually matters downstream —
+// uncoarsened placements run through all five legalization flows stay
+// invariant-clean, at quality comparable to the retained flat loop.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "core/pipeline.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+#include "placement/global_placer.h"
+#include "placement/multilevel.h"
+#include "placement/nets.h"
+#include "support/invariants.h"
+
+namespace qgdp {
+namespace {
+
+using test_support::InvariantOptions;
+using test_support::check_legality_invariants;
+
+PlacementLevel finest_for(const QuantumNetlist& nl) {
+  return make_finest_level(nl, build_connection_nets(nl, ConnectionStyle::kPseudo));
+}
+
+double total_mass(const PlacementLevel& level) {
+  return std::accumulate(level.mass.begin(), level.mass.end(), 0.0);
+}
+
+double total_net_weight(const PlacementLevel& level) {
+  double w = 0.0;
+  for (const auto& net : level.nets) w += net.weight;
+  return w;
+}
+
+TEST(Coarsening, FinestLevelMirrorsNetlist) {
+  const QuantumNetlist nl = build_netlist(make_falcon27());
+  const auto level = finest_for(nl);
+  EXPECT_EQ(level.size(), nl.component_count());
+  EXPECT_DOUBLE_EQ(total_mass(level), static_cast<double>(nl.component_count()));
+  // CSR incidence holds every net twice (once per endpoint).
+  EXPECT_EQ(level.inc_nbr.size(), 2 * level.nets.size());
+  EXPECT_EQ(level.inc_off.size(), level.size() + 1);
+}
+
+TEST(Coarsening, EdgeClustersCollapseBlocksPerResonator) {
+  const QuantumNetlist nl = build_netlist(make_falcon27());
+  const auto fine = finest_for(nl);
+  const auto coarse = coarsen_edge_clusters(nl, fine);
+
+  std::size_t edges_with_blocks = 0;
+  for (const auto& e : nl.edges()) {
+    if (!e.blocks.empty()) ++edges_with_blocks;
+  }
+  EXPECT_EQ(coarse.size(), nl.qubit_count() + edges_with_blocks);
+  EXPECT_DOUBLE_EQ(total_mass(coarse), total_mass(fine));
+
+  // Valid, total cluster map: every fine body lands in range, and every
+  // block of one edge lands in the same cluster.
+  ASSERT_EQ(coarse.fine_to_coarse.size(), fine.size());
+  for (const int c : coarse.fine_to_coarse) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, static_cast<int>(coarse.size()));
+  }
+  for (const auto& e : nl.edges()) {
+    if (e.blocks.empty()) continue;
+    const int nq = static_cast<int>(nl.qubit_count());
+    const int cluster =
+        coarse.fine_to_coarse[static_cast<std::size_t>(nq + e.blocks.front())];
+    for (const int b : e.blocks) {
+      EXPECT_EQ(coarse.fine_to_coarse[static_cast<std::size_t>(nq + b)], cluster);
+    }
+    EXPECT_GE(cluster, nq);  // block clusters come after the qubit singletons
+  }
+
+  // Intra-cluster nets collapse; what survives can only lose weight.
+  EXPECT_LE(total_net_weight(coarse), total_net_weight(fine));
+  EXPECT_GT(coarse.nets.size(), 0u);
+}
+
+TEST(Coarsening, MatchingShrinksAndRespectsMassCap) {
+  const QuantumNetlist nl = build_netlist(make_falcon27());
+  const auto fine = finest_for(nl);
+  const auto mid = coarsen_edge_clusters(nl, fine);
+  const double cap = 4.0 * total_mass(mid) / static_cast<double>(mid.size());
+  const auto coarse = coarsen_matching(mid, cap);
+
+  EXPECT_LT(coarse.size(), mid.size());
+  EXPECT_DOUBLE_EQ(total_mass(coarse), total_mass(mid));
+  for (const double m : coarse.mass) EXPECT_LE(m, cap);
+  for (const int c : coarse.fine_to_coarse) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, static_cast<int>(coarse.size()));
+  }
+}
+
+TEST(Coarsening, InterpolationMovesFineBodiesByClusterOffset) {
+  const QuantumNetlist nl = build_netlist(make_falcon27());
+  auto fine = finest_for(nl);
+  auto coarse = coarsen_edge_clusters(nl, fine);
+  const std::vector<double> x0 = coarse.x;
+  const std::vector<double> y0 = coarse.y;
+  // Displace one cluster and push the offset down.
+  coarse.x[0] += 3.0;
+  coarse.y[0] -= 2.0;
+  const std::vector<double> fx = fine.x;
+  const std::vector<double> fy = fine.y;
+  interpolate_to_finer(coarse, x0, y0, fine);
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    const bool moved = coarse.fine_to_coarse[i] == 0;
+    EXPECT_DOUBLE_EQ(fine.x[i], fx[i] + (moved ? 3.0 : 0.0));
+    EXPECT_DOUBLE_EQ(fine.y[i], fy[i] - (moved ? 2.0 : 0.0));
+  }
+}
+
+// The property that matters downstream: multilevel GP output must be
+// legalizable by every flow with all invariants clean (the same bar
+// tests/invariants_test.cpp holds the default path to, here forced to
+// the deepest hierarchy the placer supports).
+TEST(MultilevelPlacement, AllFlowsLegalFromMultilevelGp) {
+  for (const std::string& topology : {std::string("Falcon"), std::string("heavyhex-7x12")}) {
+    const auto spec = topology_by_name(topology);
+    ASSERT_TRUE(spec.has_value()) << topology;
+    QuantumNetlist gp_nl = build_netlist(*spec);
+    GlobalPlacerOptions gp_opt;
+    gp_opt.levels = 4;  // force the full V-cycle even on small devices
+    const auto gp_stats = GlobalPlacer(gp_opt).place(gp_nl);
+    EXPECT_GE(gp_stats.levels_used, 2) << topology;
+
+    for (const LegalizerKind kind : all_legalizer_kinds()) {
+      QuantumNetlist nl = gp_nl;
+      PipelineOptions opt;
+      opt.run_gp = false;
+      opt.legalizer = kind;
+      const auto out = Pipeline(opt).run(nl);
+
+      InvariantOptions iopt;
+      iopt.qubit_min_spacing = quantum_flow(kind) ? out.stats.qubit.spacing_used : 0.0;
+      const auto failures = check_legality_invariants(nl, iopt);
+      EXPECT_TRUE(failures.empty())
+          << topology << " flow " << legalizer_name(kind) << ": " << failures.size()
+          << " violation(s), first: " << failures.front();
+    }
+  }
+}
+
+// Quality gate against the retained flat loop: the multilevel result
+// must not trade its speedup for placement quality — wirelength may
+// only improve or stay close, and residual overlap must stay within
+// the flat loop's ballpark (the scaling bench records the tight ≤5%
+// bound at ≥500 qubits; this keeps a coarse tripwire in the suite).
+TEST(MultilevelPlacement, QualityComparableToFlatBaseline) {
+  const auto spec = topology_by_name("heavyhex-7x12");
+  ASSERT_TRUE(spec.has_value());
+
+  QuantumNetlist ml_nl = build_netlist(*spec);
+  const auto ml = GlobalPlacer().place(ml_nl);
+
+  QuantumNetlist flat_nl = build_netlist(*spec);
+  GlobalPlacerOptions flat_opt;
+  flat_opt.flat_baseline = true;
+  const auto flat = GlobalPlacer(flat_opt).place(flat_nl);
+
+  EXPECT_LE(ml.total_wirelength, flat.total_wirelength * 1.05);
+  EXPECT_LE(ml.overlap_area, flat.overlap_area * 1.05);
+}
+
+}  // namespace
+}  // namespace qgdp
