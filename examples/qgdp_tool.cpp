@@ -50,6 +50,9 @@ options:
   --jobs N          concurrent lanes for batch modes and the GP force
                     kernels (default: all hardware threads; results are
                     bit-identical for any N)
+  --gp-farfield     aggregate the GP frequency field's far ring into
+                    per-cell monopoles (faster on dense frequency
+                    fields; exact per-pair path is the default)
   --out FILE        write the final layout as .qlay
   --svg FILE        render the final layout as SVG
   --list            list built-in topologies and exit
@@ -70,12 +73,13 @@ std::optional<LegalizerKind> parse_flow(const std::string& s) {
 /// layout, batch-executed over `jobs` lanes. Takes ownership of the
 /// freshly built netlist and places it.
 int run_all_flows(const DeviceSpec& spec, QuantumNetlist gp_nl, unsigned seed, int gp_levels,
-                  bool run_dp, std::size_t jobs) {
+                  bool run_dp, std::size_t jobs, bool gp_farfield) {
   {
     GlobalPlacerOptions gp_opt;
     gp_opt.seed = seed;
     gp_opt.levels = gp_levels;
     gp_opt.jobs = jobs;
+    gp_opt.freq_farfield = gp_farfield;
     GlobalPlacer(gp_opt).place(gp_nl);
   }
   const auto matrix =
@@ -124,6 +128,7 @@ int main(int argc, char** argv) {
   unsigned seed = 1;
   int gp_levels = 0;     // 0 = auto from component count
   std::size_t jobs = 0;  // 0 = hardware concurrency
+  bool gp_farfield = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -167,6 +172,8 @@ int main(int argc, char** argv) {
       gp_levels = static_cast<int>(numeric_value(4));
     } else if (arg == "--jobs") {
       jobs = static_cast<std::size_t>(numeric_value(std::numeric_limits<std::size_t>::max()));
+    } else if (arg == "--gp-farfield") {
+      gp_farfield = true;
     } else if (arg == "--out") {
       out_file = value();
     } else if (arg == "--svg") {
@@ -206,7 +213,7 @@ int main(int argc, char** argv) {
       std::cerr << "warning: --out/--svg are ignored with --flow all "
                    "(no single final layout); run one flow to write artifacts\n";
     }
-    return run_all_flows(spec, std::move(nl), seed, gp_levels, run_dp, jobs);
+    return run_all_flows(spec, std::move(nl), seed, gp_levels, run_dp, jobs, gp_farfield);
   }
 
   PipelineOptions opt;
@@ -215,6 +222,7 @@ int main(int argc, char** argv) {
   opt.gp.seed = seed;
   opt.gp.levels = gp_levels;
   opt.gp.jobs = jobs;
+  opt.gp.freq_farfield = gp_farfield;
   const auto out = Pipeline(opt).run(nl);
 
   // Metrics + audit.

@@ -195,6 +195,15 @@ DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
     moved += std::abs(nx - x[static_cast<std::size_t>(u)]);
     x[static_cast<std::size_t>(u)] = nx;
   };
+  // clump_pass workspace, reused across sweeps. Members and boundary
+  // arcs are grouped per cluster root in CSR form so one pass touches
+  // every arc O(1) times — the previous per-cluster rescan of the full
+  // arc list was the pipeline's super-linear hot spot on dense classic
+  // (spacing-0) inputs, where nearly every constraint is tight and the
+  // cluster count tracks n.
+  std::vector<int> root_of(n);
+  std::vector<int> member_off, member_items;           // members per root
+  std::vector<int> boundary_off, boundary_items;       // boundary arcs per root
   auto clump_pass = [&]() {
     double moved = 0.0;
     UnionFind uf(n);
@@ -204,26 +213,62 @@ DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
         uf.unite(static_cast<std::size_t>(a.from), static_cast<std::size_t>(a.to));
       }
     }
-    // Members per cluster root.
-    std::vector<std::vector<int>> members(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      members[uf.find(i)].push_back(static_cast<int>(i));
+    for (std::size_t i = 0; i < n; ++i) root_of[i] = static_cast<int>(uf.find(i));
+    // Members per cluster root (counting sort: ascending node id within
+    // each root, exactly the order the per-root vectors used to hold).
+    member_off.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++member_off[static_cast<std::size_t>(root_of[i]) + 1];
+    for (std::size_t r = 0; r < n; ++r) member_off[r + 1] += member_off[r];
+    member_items.resize(n);
+    {
+      std::vector<int> cursor(member_off.begin(), member_off.end() - 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        member_items[static_cast<std::size_t>(cursor[static_cast<std::size_t>(root_of[i])]++)] =
+            static_cast<int>(i);
+      }
     }
-    for (const auto& cluster : members) {
-      if (cluster.size() < 2) continue;
+    // Boundary arcs per root (arc order preserved within each root, so
+    // the shift_lo/shift_hi accumulation sees the same sequence as the
+    // historical full-arc scan — min/max folds are order-exact anyway).
+    boundary_off.assign(n + 1, 0);
+    for (const auto& a : arcs) {
+      const int rf = root_of[static_cast<std::size_t>(a.from)];
+      const int rt = root_of[static_cast<std::size_t>(a.to)];
+      if (rf == rt) continue;
+      ++boundary_off[static_cast<std::size_t>(rf) + 1];
+      ++boundary_off[static_cast<std::size_t>(rt) + 1];
+    }
+    for (std::size_t r = 0; r < n; ++r) boundary_off[r + 1] += boundary_off[r];
+    boundary_items.resize(boundary_off[n]);
+    {
+      std::vector<int> cursor(boundary_off.begin(), boundary_off.end() - 1);
+      for (std::size_t k = 0; k < arcs.size(); ++k) {
+        const auto& a = arcs[k];
+        const int rf = root_of[static_cast<std::size_t>(a.from)];
+        const int rt = root_of[static_cast<std::size_t>(a.to)];
+        if (rf == rt) continue;
+        boundary_items[static_cast<std::size_t>(cursor[static_cast<std::size_t>(rf)]++)] =
+            static_cast<int>(k);
+        boundary_items[static_cast<std::size_t>(cursor[static_cast<std::size_t>(rt)]++)] =
+            static_cast<int>(k);
+      }
+    }
+    for (std::size_t root = 0; root < n; ++root) {
+      const int m_lo = member_off[root];
+      const int m_hi = member_off[root + 1];
+      if (m_hi - m_lo < 2) continue;
       // Allowed uniform shift range from bounds and non-tight external
       // constraints (tight intra-cluster arcs shift rigidly).
       double shift_lo = -kInf;
       double shift_hi = kInf;
-      for (const int u : cluster) {
+      for (int m = m_lo; m < m_hi; ++m) {
+        const int u = member_items[static_cast<std::size_t>(m)];
         shift_lo = std::max(shift_lo, g.lower(u) - x[static_cast<std::size_t>(u)]);
         shift_hi = std::min(shift_hi, g.upper(u) - x[static_cast<std::size_t>(u)]);
       }
-      const std::size_t root = uf.find(static_cast<std::size_t>(cluster.front()));
-      for (const auto& a : arcs) {
-        const bool from_in = uf.find(static_cast<std::size_t>(a.from)) == root;
-        const bool to_in = uf.find(static_cast<std::size_t>(a.to)) == root;
-        if (from_in == to_in) continue;
+      for (int b = boundary_off[root]; b < boundary_off[root + 1]; ++b) {
+        const auto& a = arcs[static_cast<std::size_t>(boundary_items[static_cast<std::size_t>(b)])];
+        const bool from_in = root_of[static_cast<std::size_t>(a.from)] == static_cast<int>(root);
         const double slack = x[static_cast<std::size_t>(a.to)] -
                              x[static_cast<std::size_t>(a.from)] - a.gap;
         if (from_in) {
@@ -236,9 +281,10 @@ DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
       // Optimal shift: weighted median of residuals (the L1 optimum of
       // a rigid translation).
       std::vector<std::pair<double, double>> residual;  // (value, weight)
-      residual.reserve(cluster.size());
+      residual.reserve(static_cast<std::size_t>(m_hi - m_lo));
       double total_w = 0.0;
-      for (const int u : cluster) {
+      for (int m = m_lo; m < m_hi; ++m) {
+        const int u = member_items[static_cast<std::size_t>(m)];
         const double w = weight.empty() ? 1.0 : weight[static_cast<std::size_t>(u)];
         residual.emplace_back(
             target[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(u)], w);
@@ -256,8 +302,10 @@ DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
       }
       const double s = std::clamp(median, shift_lo, shift_hi);
       if (std::abs(s) <= kTightEps) continue;
-      for (const int u : cluster) x[static_cast<std::size_t>(u)] += s;
-      moved += std::abs(s) * static_cast<double>(cluster.size());
+      for (int m = m_lo; m < m_hi; ++m) {
+        x[static_cast<std::size_t>(member_items[static_cast<std::size_t>(m)])] += s;
+      }
+      moved += std::abs(s) * static_cast<double>(m_hi - m_lo);
     }
     return moved;
   };

@@ -7,6 +7,7 @@
 
 #include "geometry/spatial_hash.h"
 #include "placement/multilevel.h"
+#include "placement/repulsion_kernel.h"
 #include "runtime/thread_pool.h"
 
 namespace qgdp {
@@ -86,90 +87,6 @@ void seed_block_arrangements(QuantumNetlist& nl, unsigned seed, const Rect& die)
   }
 }
 
-/// Per-body hot data of the force kernels, packed so one candidate in
-/// the repulsion scan costs one cache line instead of five scattered
-/// array reads (the repulsion gather is >95% of GP time).
-struct PackedBody {
-  double x, y, half_w, half_h, freq;
-};
-
-/// CSR bucket grid for the repulsion scan: bodies are counting-sorted
-/// into row-major buckets, so all candidates of one bucket *row* of a
-/// rect query form a single contiguous index span — no per-bucket
-/// vector indirection in the hot loop (which is what dominates the
-/// shared SpatialHash's cost at this call rate). Rebuilds are O(n) and
-/// happen only when accumulated drift exceeds the slack margin.
-/// Iteration order (row-major, ascending body index within a bucket)
-/// is a pure function of the stored positions — thread-count
-/// independent, like everything else in the kernels.
-class FlatGrid {
- public:
-  FlatGrid(Rect area, double cell)
-      : origin_(area.lo),
-        cell_(cell),
-        nx_(std::max(1, static_cast<int>(std::ceil(area.width() / cell)))),
-        ny_(std::max(1, static_cast<int>(std::ceil(area.height() / cell)))),
-        off_(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) + 1, 0) {}
-
-  /// Re-buckets `members` (ascending body indices; the bucket order is
-  /// preserved, so iteration order is deterministic) at their current
-  /// positions.
-  void rebuild(const std::vector<PackedBody>& body, const std::vector<int>& members) {
-    const std::size_t buckets = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
-    off_.assign(buckets + 1, 0);
-    bucket_of_.resize(members.size());
-    for (std::size_t m = 0; m < members.size(); ++m) {
-      const auto i = static_cast<std::size_t>(members[m]);
-      const std::size_t b = bucket_index(body[i].x, body[i].y);
-      bucket_of_[m] = b;
-      ++off_[b + 1];
-    }
-    for (std::size_t b = 0; b < buckets; ++b) off_[b + 1] += off_[b];
-    items_.resize(members.size());
-    std::vector<std::size_t> cursor(off_.begin(), off_.end() - 1);
-    for (std::size_t m = 0; m < members.size(); ++m) {
-      items_[cursor[bucket_of_[m]]++] = members[m];
-    }
-  }
-
-  /// fn(item) for every body bucketed inside the rect (inclusive).
-  template <typename Fn>
-  void for_each_in_rect(double xlo, double xhi, double ylo, double yhi, Fn&& fn) const {
-    const int x0 = clamp_x(cell_x(xlo));
-    const int x1 = clamp_x(cell_x(xhi));
-    const int y0 = clamp_y(cell_y(ylo));
-    const int y1 = clamp_y(cell_y(yhi));
-    for (int y = y0; y <= y1; ++y) {
-      const std::size_t row = static_cast<std::size_t>(y) * static_cast<std::size_t>(nx_);
-      const std::size_t lo = off_[row + static_cast<std::size_t>(x0)];
-      const std::size_t hi = off_[row + static_cast<std::size_t>(x1) + 1];
-      for (std::size_t k = lo; k < hi; ++k) fn(items_[k]);
-    }
-  }
-
- private:
-  [[nodiscard]] int cell_x(double x) const {
-    return static_cast<int>(std::floor((x - origin_.x) / cell_));
-  }
-  [[nodiscard]] int cell_y(double y) const {
-    return static_cast<int>(std::floor((y - origin_.y) / cell_));
-  }
-  [[nodiscard]] int clamp_x(int x) const { return std::min(std::max(x, 0), nx_ - 1); }
-  [[nodiscard]] int clamp_y(int y) const { return std::min(std::max(y, 0), ny_ - 1); }
-  [[nodiscard]] std::size_t bucket_index(double x, double y) const {
-    return static_cast<std::size_t>(clamp_y(cell_y(y))) * static_cast<std::size_t>(nx_) +
-           static_cast<std::size_t>(clamp_x(cell_x(x)));
-  }
-
-  Point origin_;
-  double cell_;
-  int nx_;
-  int ny_;
-  std::vector<std::size_t> off_;
-  std::vector<std::size_t> bucket_of_;
-  std::vector<int> items_;
-};
-
 /// Refinement sweeps run a fraction of a full placement's iterations,
 /// so their repulsive fields push harder to land at the flat loop's
 /// residual-overlap equilibrium in the shorter budget. The contact
@@ -192,109 +109,39 @@ struct LevelSchedule {
 ///   * attraction — every body gathers its own nets from the CSR
 ///     incidence in fixed order; writes go to distinct slots, so chunk
 ///     assignment cannot change the result;
-///   * repulsion  — every body gathers its grid neighbourhoods; a
-///     pair's force is evaluated from both sides with exactly
-///     antisymmetric arithmetic, which preserves the pair-once physics
-///     of the flat loop without any cross-thread reduction;
+///   * repulsion  — the cell-blocked kernels in
+///     placement/repulsion_kernel.h: bodies counting-sorted into
+///     contiguous per-cell SoA spans (re-bucketed incrementally as they
+///     drift), gathered owner-computes with branchless span loops, the
+///     wide frequency field optionally aggregated per far cell
+///     (`freq_farfield`). A pair's force is evaluated from both sides
+///     with exactly antisymmetric arithmetic, which preserves the
+///     pair-once physics of the flat loop without any cross-thread
+///     reduction;
 ///   * integration — fixed-size chunks write per-chunk movement
 ///     partials that are folded serially in chunk order.
-///
-/// The repulsion neighbourhood is split by force range: the *overlap*
-/// push only reaches the sum of two body extents, so it scans a dense
-/// grid with a rect of a couple of cells; the *frequency* field
-/// reaches freq_radius but only acts on pairs detuned by less than
-/// freq_threshold, so bodies are partitioned into frequency bins of
-/// exactly that width (an interacting pair is always in the same or an
-/// adjacent bin) and the wide scan runs on sparse per-bin grids. This
-/// removes the flat loop's dominant waste — scanning the full
-/// frequency radius for every pair — without changing which forces
-/// act. Grids are only rebuilt once accumulated drift exceeds
-/// `hash_rebuild_slack`; every query rect is inflated by the slack so
-/// stale bucketing still covers every candidate pair exactly.
 int run_level(PlacementLevel& level, const GlobalPlacerOptions& opt, const Rect& die,
               const LevelSchedule& sched, ThreadPool& pool, std::size_t jobs,
               GlobalPlacerStats& stats) {
   const std::size_t n = level.size();
   if (n == 0 || sched.budget <= 0) return 0;
 
-  double max_half = 0.5;
-  std::vector<PackedBody> body(n);
-  std::vector<int> all_bodies(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    body[i] = {level.x[i], level.y[i], level.half_w[i], level.half_h[i], level.freq[i]};
-    max_half = std::max({max_half, level.half_w[i], level.half_h[i]});
-    all_bodies[i] = static_cast<int>(i);
-  }
-  const double slack = std::max(opt.hash_rebuild_slack, 0.0);
-  const double r = opt.freq_radius;
   const double repulsion = (sched.boost ? kRefineContactBoost : 1.0) * opt.repulsion;
   const double freq_repulsion = (sched.boost ? kRefineFreqBoost : 1.0) * opt.freq_repulsion;
-  const double grid_margin = std::max(2.0 * max_half, r) + slack;
-  const Rect area = die.inflated(grid_margin);
 
-  // Overlap candidates split by body size: unit blocks (half = 0.5, the
-  // overwhelming majority at the finest level) interact with each other
-  // within 1 cell, so they scan a tight dedicated grid; the rare macro
-  // bodies (qubits, coarse clusters) live in a second grid scanned with
-  // the wide reach. Both sides of a mixed pair see each other: a body
-  // queries each grid with its own extent plus that grid's largest.
-  std::vector<int> unit_members, macro_members;
-  double max_macro_half = 0.5;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (std::max(body[i].half_w, body[i].half_h) <= 0.5 + 1e-12) {
-      unit_members.push_back(static_cast<int>(i));
-    } else {
-      macro_members.push_back(static_cast<int>(i));
-      max_macro_half = std::max({max_macro_half, body[i].half_w, body[i].half_h});
-    }
-  }
-  FlatGrid unit_grid(area, std::max(1.0, 0.5 + slack));
-  FlatGrid macro_grid(area, std::max(1.5, max_macro_half + slack));
-
-  // Frequency bins: key = ⌊freq / freq_threshold⌋, so any pair with
-  // df < freq_threshold lands in the same or an adjacent bin.
-  const bool with_freq = opt.freq_threshold > 1e-12 && opt.freq_repulsion > 0.0;
-  std::vector<long long> bin_keys;           // sorted distinct keys
-  std::vector<int> body_bin(n, 0);           // dense bin id per body
-  std::vector<std::vector<int>> bin_members; // ascending body indices per bin
-  std::vector<std::array<int, 3>> bin_query; // dense ids of key-1, key, key+1
-  std::vector<FlatGrid> bin_grids;
-  if (with_freq) {
-    std::vector<long long> keys(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      keys[i] = static_cast<long long>(std::floor(body[i].freq / opt.freq_threshold));
-    }
-    bin_keys = keys;
-    std::sort(bin_keys.begin(), bin_keys.end());
-    bin_keys.erase(std::unique(bin_keys.begin(), bin_keys.end()), bin_keys.end());
-    bin_members.resize(bin_keys.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto it_bin = std::lower_bound(bin_keys.begin(), bin_keys.end(), keys[i]);
-      body_bin[i] = static_cast<int>(it_bin - bin_keys.begin());
-      bin_members[static_cast<std::size_t>(body_bin[i])].push_back(static_cast<int>(i));
-    }
-    bin_query.resize(bin_keys.size());
-    for (std::size_t k = 0; k < bin_keys.size(); ++k) {
-      for (int d = -1; d <= 1; ++d) {
-        const long long want = bin_keys[k] + d;
-        const auto it_bin = std::lower_bound(bin_keys.begin(), bin_keys.end(), want);
-        bin_query[k][static_cast<std::size_t>(d + 1)] =
-            (it_bin != bin_keys.end() && *it_bin == want)
-                ? static_cast<int>(it_bin - bin_keys.begin())
-                : -1;
-      }
-    }
-    bin_grids.reserve(bin_keys.size());
-    for (std::size_t k = 0; k < bin_keys.size(); ++k) {
-      bin_grids.emplace_back(area, r / 2.0 + slack);
-    }
-  }
-  bool grids_valid = false;
-  double drift = 0.0;
+  RepulsionKernelOptions kopt;
+  kopt.freq_threshold = opt.freq_threshold;
+  kopt.freq_radius = opt.freq_radius;
+  kopt.with_freq = opt.freq_threshold > 1e-12 && opt.freq_repulsion > 0.0;
+  kopt.freq_farfield = opt.freq_farfield;
+  RepulsionKernel kernel(die, n, level.half_w.data(), level.half_h.data(), level.freq.data(),
+                         kopt);
+  double* X = level.x.data();
+  double* Y = level.y.data();
 
   std::vector<double> fx(n, 0.0), fy(n, 0.0);
   const std::size_t chunks = (n + kReduceChunk - 1) / kReduceChunk;
-  std::vector<double> part_sum(chunks, 0.0), part_max(chunks, 0.0);
+  std::vector<double> part_sum(chunks, 0.0);
 
   double step = sched.step0;
   int it = 0;
@@ -302,106 +149,31 @@ int run_level(PlacementLevel& level, const GlobalPlacerOptions& opt, const Rect&
     // Net attraction (quadratic wirelength gradient).
     auto t0 = std::chrono::steady_clock::now();
     parallel_for(pool, 0, n, jobs, [&](std::size_t i) {
-      const double xi = body[i].x;
-      const double yi = body[i].y;
+      const double xi = X[i];
+      const double yi = Y[i];
       double ax = 0.0, ay = 0.0;
       for (std::size_t k = level.inc_off[i]; k < level.inc_off[i + 1]; ++k) {
         const auto j = static_cast<std::size_t>(level.inc_nbr[k]);
         const double w = level.inc_w[k];
-        ax += (body[j].x - xi) * w;
-        ay += (body[j].y - yi) * w;
+        ax += (X[j] - xi) * w;
+        ay += (Y[j] - yi) * w;
       }
       fx[i] = ax * opt.attraction;
       fy[i] = ay * opt.attraction;
     });
     stats.net_ms += ms_since(t0);
 
-    // Overlap + frequency repulsion via the (lazily rebuilt) grids.
+    // Overlap + frequency repulsion via the cell-blocked kernels.
     t0 = std::chrono::steady_clock::now();
-    if (!grids_valid || drift > slack) {
-      unit_grid.rebuild(body, unit_members);
-      macro_grid.rebuild(body, macro_members);
-      for (std::size_t k = 0; k < bin_grids.size(); ++k) {
-        bin_grids[k].rebuild(body, bin_members[k]);
-      }
-      grids_valid = true;
-      drift = 0.0;
-      ++stats.hash_rebuilds;
-    }
-    parallel_for(pool, 0, n, jobs, [&](std::size_t i) {
-      const double xi = body[i].x;
-      const double yi = body[i].y;
-      const double hwi = body[i].half_w;
-      const double hhi = body[i].half_h;
-      const double fqi = body[i].freq;
-      double px = 0.0, py = 0.0;
-      const auto pen_force = [&](int jj) {
-        const auto j = static_cast<std::size_t>(jj);
-        if (j == i) return;
-        const PackedBody& b = body[j];
-        const double dx = b.x - xi;
-        const double dy = b.y - yi;
-        const double pen_x = (hwi + b.half_w) - std::abs(dx);
-        const double pen_y = (hhi + b.half_h) - std::abs(dy);
-        if (pen_x > 0 && pen_y > 0) {
-          // Separate along the axis of least penetration; exact
-          // coordinate ties break by index so the two sides of a pair
-          // stay antisymmetric.
-          if (pen_x < pen_y) {
-            px += (dx > 0 || (dx == 0 && j > i) ? -1.0 : 1.0) * pen_x * repulsion;
-          } else {
-            py += (dy > 0 || (dy == 0 && j > i) ? -1.0 : 1.0) * pen_y * repulsion;
-          }
-        }
-      };
-      // Frequency-aware repulsion: same-frequency components within
-      // the interaction radius push apart radially (QPlacer's
-      // charged-particle analogy).
-      const auto freq_force = [&](int jj) {
-        const auto j = static_cast<std::size_t>(jj);
-        if (j == i) return;
-        const PackedBody& b = body[j];
-        const double df = std::abs(fqi - b.freq);
-        if (df < opt.freq_threshold) {
-          const double dx = b.x - xi;
-          const double dy = b.y - yi;
-          const double dist2 = dx * dx + dy * dy;
-          if (dist2 < r * r) {
-            const double dist = std::sqrt(std::max(dist2, 1e-4));
-            const double mag = freq_repulsion * (1.0 - dist / r);
-            px -= dx / dist * mag;
-            py -= dy / dist * mag;
-          }
-        }
-      };
-      // Query rects cover each force's range plus the drift slack, so
-      // stale bucketing still surfaces every interacting pair.
-      const double reach_u = std::max(hwi, hhi) + 0.5 + slack;
-      unit_grid.for_each_in_rect(xi - reach_u, xi + reach_u, yi - reach_u, yi + reach_u,
-                                 pen_force);
-      if (!macro_members.empty()) {
-        const double reach_m = std::max(hwi, hhi) + max_macro_half + slack;
-        macro_grid.for_each_in_rect(xi - reach_m, xi + reach_m, yi - reach_m, yi + reach_m,
-                                    pen_force);
-      }
-      if (with_freq) {
-        const double reach_f = r + slack;
-        for (const int g : bin_query[static_cast<std::size_t>(body_bin[i])]) {
-          if (g < 0) continue;
-          bin_grids[static_cast<std::size_t>(g)].for_each_in_rect(
-              xi - reach_f, xi + reach_f, yi - reach_f, yi + reach_f, freq_force);
-        }
-      }
-      fx[i] += px;
-      fy[i] += py;
-    });
+    kernel.refresh(X, Y);
+    kernel.accumulate(X, Y, repulsion, freq_repulsion, fx.data(), fy.data(), pool, jobs);
     stats.repulsion_ms += ms_since(t0);
 
     // Integrate with clamped step, keep inside the die (Eq. 2).
     t0 = std::chrono::steady_clock::now();
     parallel_for_chunks(pool, n, kReduceChunk, jobs,
                         [&](std::size_t c, std::size_t lo, std::size_t hi) {
-      double sum = 0.0, mx = 0.0;
+      double sum = 0.0;
       for (std::size_t i = lo; i < hi; ++i) {
         const double scale = step / level.mass[i];
         double sx = fx[i] * scale;
@@ -413,38 +185,29 @@ int run_level(PlacementLevel& level, const GlobalPlacerOptions& opt, const Rect&
           sy *= s;
           fn = 1.5;
         }
-        const double lox = die.lo.x + body[i].half_w;
-        const double hix = die.hi.x - body[i].half_w;
-        const double loy = die.lo.y + body[i].half_h;
-        const double hiy = die.hi.y - body[i].half_h;
-        body[i].x = lox > hix ? (die.lo.x + die.hi.x) / 2.0
-                              : std::clamp(body[i].x + sx, lox, hix);
-        body[i].y = loy > hiy ? (die.lo.y + die.hi.y) / 2.0
-                              : std::clamp(body[i].y + sy, loy, hiy);
+        const double lox = die.lo.x + level.half_w[i];
+        const double hix = die.hi.x - level.half_w[i];
+        const double loy = die.lo.y + level.half_h[i];
+        const double hiy = die.hi.y - level.half_h[i];
+        X[i] = lox > hix ? (die.lo.x + die.hi.x) / 2.0 : std::clamp(X[i] + sx, lox, hix);
+        Y[i] = loy > hiy ? (die.lo.y + die.hi.y) / 2.0 : std::clamp(Y[i] + sy, loy, hiy);
         sum += fn;
-        if (fn > mx) mx = fn;
       }
       part_sum[c] = sum;
-      part_max[c] = mx;
     });
-    double movement = 0.0, max_move = 0.0;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      movement += part_sum[c];
-      if (part_max[c] > max_move) max_move = part_max[c];
-    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < chunks; ++c) movement += part_sum[c];
     stats.integrate_ms += ms_since(t0);
 
-    drift += max_move;
     step *= sched.decay;
     if (movement / static_cast<double>(n) < 1e-4) {  // settled: early exit
       ++it;
       break;
     }
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    level.x[i] = body[i].x;
-    level.y[i] = body[i].y;
-  }
+  stats.hash_rebuilds += kernel.stats().flattens;
+  stats.bucket_value_refreshes += kernel.stats().value_refreshes;
+  stats.rebucketed_bodies += kernel.stats().rebucketed;
   return it;
 }
 

@@ -51,8 +51,16 @@ struct GlobalPlacerOptions {
   int min_refine_iterations{24};  ///< refinement budget floor at kilo-body
                                   ///< levels (small levels anneal longer)
   double refine_step_scale{0.8};  ///< initial step scale of refinement sweeps
-  double hash_rebuild_slack{0.75};///< cells of drift tolerated before the
-                                  ///< repulsion spatial hash is rebuilt
+  double hash_rebuild_slack{0.75};///< deprecated: the PR-3 lazy-rebuild slack.
+                                  ///< The cell-blocked kernels keep buckets
+                                  ///< fresh incrementally; kept for API compat.
+  bool freq_farfield{false};      ///< frequency field: aggregate cells beyond
+                                  ///< the near ring into per-cell monopoles.
+                                  ///< Opt-in: at the paper's densities the
+                                  ///< far ring is sparse, so the monopole
+                                  ///< bookkeeping costs more than the pairs
+                                  ///< it replaces (see README); the exact
+                                  ///< per-pair path is the default.
   std::size_t jobs{0};            ///< parallel lanes (0 = pool size). Output is
                                   ///< bit-identical for any value.
   bool flat_baseline{false};      ///< run the retained PR-2 single-thread flat
@@ -64,7 +72,9 @@ struct GlobalPlacerStats {
   double overlap_area{0.0};       ///< Σ pairwise overlap areas after GP
   int iterations_run{0};          ///< summed over all levels
   int levels_used{1};
-  int hash_rebuilds{0};           ///< repulsion-hash rebuilds (slack hits)
+  int hash_rebuilds{0};           ///< repulsion-grid flattens (membership changed)
+  int bucket_value_refreshes{0};  ///< iterations that only rewrote slot values
+  long long rebucketed_bodies{0}; ///< bodies whose grid cell changed, summed
   double net_ms{0.0};             ///< net-attraction kernel time
   double repulsion_ms{0.0};       ///< overlap+frequency kernel time
   double integrate_ms{0.0};       ///< integration/clamp time
