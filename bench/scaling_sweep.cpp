@@ -30,11 +30,13 @@
 
 #include "core/pipeline.h"
 #include "io/table.h"
+#include "legalization/abacus_legalizer.h"
 #include "metrics/audit.h"
 #include "metrics/clusters.h"
 #include "metrics/crossings.h"
 #include "netlist/netlist_builder.h"
 #include "netlist/topologies.h"
+#include "runtime/batch_runner.h"
 
 namespace {
 
@@ -86,6 +88,8 @@ struct HotPaths {
   TimedField qubit_fast, qubit_quad;
   TimedField blocks_fast, blocks_quad;
   TimedField crossings_fast, crossings_quad;
+  TimedField abacus_incremental, abacus_repack;
+  bool abacus_match{false};
   bool crossings_match{false};
   [[nodiscard]] bool lg_complete() const {
     return qubit_fast.measured && qubit_quad.measured && blocks_fast.measured &&
@@ -137,13 +141,14 @@ struct Entry {
   HotPaths hot;
 };
 
-FlowSample run_flow(const QuantumNetlist& gp_nl, LegalizerKind kind) {
+FlowSample run_flow(const QuantumNetlist& gp_nl, LegalizerKind kind, bool abacus_baseline) {
   FlowSample s;
   s.name = legalizer_name(kind);
   QuantumNetlist nl = gp_nl;
   PipelineOptions opt;
   opt.run_gp = false;
   opt.legalizer = kind;
+  opt.abacus.repack_baseline = abacus_baseline;
   const auto out = Pipeline(opt).run(nl);
   s.tq_ms = out.stats.qubit_ms;
   s.te_ms = out.stats.resonator_ms;
@@ -225,6 +230,34 @@ HotPaths measure_hot_paths(const QuantumNetlist& gp_nl, const Entry* prev, doubl
     const auto t0 = std::chrono::steady_clock::now();
     ResonatorLegalizer(ropt).legalize(work, grid);
     h.blocks_quad.set(ms_since(t0));
+  }
+
+  // Abacus cost-engine differential on the shared qubit-legal layout:
+  // incremental clump stacks vs the retained from-scratch repack
+  // pricing, same candidate search in both — the outputs must be
+  // bit-identical, so the pair is both a perf ladder and a live
+  // correctness check.
+  {
+    auto run_abacus = [&](bool baseline, TimedField& f) {
+      QuantumNetlist work = fast_qubits_nl;
+      BinGrid grid(work.die());
+      for (const auto& q : work.qubits()) grid.block_rect(q.rect());
+      AbacusLegalizerOptions aopt;
+      aopt.repack_baseline = baseline;
+      const auto t0 = std::chrono::steady_clock::now();
+      AbacusLegalizer(aopt).legalize(work, grid);
+      f.set(ms_since(t0));
+      return work;
+    };
+    const QuantumNetlist inc_nl = run_abacus(false, h.abacus_incremental);
+    if (predicted(prev ? prev->hot.abacus_repack : TimedField{}, prev_blocks, blocks) <=
+        budget_ms) {
+      const QuantumNetlist rep_nl = run_abacus(true, h.abacus_repack);
+      h.abacus_match = identical_layout(inc_nl, rep_nl);
+      if (!h.abacus_match) {
+        std::cerr << "warning: abacus incremental/repack outputs differ\n";
+      }
+    }
   }
 
   // Crossing counter, sweep-line vs brute force, on the fast layout.
@@ -352,6 +385,17 @@ void write_json(const std::vector<Entry>& entries, unsigned gp_seed, std::size_t
          << ", \"legalization_speedup\": {\"skipped\": \"time_budget\"}";
     }
     os << ",\n"
+       << "        \"abacus_incremental_ms\": " << field(e.hot.abacus_incremental)
+       << ", \"abacus_repack_ms\": " << field(e.hot.abacus_repack)
+       << ", \"abacus_speedup\": ";
+    if (e.hot.abacus_repack.measured) {
+      os << e.hot.abacus_repack.ms / std::max(e.hot.abacus_incremental.ms, 1e-6)
+         << ", \"abacus_outputs_match\": " << (e.hot.abacus_match ? "true" : "false");
+    } else {
+      os << "{\"skipped\": \"time_budget\"}"
+         << ", \"abacus_outputs_match\": {\"skipped\": \"time_budget\"}";
+    }
+    os << ",\n"
        << "        \"crossings_fast_ms\": " << field(e.hot.crossings_fast)
        << ", \"crossings_quadratic_ms\": " << field(e.hot.crossings_quad)
        << ", \"crossings_speedup\": ";
@@ -379,6 +423,7 @@ int main(int argc, char** argv) {
   double baseline_budget_ms = 1500.0;
   bool quick = false;
   bool farfield = false;
+  bool abacus_baseline = false;
   unsigned gp_seed = 1;
   std::size_t gp_jobs = 1;  // single-thread primary numbers (bit-identical for any N)
   for (int i = 1; i < argc; ++i) {
@@ -404,6 +449,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--farfield") {
       farfield = true;
+    } else if (arg == "--abacus-baseline") {
+      abacus_baseline = true;  // flows price Abacus via the repack engine
     } else if (arg == "--seed") {
       gp_seed = static_cast<unsigned>(std::stoul(value()));
     } else if (arg == "--jobs") {
@@ -413,8 +460,8 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: bench_scaling_sweep [--out FILE] [--max-qubits N]\n"
                    "         [--baseline-max-qubits N] [--baseline-budget-ms MS]\n"
-                   "         [--jobs-sweep N,N,..] [--quick] [--farfield] [--seed N]\n"
-                   "         [--jobs N] [--dump-gp FILE]\n";
+                   "         [--jobs-sweep N,N,..] [--quick] [--farfield]\n"
+                   "         [--abacus-baseline] [--seed N] [--jobs N] [--dump-gp FILE]\n";
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -437,9 +484,14 @@ int main(int argc, char** argv) {
 
   // Heavy-hex ladder: ~100, ~250, ~500, ~1100, ~2000 qubits.
   const std::vector<std::pair<int, int>> ladder = {{7, 12}, {11, 18}, {16, 27}, {23, 39}, {30, 53}};
-  std::vector<LegalizerKind> flows = {LegalizerKind::kQgdp, LegalizerKind::kAbacus,
-                                      LegalizerKind::kTetris};
-  if (quick) flows = {LegalizerKind::kQgdp, LegalizerKind::kTetris};
+  // All three flows run even in --quick: Abacus used to be dropped for
+  // its super-linear te (392 ms at 2k qubits), but on the incremental
+  // cost engine it is milliseconds at CI sizes and the te perf guard
+  // needs the flow in the artifact. Quick mode instead tightens the
+  // quadratic-baseline time budget.
+  const std::vector<LegalizerKind> flows = {LegalizerKind::kQgdp, LegalizerKind::kAbacus,
+                                            LegalizerKind::kTetris};
+  if (quick) baseline_budget_ms = std::min(baseline_budget_ms, 500.0);
 
   // Untimed warmup: the first GP run in the process pays page faults
   // and allocator growth that would otherwise land on the smallest
@@ -456,7 +508,7 @@ int main(int argc, char** argv) {
 
   std::vector<Entry> entries;
   Table t({"topology", "qubits", "blocks", "gp ms", "gp flat ms", "gp speedup", "qGDP tq/te ms",
-           "LG speedup", "X speedup", "par eff", "RSS MB"});
+           "LG speedup", "Abacus eng", "X speedup", "par eff", "RSS MB"});
   for (const auto& [rows, cols] : ladder) {
     if (heavy_hex_qubit_count(rows, cols) > max_qubits) continue;
     Entry e;
@@ -537,7 +589,9 @@ int main(int argc, char** argv) {
       for (const auto& q : gp_nl.qubits()) gp_dump << q.pos.x << " " << q.pos.y << "\n";
       for (const auto& b : gp_nl.blocks()) gp_dump << b.pos.x << " " << b.pos.y << "\n";
     }
-    for (const LegalizerKind kind : flows) e.flows.push_back(run_flow(gp_nl, kind));
+    for (const LegalizerKind kind : flows) {
+      e.flows.push_back(run_flow(gp_nl, kind, abacus_baseline));
+    }
     const Entry* prev = entries.empty() ? nullptr : &entries.back();
     e.hot = measure_hot_paths(
         gp_nl, prev, e.spec.qubit_count <= baseline_max_qubits ? baseline_budget_ms : 0.0);
@@ -557,6 +611,11 @@ int main(int argc, char** argv) {
     t.add_row({e.spec.name, std::to_string(e.spec.qubit_count), std::to_string(e.blocks),
                fmt(e.gp.gp_ms, 0), fmt(e.gp.flat_ms, 0), fmt(e.gp.speedup(), 1) + "x", tqte.str(),
                e.hot.lg_complete() ? fmt(e.hot.lg_speedup(), 1) + "x" : "-",
+               e.hot.abacus_repack.measured
+                   ? fmt(e.hot.abacus_repack.ms / std::max(e.hot.abacus_incremental.ms, 1e-6),
+                         1) +
+                         "x" + (e.hot.abacus_match ? "" : "!")
+                   : "-",
                e.hot.crossings_quad.measured
                    ? fmt(e.hot.crossings_quad.ms / std::max(e.hot.crossings_fast.ms, 1e-6), 1) +
                          "x"
@@ -568,11 +627,17 @@ int main(int argc, char** argv) {
 
   bool all_clean = true;
   bool determinism_clean = true;
+  bool abacus_engines_match = true;
   for (const auto& e : entries) {
     for (const auto& f : e.flows) all_clean = all_clean && f.audit_clean;
     for (const auto& s : e.jobs_scaling) determinism_clean = determinism_clean && s.positions_match;
+    if (e.hot.abacus_repack.measured) abacus_engines_match = abacus_engines_match && e.hot.abacus_match;
   }
   std::cout << "\ninvariants: " << (all_clean ? "clean at every size" : "VIOLATIONS FOUND")
+            << "\n";
+  std::cout << "abacus engines: "
+            << (abacus_engines_match ? "incremental == repack at every size"
+                                     : "OUTPUTS DIVERGED")
             << "\n";
   if (!jobs_sweep.empty()) {
     std::cout << "jobs determinism: "
@@ -582,5 +647,5 @@ int main(int argc, char** argv) {
   }
   write_json(entries, gp_seed, gp_jobs, out_path);
   std::cout << "json written to " << out_path << "\n";
-  return all_clean && determinism_clean ? 0 : 2;
+  return all_clean && determinism_clean && abacus_engines_match ? 0 : 2;
 }

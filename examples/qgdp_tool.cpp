@@ -53,6 +53,11 @@ options:
   --gp-farfield     aggregate the GP frequency field's far ring into
                     per-cell monopoles (faster on dense frequency
                     fields; exact per-pair path is the default)
+  --abacus-baseline price Abacus candidates with the retained
+                    from-scratch repack engine instead of the
+                    incremental cluster stacks (bit-identical output;
+                    the differential/perf reference for abacus and
+                    q-abacus flows)
   --out FILE        write the final layout as .qlay
   --svg FILE        render the final layout as SVG
   --list            list built-in topologies and exit
@@ -73,7 +78,7 @@ std::optional<LegalizerKind> parse_flow(const std::string& s) {
 /// layout, batch-executed over `jobs` lanes. Takes ownership of the
 /// freshly built netlist and places it.
 int run_all_flows(const DeviceSpec& spec, QuantumNetlist gp_nl, unsigned seed, int gp_levels,
-                  bool run_dp, std::size_t jobs, bool gp_farfield) {
+                  bool run_dp, std::size_t jobs, bool gp_farfield, bool abacus_baseline) {
   {
     GlobalPlacerOptions gp_opt;
     gp_opt.seed = seed;
@@ -82,8 +87,8 @@ int run_all_flows(const DeviceSpec& spec, QuantumNetlist gp_nl, unsigned seed, i
     gp_opt.freq_farfield = gp_farfield;
     GlobalPlacer(gp_opt).place(gp_nl);
   }
-  const auto matrix =
-      BatchRunner::shared_gp_flows(spec, all_legalizer_kinds(), gp_nl, seed, run_dp);
+  auto matrix = BatchRunner::shared_gp_flows(spec, all_legalizer_kinds(), gp_nl, seed, run_dp);
+  for (auto& job : matrix) job.abacus.repack_baseline = abacus_baseline;
   BatchOptions bopt;
   bopt.jobs = jobs;
   const auto results = BatchRunner(bopt).run(matrix);
@@ -129,6 +134,7 @@ int main(int argc, char** argv) {
   int gp_levels = 0;     // 0 = auto from component count
   std::size_t jobs = 0;  // 0 = hardware concurrency
   bool gp_farfield = false;
+  bool abacus_baseline = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -174,6 +180,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(numeric_value(std::numeric_limits<std::size_t>::max()));
     } else if (arg == "--gp-farfield") {
       gp_farfield = true;
+    } else if (arg == "--abacus-baseline") {
+      abacus_baseline = true;
     } else if (arg == "--out") {
       out_file = value();
     } else if (arg == "--svg") {
@@ -213,12 +221,14 @@ int main(int argc, char** argv) {
       std::cerr << "warning: --out/--svg are ignored with --flow all "
                    "(no single final layout); run one flow to write artifacts\n";
     }
-    return run_all_flows(spec, std::move(nl), seed, gp_levels, run_dp, jobs, gp_farfield);
+    return run_all_flows(spec, std::move(nl), seed, gp_levels, run_dp, jobs, gp_farfield,
+                         abacus_baseline);
   }
 
   PipelineOptions opt;
   opt.legalizer = *flow;
   opt.run_detailed = run_dp && *flow == LegalizerKind::kQgdp;
+  opt.abacus.repack_baseline = abacus_baseline;
   opt.gp.seed = seed;
   opt.gp.levels = gp_levels;
   opt.gp.jobs = jobs;

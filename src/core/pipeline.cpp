@@ -75,7 +75,7 @@ PipelineOutput Pipeline::run(QuantumNetlist& nl) const {
         break;
       case LegalizerKind::kAbacus:
       case LegalizerKind::kQAbacus:
-        stats.blocks = AbacusLegalizer{}.legalize(nl, grid);
+        stats.blocks = AbacusLegalizer{opt_.abacus}.legalize(nl, grid);
         break;
       case LegalizerKind::kQgdp:
         stats.blocks = ResonatorLegalizer{opt_.resonator}.legalize(nl, grid);

@@ -14,6 +14,7 @@
 #include "core/detailed_placer.h"
 #include "core/qubit_legalizer.h"
 #include "core/resonator_legalizer.h"
+#include "legalization/abacus_legalizer.h"
 #include "legalization/bin_grid.h"
 #include "placement/global_placer.h"
 
@@ -39,6 +40,7 @@ struct PipelineOptions {
   bool run_gp{true};        ///< false: positions are already globally placed
   bool run_detailed{false}; ///< qGDP-DP stage (only meaningful for kQgdp)
   ResonatorLegalizerOptions resonator{};
+  AbacusLegalizerOptions abacus{};  ///< kAbacus / kQAbacus cost-engine options
   DetailedPlacerOptions dp{};
 };
 

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <set>
 
 #include "geometry/spatial_hash.h"
 
@@ -71,25 +70,34 @@ BlockLegalizeResult ResonatorLegalizer::legalize(QuantumNetlist& nl, BinGrid& gr
       return distance2(nl.block(a).pos, centroid) < distance2(nl.block(b).pos, centroid);
     });
 
-    std::set<BinCoord> baa;  // adjacent available bins of this resonator
+    // Adjacent available bins of this resonator. A flat sorted vector
+    // instead of std::set: the pricing loop below walks every entry
+    // once per block, which on kilo-qubit runs made the set's
+    // pointer-chasing iteration the flow's hottest scan. The vector
+    // keeps the identical (ix, iy) iteration order, so stale-entry
+    // handling and distance ties resolve exactly as before.
+    std::vector<BinCoord> baa;
+    auto baa_find = [&](BinCoord b) {
+      return std::lower_bound(baa.begin(), baa.end(), b);
+    };
     for (const int bid : blocks) {
       WireBlock& blk = nl.block(bid);
       std::optional<BinCoord> chosen;
       if (opt_.integration_aware && !baa.empty()) {
-        // Algorithm 1 line 10: nearest bin from Baa.
+        // Algorithm 1 line 10: nearest bin from Baa. Stale entries
+        // (should not happen intra-edge) are compacted out in place.
         double best = std::numeric_limits<double>::infinity();
-        for (auto it = baa.begin(); it != baa.end();) {
-          if (!grid.is_free(*it)) {
-            it = baa.erase(it);  // stale entry (should not happen intra-edge)
-            continue;
-          }
-          const double d2 = distance2(grid.center_of(*it), blk.pos);
+        std::size_t keep = 0;
+        for (const BinCoord b : baa) {
+          if (!grid.is_free(b)) continue;  // stale: drop
+          baa[keep++] = b;
+          const double d2 = distance2(grid.center_of(b), blk.pos);
           if (d2 < best) {
             best = d2;
-            chosen = *it;
+            chosen = b;
           }
-          ++it;
         }
+        baa.resize(keep);
       }
       if (!chosen) {
         // Algorithm 1 line 8: nearest free bin overall.
@@ -101,7 +109,7 @@ BlockLegalizeResult ResonatorLegalizer::legalize(QuantumNetlist& nl, BinGrid& gr
         continue;
       }
       grid.occupy(*chosen, bid);
-      baa.erase(*chosen);
+      if (const auto it = baa_find(*chosen); it != baa.end() && *it == *chosen) baa.erase(it);
       const Point c = grid.center_of(*chosen);
       const double d = distance(c, blk.pos);
       res.total_displacement += d;
@@ -109,7 +117,9 @@ BlockLegalizeResult ResonatorLegalizer::legalize(QuantumNetlist& nl, BinGrid& gr
       blk.pos = c;
       ++res.placed;
       // Algorithm 1 line 14: update adjacent available bins.
-      for (const BinCoord nb : grid.free_neighbors(*chosen)) baa.insert(nb);
+      for (const BinCoord nb : grid.free_neighbors(*chosen)) {
+        if (const auto it = baa_find(nb); it == baa.end() || *it != nb) baa.insert(it, nb);
+      }
     }
   }
   res.success = (res.failed == 0);

@@ -25,6 +25,7 @@ void ConstraintGraph::add_constraint(int from, int to, double gap) {
   assert(from != to);
   arcs_.push_back({from, to, gap});
   adjacency_dirty_ = true;
+  topo_dirty_ = true;
 }
 
 void ConstraintGraph::set_bounds(int node, double lower, double upper) {
@@ -40,7 +41,49 @@ void ConstraintGraph::build_adjacency_() const {
     out_arcs_[static_cast<std::size_t>(arcs_[k].from)].push_back(static_cast<int>(k));
     in_arcs_[static_cast<std::size_t>(arcs_[k].to)].push_back(static_cast<int>(k));
   }
+  // Flatten both views into CSR (same per-node arc order as the nested
+  // vectors — the solver's floating-point folds see identical
+  // sequences either way).
+  const std::size_t n = node_count();
+  const std::size_t m = arcs_.size();
+  auto flatten = [&](const std::vector<std::vector<int>>& lists, bool incoming,
+                     CsrAdjacency& csr) {
+    csr.off.assign(n + 1, 0);
+    csr.node.resize(m);
+    csr.gap.resize(m);
+    std::size_t pos = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      csr.off[u] = static_cast<int>(pos);
+      for (const int k : lists[u]) {
+        const auto& a = arcs_[static_cast<std::size_t>(k)];
+        csr.node[pos] = incoming ? a.from : a.to;
+        csr.gap[pos] = a.gap;
+        ++pos;
+      }
+    }
+    csr.off[n] = static_cast<int>(pos);
+  };
+  flatten(out_arcs_, false, out_csr_);
+  flatten(in_arcs_, true, in_csr_);
   adjacency_dirty_ = false;
+}
+
+const ConstraintGraph::CsrAdjacency& ConstraintGraph::out_csr() const {
+  build_adjacency_();
+  return out_csr_;
+}
+
+const ConstraintGraph::CsrAdjacency& ConstraintGraph::in_csr() const {
+  build_adjacency_();
+  return in_csr_;
+}
+
+const std::vector<int>& ConstraintGraph::topological_order_() const {
+  if (topo_dirty_) {
+    topo_cache_ = topological_order();
+    topo_dirty_ = false;
+  }
+  return topo_cache_;
 }
 
 const std::vector<std::vector<int>>& ConstraintGraph::out_arcs() const {
@@ -77,34 +120,36 @@ std::vector<int> ConstraintGraph::topological_order() const {
 }
 
 std::vector<double> ConstraintGraph::tightest_lower_bounds() const {
-  const auto order = topological_order();
+  const auto& order = topological_order_();
   if (order.empty() && node_count() > 0) {
     throw std::logic_error("ConstraintGraph: cycle detected in tightest_lower_bounds");
   }
-  std::vector<double> L(node_count());
-  for (std::size_t i = 0; i < node_count(); ++i) L[i] = lower_[i];
+  const CsrAdjacency& out = out_csr();
+  std::vector<double> L(lower_);
   for (const int u : order) {
-    for (const int k : out_arcs()[static_cast<std::size_t>(u)]) {
-      const auto& a = arcs_[static_cast<std::size_t>(k)];
-      L[static_cast<std::size_t>(a.to)] =
-          std::max(L[static_cast<std::size_t>(a.to)], L[static_cast<std::size_t>(u)] + a.gap);
+    const double base = L[static_cast<std::size_t>(u)];
+    for (int k = out.off[static_cast<std::size_t>(u)];
+         k < out.off[static_cast<std::size_t>(u) + 1]; ++k) {
+      const auto v = static_cast<std::size_t>(out.node[static_cast<std::size_t>(k)]);
+      L[v] = std::max(L[v], base + out.gap[static_cast<std::size_t>(k)]);
     }
   }
   return L;
 }
 
 std::vector<double> ConstraintGraph::tightest_upper_bounds() const {
-  const auto order = topological_order();
+  const auto& order = topological_order_();
   if (order.empty() && node_count() > 0) {
     throw std::logic_error("ConstraintGraph: cycle detected in tightest_upper_bounds");
   }
-  std::vector<double> U(node_count());
-  for (std::size_t i = 0; i < node_count(); ++i) U[i] = upper_[i];
+  const CsrAdjacency& in = in_csr();
+  std::vector<double> U(upper_);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    for (const int k : in_arcs()[static_cast<std::size_t>(*it)]) {
-      const auto& a = arcs_[static_cast<std::size_t>(k)];
-      U[static_cast<std::size_t>(a.from)] =
-          std::min(U[static_cast<std::size_t>(a.from)], U[static_cast<std::size_t>(*it)] - a.gap);
+    const double base = U[static_cast<std::size_t>(*it)];
+    for (int k = in.off[static_cast<std::size_t>(*it)];
+         k < in.off[static_cast<std::size_t>(*it) + 1]; ++k) {
+      const auto v = static_cast<std::size_t>(in.node[static_cast<std::size_t>(k)]);
+      U[v] = std::min(U[v], base - in.gap[static_cast<std::size_t>(k)]);
     }
   }
   return U;
@@ -115,7 +160,7 @@ bool ConstraintGraph::feasible(double eps) const {
 }
 
 std::vector<int> ConstraintGraph::infeasible_nodes(double eps) const {
-  if (topological_order().empty() && !arcs_.empty()) {
+  if (topological_order_().empty() && !arcs_.empty()) {
     // A cyclic graph is treated as fully infeasible.
     std::vector<int> all(node_count());
     for (std::size_t i = 0; i < node_count(); ++i) all[i] = static_cast<int>(i);
@@ -144,18 +189,76 @@ DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
   const auto L = g.tightest_lower_bounds();
   const auto U = g.tightest_upper_bounds();
   const auto& arcs = g.constraints();
+  // Flat CSR adjacency: the sweeps below fold over each node's arcs
+  // thousands of times, and chasing per-node index vectors into the
+  // arc array dominated the qubit-legalization profile. The CSR view
+  // yields the same (neighbour, gap) sequence per node, so every
+  // max/min fold sees the identical operand order.
+  const ConstraintGraph::CsrAdjacency& in = g.in_csr();
+  const ConstraintGraph::CsrAdjacency& out = g.out_csr();
   auto& x = sol.position;
+
+  // Refinement: alternate (a) coordinate-wise sweeps — optimal move of
+  // one node given fixed neighbours — with (b) clump moves: nodes
+  // connected by *tight* constraints shift jointly to the weighted
+  // median of their residuals (the L1 analogue of Abacus clumping;
+  // single-node descent alone stalls on tight chains).
+  constexpr double kTightEps = 1e-7;
+  // The max/min folds below run with two independent accumulators to
+  // break the serial dependence chain (the per-arc adds are
+  // element-wise and max/min select an operand without rounding, so
+  // any fold order produces the identical bound).
+  auto fold_lo = [&](int u, const double* xs) {
+    const int k0 = in.off[static_cast<std::size_t>(u)];
+    const int k1 = in.off[static_cast<std::size_t>(u) + 1];
+    double a = g.lower(u);
+    double b = -std::numeric_limits<double>::infinity();
+    int k = k0;
+    for (; k + 1 < k1; k += 2) {
+      a = std::max(a, xs[in.node[static_cast<std::size_t>(k)]] +
+                          in.gap[static_cast<std::size_t>(k)]);
+      b = std::max(b, xs[in.node[static_cast<std::size_t>(k + 1)]] +
+                          in.gap[static_cast<std::size_t>(k + 1)]);
+    }
+    if (k < k1) {
+      a = std::max(a, xs[in.node[static_cast<std::size_t>(k)]] +
+                          in.gap[static_cast<std::size_t>(k)]);
+    }
+    return std::max(a, b);
+  };
+  auto fold_hi = [&](int u, const double* xs) {
+    const int k0 = out.off[static_cast<std::size_t>(u)];
+    const int k1 = out.off[static_cast<std::size_t>(u) + 1];
+    double a = g.upper(u);
+    double b = std::numeric_limits<double>::infinity();
+    int k = k0;
+    for (; k + 1 < k1; k += 2) {
+      a = std::min(a, xs[out.node[static_cast<std::size_t>(k)]] -
+                          out.gap[static_cast<std::size_t>(k)]);
+      b = std::min(b, xs[out.node[static_cast<std::size_t>(k + 1)]] -
+                          out.gap[static_cast<std::size_t>(k + 1)]);
+    }
+    if (k < k1) {
+      a = std::min(a, xs[out.node[static_cast<std::size_t>(k)]] -
+                          out.gap[static_cast<std::size_t>(k)]);
+    }
+    return std::min(a, b);
+  };
+  auto relax_node = [&](int u, double& moved) {
+    const double lo = fold_lo(u, x.data());
+    const double hi = fold_hi(u, x.data());
+    if (lo > hi) return;  // neighbours pin this node; keep position
+    const double nx = std::clamp(target[static_cast<std::size_t>(u)], lo, hi);
+    moved += std::abs(nx - x[static_cast<std::size_t>(u)]);
+    x[static_cast<std::size_t>(u)] = nx;
+  };
 
   // Forward init: feasible by construction (see DESIGN.md §6.1) —
   // every node is pushed right just enough to clear its predecessors,
   // and clamping to the tightest upper bound cannot violate them.
   std::vector<double> x_fwd(n);
   for (const int u : order) {
-    double lo = g.lower(u);
-    for (const int k : g.in_arcs()[static_cast<std::size_t>(u)]) {
-      const auto& a = arcs[static_cast<std::size_t>(k)];
-      lo = std::max(lo, x_fwd[static_cast<std::size_t>(a.from)] + a.gap);
-    }
+    const double lo = fold_lo(u, x_fwd.data());
     x_fwd[static_cast<std::size_t>(u)] = std::clamp(
         target[static_cast<std::size_t>(u)], lo, std::max(lo, U[static_cast<std::size_t>(u)]));
   }
@@ -164,37 +267,10 @@ DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
   std::vector<double> x_bwd(n);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const int u = *it;
-    double hi = g.upper(u);
-    for (const int k : g.out_arcs()[static_cast<std::size_t>(u)]) {
-      const auto& a = arcs[static_cast<std::size_t>(k)];
-      hi = std::min(hi, x_bwd[static_cast<std::size_t>(a.to)] - a.gap);
-    }
+    const double hi = fold_hi(u, x_bwd.data());
     x_bwd[static_cast<std::size_t>(u)] = std::clamp(
         target[static_cast<std::size_t>(u)], std::min(L[static_cast<std::size_t>(u)], hi), hi);
   }
-
-  // Refinement: alternate (a) coordinate-wise sweeps — optimal move of
-  // one node given fixed neighbours — with (b) clump moves: nodes
-  // connected by *tight* constraints shift jointly to the weighted
-  // median of their residuals (the L1 analogue of Abacus clumping;
-  // single-node descent alone stalls on tight chains).
-  constexpr double kTightEps = 1e-7;
-  auto relax_node = [&](int u, double& moved) {
-    double lo = g.lower(u);
-    double hi = g.upper(u);
-    for (const int k : g.in_arcs()[static_cast<std::size_t>(u)]) {
-      const auto& a = arcs[static_cast<std::size_t>(k)];
-      lo = std::max(lo, x[static_cast<std::size_t>(a.from)] + a.gap);
-    }
-    for (const int k : g.out_arcs()[static_cast<std::size_t>(u)]) {
-      const auto& a = arcs[static_cast<std::size_t>(k)];
-      hi = std::min(hi, x[static_cast<std::size_t>(a.to)] - a.gap);
-    }
-    if (lo > hi) return;  // neighbours pin this node; keep position
-    const double nx = std::clamp(target[static_cast<std::size_t>(u)], lo, hi);
-    moved += std::abs(nx - x[static_cast<std::size_t>(u)]);
-    x[static_cast<std::size_t>(u)] = nx;
-  };
   // clump_pass workspace, reused across sweeps. Members and boundary
   // arcs are grouped per cluster root in CSR form so one pass touches
   // every arc O(1) times — the previous per-cluster rescan of the full
@@ -204,6 +280,7 @@ DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
   std::vector<int> root_of(n);
   std::vector<int> member_off, member_items;           // members per root
   std::vector<int> boundary_off, boundary_items;       // boundary arcs per root
+  std::vector<std::pair<double, double>> residual;     // (value, weight) scratch
   auto clump_pass = [&]() {
     double moved = 0.0;
     UnionFind uf(n);
@@ -279,8 +356,9 @@ DisplacementSolver::Solution DisplacementSolver::solve(const ConstraintGraph& g,
       }
       if (shift_lo > shift_hi) continue;
       // Optimal shift: weighted median of residuals (the L1 optimum of
-      // a rigid translation).
-      std::vector<std::pair<double, double>> residual;  // (value, weight)
+      // a rigid translation). The scratch vector lives outside the
+      // pass so each cluster reuses its allocation.
+      residual.clear();
       residual.reserve(static_cast<std::size_t>(m_hi - m_lo));
       double total_w = 0.0;
       for (int m = m_lo; m < m_hi; ++m) {

@@ -54,15 +54,33 @@ class ConstraintGraph {
   /// Incoming arcs indexed per node.
   [[nodiscard]] const std::vector<std::vector<int>>& in_arcs() const;
 
+  /// Flat CSR adjacency — (neighbour, gap) pairs grouped per node in
+  /// arc-insertion order, the layout the solver's relaxation sweeps
+  /// iterate. `node[k]`/`gap[k]` for k in [off[u], off[u+1]) are the
+  /// arcs of node u: the predecessor endpoints for the incoming view,
+  /// the successor endpoints for the outgoing view.
+  struct CsrAdjacency {
+    std::vector<int> off;
+    std::vector<int> node;
+    std::vector<double> gap;
+  };
+  [[nodiscard]] const CsrAdjacency& out_csr() const;
+  [[nodiscard]] const CsrAdjacency& in_csr() const;
+
  private:
   void build_adjacency_() const;
+  const std::vector<int>& topological_order_() const;  ///< cached; empty on cycle
 
   std::vector<DiffConstraint> arcs_;
   std::vector<double> lower_;
   std::vector<double> upper_;
   mutable std::vector<std::vector<int>> out_arcs_;
   mutable std::vector<std::vector<int>> in_arcs_;
+  mutable CsrAdjacency out_csr_;
+  mutable CsrAdjacency in_csr_;
   mutable bool adjacency_dirty_{true};
+  mutable std::vector<int> topo_cache_;
+  mutable bool topo_dirty_{true};
 };
 
 /// Minimum-total-displacement solver over a ConstraintGraph:

@@ -5,139 +5,65 @@
 #include <limits>
 #include <numeric>
 
+#include "legalization/interval_pack.h"
+
 namespace qgdp {
-
-namespace {
-
-/// One free span [x_lo, x_hi) of a row; holds its cells sorted by
-/// target x and packs them with the Abacus clumping recurrence.
-class Interval {
- public:
-  Interval(double lo, double hi) : lo_(lo), hi_(hi) {}
-
-  [[nodiscard]] double capacity() const { return hi_ - lo_; }
-  [[nodiscard]] int cell_count() const { return static_cast<int>(targets_.size()); }
-  [[nodiscard]] bool can_accept() const { return cell_count() + 1 <= static_cast<int>(capacity()); }
-  [[nodiscard]] double lo() const { return lo_; }
-  [[nodiscard]] double hi() const { return hi_; }
-
-  /// Packs cells (unit width) by the classic clumping recurrence and
-  /// returns positions (left edge per cell) plus total squared cost.
-  double pack(const std::vector<double>& targets, std::vector<double>* out_pos) const {
-    struct Cluster {
-      double e{0}, q{0}, w{0}, x{0};
-      int first{0};
-    };
-    std::vector<Cluster> clusters;
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      Cluster c;
-      c.e = 1.0;
-      c.q = targets[i];  // desired left edge of this unit cell
-      c.w = 1.0;
-      c.x = std::clamp(targets[i], lo_, hi_ - 1.0);
-      c.first = static_cast<int>(i);
-      clusters.push_back(c);
-      // Merge while the new cluster overlaps its predecessor.
-      while (clusters.size() > 1) {
-        Cluster& cur = clusters.back();
-        Cluster& prev = clusters[clusters.size() - 2];
-        if (prev.x + prev.w <= cur.x) break;
-        prev.q += cur.q - cur.e * prev.w;
-        prev.e += cur.e;
-        prev.w += cur.w;
-        prev.x = std::clamp(prev.q / prev.e, lo_, hi_ - prev.w);
-        clusters.pop_back();
-      }
-    }
-    double cost = 0.0;
-    if (out_pos) out_pos->assign(targets.size(), 0.0);
-    for (const auto& c : clusters) {
-      for (int k = 0; k < static_cast<int>(c.w); ++k) {
-        const std::size_t i = static_cast<std::size_t>(c.first + k);
-        const double pos = c.x + k;
-        if (out_pos) (*out_pos)[i] = pos;
-        const double d = pos - targets[i];
-        cost += d * d;
-      }
-    }
-    return cost;
-  }
-
-  /// Cost of this interval's current content. Cached between commits —
-  /// every candidate interval is priced once per cell insertion, so
-  /// recomputing the unchanged base cost dominated large runs.
-  [[nodiscard]] double current_cost() const {
-    if (!cost_cached_) {
-      cached_cost_ = pack(targets_, nullptr);
-      cost_cached_ = true;
-    }
-    return cached_cost_;
-  }
-
-  /// Trial: cost after inserting a cell with target x `tx`.
-  [[nodiscard]] double trial_cost(double tx) const {
-    std::vector<double> t = with_inserted(tx).first;
-    return pack(t, nullptr);
-  }
-
-  void commit(int block, double tx) {
-    auto [t, idx] = with_inserted(tx);
-    targets_ = std::move(t);
-    blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(idx), block);
-    cost_cached_ = false;
-  }
-
-  /// Final integer bin columns for the packed cells.
-  [[nodiscard]] std::vector<std::pair<int, int>> final_columns() const {
-    std::vector<double> pos;
-    pack(targets_, &pos);
-    std::vector<std::pair<int, int>> out;  // (block, column)
-    int prev = static_cast<int>(std::floor(lo_)) - 1;
-    for (std::size_t i = 0; i < pos.size(); ++i) {
-      int col = std::max(static_cast<int>(std::lround(pos[i])), prev + 1);
-      col = std::min(col, static_cast<int>(std::lround(hi_)) - 1);
-      prev = col;
-      out.emplace_back(blocks_[i], col);
-    }
-    return out;
-  }
-
- private:
-  [[nodiscard]] std::pair<std::vector<double>, std::size_t> with_inserted(double tx) const {
-    std::vector<double> t = targets_;
-    const auto it = std::upper_bound(t.begin(), t.end(), tx);
-    const std::size_t idx = static_cast<std::size_t>(it - t.begin());
-    t.insert(it, tx);
-    return {std::move(t), idx};
-  }
-
-  double lo_;
-  double hi_;
-  std::vector<double> targets_;  ///< desired left edges, ascending
-  std::vector<int> blocks_;      ///< block ids parallel to targets_
-  mutable double cached_cost_{0.0};
-  mutable bool cost_cached_{false};
-};
-
-}  // namespace
 
 BlockLegalizeResult AbacusLegalizer::legalize(QuantumNetlist& nl, BinGrid& grid) const {
   BlockLegalizeResult res;
   const int ny = grid.height();
-  // Build row intervals from contiguous free bins.
-  std::vector<std::vector<Interval>> rows(static_cast<std::size_t>(ny));
+  const int nx = grid.width();
+
+  // Row intervals from contiguous free bins, CSR-packed so a candidate
+  // search touches a handful of contiguous cache lines per row. Within
+  // a row the spans are disjoint and built left to right, so both lo
+  // and last ascend. The heavyweight ClumpInterval objects (live
+  // cluster stacks) sit in a parallel flat array and are only loaded
+  // for the candidates that actually get priced.
+  struct SpanBounds {
+    double last;  ///< hi − 1: rightmost legal left edge in the span
+    double lo;
+  };
+  std::vector<int> row_off(static_cast<std::size_t>(ny) + 1, 0);
+  std::vector<SpanBounds> bounds;
+  std::vector<int> room;        ///< free cells left per span
+  std::vector<int> free_cells;  ///< Σ room per row — 0 short-circuits the row
+  std::vector<ClumpInterval> ivs;
   for (int y = 0; y < ny; ++y) {
     int run_start = -1;
-    for (int x = 0; x <= grid.width(); ++x) {
-      const bool free = x < grid.width() && grid.is_free({x, y});
+    for (int x = 0; x <= nx; ++x) {
+      const bool free = x < nx && grid.is_free({x, y});
       if (free && run_start < 0) run_start = x;
       if (!free && run_start >= 0) {
-        rows[static_cast<std::size_t>(y)].emplace_back(static_cast<double>(run_start),
-                                                       static_cast<double>(x));
+        ivs.emplace_back(static_cast<double>(run_start), static_cast<double>(x),
+                         opt_.repack_baseline);
+        bounds.push_back({static_cast<double>(x) - 1.0, static_cast<double>(run_start)});
+        room.push_back(x - run_start);
         run_start = -1;
       }
     }
+    row_off[static_cast<std::size_t>(y) + 1] = static_cast<int>(ivs.size());
+    int cells = 0;
+    for (int k = row_off[static_cast<std::size_t>(y)]; k < row_off[static_cast<std::size_t>(y) + 1]; ++k) {
+      cells += room[static_cast<std::size_t>(k)];
+    }
+    free_cells.push_back(cells);
   }
+  // Direct span index: span_at[y·nx + c] = first span of row y whose
+  // `last` is ≥ column c (absolute index into the CSR arrays; = the
+  // row's end when none). One table load anchors the per-visit scan at
+  // the span under the cell's target column.
+  std::vector<int> span_at(static_cast<std::size_t>(ny) * static_cast<std::size_t>(nx));
+  for (int y = 0; y < ny; ++y) {
+    const int s1 = row_off[static_cast<std::size_t>(y) + 1];
+    int k = row_off[static_cast<std::size_t>(y)];
+    for (int c = 0; c < nx; ++c) {
+      while (k < s1 && bounds[static_cast<std::size_t>(k)].last < static_cast<double>(c)) ++k;
+      span_at[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+              static_cast<std::size_t>(c)] = k;
+    }
+  }
+
   std::vector<int> order(nl.block_count());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -151,22 +77,65 @@ BlockLegalizeResult AbacusLegalizer::legalize(QuantumNetlist& nl, BinGrid& grid)
     const Point target = nl.block(bid).pos;
     const double tx_edge = target.x - 0.5;  // left edge target
     const int ty = grid.bin_at(target).iy;
+    // Anchor column: span_at at this column is the first span whose
+    // rightmost legal left edge is at or right of tx (span `last`
+    // values are integral, so comparing against ⌈tx⌉ is exact).
+    const int c_tx =
+        std::clamp(static_cast<int>(std::ceil(tx_edge)), 0, nx - 1);
 
     double best = std::numeric_limits<double>::infinity();
-    Interval* best_iv = nullptr;
+    int best_span = -1;
+    int best_y = -1;
     auto try_row = [&](int y) {
       if (y < 0 || y >= ny) return;
+      if (free_cells[static_cast<std::size_t>(y)] == 0) return;
       const double dyc = target.y - (die.lo.y + y + 0.5);
       const double ycost = dyc * dyc;
-      if (best_iv && ycost >= best) return;
-      for (auto& iv : rows[static_cast<std::size_t>(y)]) {
-        if (!iv.can_accept()) continue;
+      if (best_span >= 0 && ycost >= best) return;
+      const int s0 = row_off[static_cast<std::size_t>(y)];
+      const int s1 = row_off[static_cast<std::size_t>(y) + 1];
+      // Interval index: with an incumbent, only spans whose x-distance
+      // can still beat it are candidates. Their squared span distance
+      // decreases toward tx and increases past it (disjoint sorted
+      // spans), so the candidates form one contiguous run. Anchor at
+      // the span under tx (one table load), walk left while the span
+      // distance can still beat the incumbent to find the run's left
+      // end, then scan left to right exactly as the dense loop did,
+      // stopping once spans to the right are priced out.
+      int k = s0;
+      if (best_span >= 0) {
+        const double budget = best - ycost;
+        k = span_at[static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+                    static_cast<std::size_t>(c_tx)];
+        while (k > s0) {
+          // Spans before the anchor end strictly left of tx.
+          const double d = tx_edge - bounds[static_cast<std::size_t>(k - 1)].last;
+          if (d * d >= budget) break;
+          --k;
+        }
+      }
+      for (; k < s1; ++k) {
+        const SpanBounds b = bounds[static_cast<std::size_t>(k)];
+        if (best_span >= 0) {
+          // Incumbent-cost cutoff: a cell inserted here displaces at
+          // least the span distance, and the resident cells' optimal
+          // cost cannot drop when one more cell competes for the span.
+          const double d =
+              tx_edge < b.lo ? b.lo - tx_edge : (tx_edge > b.last ? tx_edge - b.last : 0.0);
+          if (d * d + ycost >= best) {
+            if (b.lo > tx_edge) break;  // spans further right only get worse
+            continue;
+          }
+        }
+        if (room[static_cast<std::size_t>(k)] == 0) continue;
+        ClumpInterval& iv = ivs[static_cast<std::size_t>(k)];
         const double before = iv.current_cost();
         const double after = iv.trial_cost(tx_edge);
         const double c = (after - before) + ycost;
         if (c < best) {
           best = c;
-          best_iv = &iv;
+          best_span = k;
+          best_y = y;
         }
       }
     };
@@ -174,22 +143,25 @@ BlockLegalizeResult AbacusLegalizer::legalize(QuantumNetlist& nl, BinGrid& grid)
     for (int off = 1; off < ny; ++off) {
       // Prune: this cell's own vertical displacement already exceeds best.
       const double dy = static_cast<double>(off) - 0.5;
-      if (best_iv && dy * dy >= best) break;
+      if (best_span >= 0 && dy * dy >= best) break;
       try_row(ty - off);
       try_row(ty + off);
     }
-    if (!best_iv) {
+    if (best_span < 0) {
       ++res.failed;
       continue;
     }
-    best_iv->commit(bid, tx_edge);
+    ivs[static_cast<std::size_t>(best_span)].commit(bid, tx_edge);
+    --room[static_cast<std::size_t>(best_span)];
+    --free_cells[static_cast<std::size_t>(best_y)];
     ++res.placed;
   }
 
   // Materialize: final columns per interval → occupy grid, move blocks.
   for (int y = 0; y < ny; ++y) {
-    for (auto& iv : rows[static_cast<std::size_t>(y)]) {
-      for (const auto& [bid, col] : iv.final_columns()) {
+    for (int k = row_off[static_cast<std::size_t>(y)];
+         k < row_off[static_cast<std::size_t>(y) + 1]; ++k) {
+      for (const auto& [bid, col] : ivs[static_cast<std::size_t>(k)].final_columns()) {
         const BinCoord bin{col, y};
         grid.occupy(bin, bid);
         const Point c = grid.center_of(bin);

@@ -4,16 +4,41 @@
 // row intervals (free spans between qubit blockages), the quadratic
 // displacement cost of re-packing the interval is evaluated, and the
 // cheapest interval wins. Like Tetris, Abacus is resonator-oblivious.
+//
+// The cost engine prices candidates incrementally on persistent
+// per-interval cluster stacks (see interval_pack.h): a trial simulates
+// only the merge cascade the new cell triggers instead of repacking the
+// interval, and candidate intervals per row come from a binary search
+// over the row's spans bounded by the incumbent cost. The historical
+// from-scratch engine is retained behind `repack_baseline` as the
+// bit-exactness oracle for differential tests and the scaling bench.
 #pragma once
 
 #include "legalization/block_legalizer.h"
 
 namespace qgdp {
 
+struct AbacusLegalizerOptions {
+  /// Prices every candidate by copying the interval's target vector and
+  /// re-running the clumping recurrence from scratch — the historical
+  /// O(blocks × rows × interval_cells) path. Output is bit-identical to
+  /// the incremental engine; runtime is the super-linear tail the
+  /// incremental engine exists to kill.
+  bool repack_baseline{false};
+};
+
 class AbacusLegalizer final : public BlockLegalizer {
  public:
+  AbacusLegalizer() = default;
+  explicit AbacusLegalizer(AbacusLegalizerOptions opt) : opt_(opt) {}
+
   BlockLegalizeResult legalize(QuantumNetlist& nl, BinGrid& grid) const override;
   [[nodiscard]] std::string name() const override { return "Abacus"; }
+
+  [[nodiscard]] const AbacusLegalizerOptions& options() const { return opt_; }
+
+ private:
+  AbacusLegalizerOptions opt_;
 };
 
 }  // namespace qgdp

@@ -13,9 +13,12 @@ BinGrid::BinGrid(Rect die) : die_(die) {
   ny_ = std::max(1, static_cast<int>(std::ceil(die.height() - 1e-9)));
   state_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_), State::kFree);
   occupant_.assign(state_.size(), -1);
-  free_by_row_.resize(static_cast<std::size_t>(ny_));
+  words_per_row_ = (static_cast<std::size_t>(nx_) + 63) / 64;
+  free_mask_.assign(words_per_row_ * static_cast<std::size_t>(ny_), 0);
+  free_in_row_.assign(static_cast<std::size_t>(ny_), nx_);
   for (int y = 0; y < ny_; ++y) {
-    for (int x = 0; x < nx_; ++x) free_by_row_[static_cast<std::size_t>(y)].insert(x);
+    std::uint64_t* row = free_mask_.data() + static_cast<std::size_t>(y) * words_per_row_;
+    for (int x = 0; x < nx_; ++x) row[x >> 6] |= std::uint64_t{1} << (x & 63);
     free_rows_.insert(y);
   }
   free_total_ = state_.size();
@@ -31,16 +34,16 @@ void BinGrid::set_state(BinCoord b, State s) {
   const std::size_t i = index(b);
   const State old = state_[i];
   if (old == s) return;
+  std::uint64_t* row = free_mask_.data() + static_cast<std::size_t>(b.iy) * words_per_row_;
+  int& row_count = free_in_row_[static_cast<std::size_t>(b.iy)];
   if (old == State::kFree) {
-    auto& row = free_by_row_[static_cast<std::size_t>(b.iy)];
-    row.erase(b.ix);
-    if (row.empty()) free_rows_.erase(b.iy);
+    row[b.ix >> 6] &= ~(std::uint64_t{1} << (b.ix & 63));
+    if (--row_count == 0) free_rows_.erase(b.iy);
     --free_total_;
   }
   if (s == State::kFree) {
-    auto& row = free_by_row_[static_cast<std::size_t>(b.iy)];
-    if (row.empty()) free_rows_.insert(b.iy);
-    row.insert(b.ix);
+    if (row_count++ == 0) free_rows_.insert(b.iy);
+    row[b.ix >> 6] |= std::uint64_t{1} << (b.ix & 63);
     ++free_total_;
     occupant_[i] = -1;
   }
@@ -99,10 +102,14 @@ std::optional<BinCoord> BinGrid::nearest_free_in(Point target, const Rect& regio
     if (y < ry0 || y > ry1) return;
     const double dy = (center_of({0, y}).y - target.y);
     if (dy * dy >= best) return;
-    const auto& row = free_by_row_[static_cast<std::size_t>(y)];
-    if (row.empty()) return;
-    // Candidates: nearest free x at or after the target column, and the
-    // one before it; both clipped to the region's column span.
+    if (free_in_row_[static_cast<std::size_t>(y)] == 0) return;
+    const std::uint64_t* row = row_mask(y);
+    // Per row only two bins can win: the nearest free x at or after the
+    // target column and the nearest one before it, both clipped to the
+    // region's column span — any other free bin on the same side shares
+    // dy but has a strictly larger |dx|, so it can never beat its
+    // side's champion. The right side is tried first, matching the
+    // historical full scan's tie-breaking order.
     auto consider = [&](int x) {
       if (x < rx0 || x > rx1) return;
       const Point c = center_of({x, y});
@@ -112,20 +119,27 @@ std::optional<BinCoord> BinGrid::nearest_free_in(Point target, const Rect& regio
         best_bin = BinCoord{x, y};
       }
     };
-    auto it = row.lower_bound(t.ix);
-    // Scan right within the region until x-distance alone exceeds best.
-    for (auto r = it; r != row.end(); ++r) {
-      if (*r > rx1) break;
-      const double dx = center_of({*r, y}).x - target.x;
-      if (dx > 0 && dx * dx >= best) break;
-      consider(*r);
+    {
+      const int start = std::max(t.ix, rx0);
+      std::size_t w = static_cast<std::size_t>(start) >> 6;
+      std::uint64_t word = row[w] & (~std::uint64_t{0} << (start & 63));
+      while (word == 0 && ++w < words_per_row_) word = row[w];
+      if (word != 0) {
+        const int x =
+            static_cast<int>((w << 6) + static_cast<std::size_t>(__builtin_ctzll(word)));
+        if (x <= rx1) consider(x);
+      }
     }
-    // Scan left symmetrically.
-    for (auto l = std::make_reverse_iterator(it); l != row.rend(); ++l) {
-      if (*l < rx0) break;
-      const double dx = target.x - center_of({*l, y}).x;
-      if (dx > 0 && dx * dx >= best) break;
-      consider(*l);
+    const int start_l = std::min(t.ix - 1, rx1);
+    if (start_l >= rx0) {
+      std::size_t w = static_cast<std::size_t>(start_l) >> 6;
+      std::uint64_t word = row[w] & (~std::uint64_t{0} >> (63 - (start_l & 63)));
+      while (word == 0 && w > 0) word = row[--w];
+      if (word != 0) {
+        const int x = static_cast<int>(
+            (w << 6) + (63 - static_cast<std::size_t>(__builtin_clzll(word))));
+        if (x >= rx0) consider(x);
+      }
     }
   };
 

@@ -1,9 +1,11 @@
 // Bin-aided indexing structure (paper §III-D, [28]): the die is
 // discretized into unit bins (one per wire-block site). Free bins are
-// organized hierarchically along the y-axis — one ordered set of free
-// x-indices per row — so nearest-free-bin queries cost O(log n) per
-// inspected row instead of a flat scan, "significantly narrowing the
-// search region".
+// organized hierarchically along the y-axis — one occupancy bitmask of
+// free x-indices per row, scanned wordwise with count-trailing/leading-
+// zero steps, plus an ordered set of non-empty rows — so nearest-free-
+// bin queries cost a few word scans per inspected row instead of a
+// flat scan (or the pointer-chasing std::set walk this replaced),
+// "significantly narrowing the search region".
 #pragma once
 
 #include <cstdint>
@@ -87,15 +89,20 @@ class BinGrid {
     return static_cast<std::size_t>(b.iy) * static_cast<std::size_t>(nx_) +
            static_cast<std::size_t>(b.ix);
   }
+  [[nodiscard]] const std::uint64_t* row_mask(int y) const {
+    return free_mask_.data() + static_cast<std::size_t>(y) * words_per_row_;
+  }
   void set_state(BinCoord b, State s);
 
   Rect die_;
   int nx_{0};
   int ny_{0};
+  std::size_t words_per_row_{0};
   std::vector<State> state_;
   std::vector<int> occupant_;
-  std::vector<std::set<int>> free_by_row_;  ///< free x-indices per row
-  std::set<int> free_rows_;                 ///< rows with ≥1 free bin
+  std::vector<std::uint64_t> free_mask_;  ///< free x-indices per row, bitwise
+  std::vector<int> free_in_row_;          ///< free-bin count per row
+  std::set<int> free_rows_;               ///< rows with ≥1 free bin
   std::size_t free_total_{0};
 };
 

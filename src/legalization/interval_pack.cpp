@@ -1,0 +1,181 @@
+#include "legalization/interval_pack.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qgdp {
+
+ClumpInterval::Cluster ClumpInterval::singleton(double tx, int first) const {
+  Cluster c;
+  c.e = 1.0;
+  c.q = tx;  // desired left edge of this unit cell
+  c.w = 1.0;
+  c.x = std::clamp(tx, lo_, hi_ - 1.0);
+  c.first = first;
+  return c;
+}
+
+void ClumpInterval::merge_into(Cluster& prev, const Cluster& cur) const {
+  prev.q += cur.q - cur.e * prev.w;  // prev.w is still prev's own width here
+  prev.e += cur.e;
+  prev.w += cur.w;
+  prev.x = std::clamp(prev.q / prev.e, lo_, hi_ - prev.w);
+}
+
+std::vector<ClumpInterval::Cluster> ClumpInterval::fold_clusters(
+    const std::vector<double>& targets) const {
+  std::vector<Cluster> clusters;
+  clusters.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    clusters.push_back(singleton(targets[i], static_cast<int>(i)));
+    // Merge while the new cluster overlaps its predecessor.
+    while (clusters.size() > 1) {
+      const Cluster& cur = clusters.back();
+      Cluster& prev = clusters[clusters.size() - 2];
+      if (prev.x + prev.w <= cur.x) break;
+      merge_into(prev, cur);
+      clusters.pop_back();
+    }
+  }
+  return clusters;
+}
+
+double ClumpInterval::pack(const std::vector<double>& targets,
+                           std::vector<double>* out_pos) const {
+  const std::vector<Cluster> clusters = fold_clusters(targets);
+  double cost = 0.0;
+  if (out_pos) out_pos->assign(targets.size(), 0.0);
+  for (const auto& c : clusters) {
+    for (int k = 0; k < static_cast<int>(c.w); ++k) {
+      const std::size_t i = static_cast<std::size_t>(c.first + k);
+      const double pos = c.x + k;
+      if (out_pos) (*out_pos)[i] = pos;
+      const double d = pos - targets[i];
+      cost += d * d;
+    }
+  }
+  return cost;
+}
+
+std::pair<ClumpInterval::Cluster, std::size_t> ClumpInterval::cascade(double tx) const {
+  // The appended cell enters as a singleton cluster — the identical
+  // operations pack() performs when it reaches this cell.
+  Cluster c = singleton(tx, static_cast<int>(targets_.size()));
+  std::size_t top = clusters_.size();
+  while (top > 0) {
+    const Cluster& prev = clusters_[top - 1];
+    if (prev.x + prev.w <= c.x) break;
+    Cluster merged = prev;
+    merge_into(merged, c);
+    merged.cost_cum = 0.0;
+    c = merged;
+    --top;
+  }
+  // Post-insertion total cost: the cell-order prefix sum up to the last
+  // surviving cluster is unchanged; re-accumulate only the merged
+  // cluster's cells, in cell order — the same additions, in the same
+  // order, as pack()'s cost loop over the full interval.
+  double cum = top > 0 ? clusters_[top - 1].cost_cum : 0.0;
+  const int n = static_cast<int>(targets_.size());
+  for (int k = 0; k < static_cast<int>(c.w); ++k) {
+    const int i = c.first + k;
+    const double t = i < n ? targets_[static_cast<std::size_t>(i)] : tx;
+    const double pos = c.x + k;
+    const double d = pos - t;
+    cum += d * d;
+  }
+  c.cost_cum = cum;
+  return {c, clusters_.size() - top};
+}
+
+void ClumpInterval::rebuild_stack() {
+  clusters_ = fold_clusters(targets_);
+  double cum = 0.0;
+  for (auto& c : clusters_) {
+    for (int k = 0; k < static_cast<int>(c.w); ++k) {
+      const std::size_t i = static_cast<std::size_t>(c.first + k);
+      const double d = (c.x + k) - targets_[i];
+      cum += d * d;
+    }
+    c.cost_cum = cum;
+  }
+}
+
+double ClumpInterval::current_cost() const {
+  if (repack_baseline_) {
+    // Memoized between commits — every candidate interval is priced
+    // once per cell insertion, so recomputing the unchanged base cost
+    // dominated large runs.
+    if (!cost_cached_) {
+      cached_cost_ = pack(targets_, nullptr);
+      cost_cached_ = true;
+    }
+    return cached_cost_;
+  }
+  return clusters_.empty() ? 0.0 : clusters_.back().cost_cum;
+}
+
+double ClumpInterval::trial_cost(double tx) const {
+  if (repack_baseline_) {
+    std::vector<double> t = with_inserted(tx).first;
+    return pack(t, nullptr);
+  }
+  if (targets_.empty() || tx >= targets_.back()) return cascade(tx).first.cost_cum;
+  // Out-of-order insertion (not produced by the ascending-x
+  // legalization sweep): fall back to a one-off repack.
+  std::vector<double> t = with_inserted(tx).first;
+  return pack(t, nullptr);
+}
+
+void ClumpInterval::commit(int block, double tx) {
+  if (!repack_baseline_ && (targets_.empty() || tx >= targets_.back())) {
+    // Splice the simulated cascade into the live stack.
+    const auto [merged, absorbed] = cascade(tx);
+    targets_.push_back(tx);
+    blocks_.push_back(block);
+    clusters_.resize(clusters_.size() - absorbed);
+    clusters_.push_back(merged);
+    return;
+  }
+  auto [t, idx] = with_inserted(tx);
+  targets_ = std::move(t);
+  blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(idx), block);
+  cost_cached_ = false;
+  if (!repack_baseline_) rebuild_stack();
+}
+
+std::vector<std::pair<int, int>> ClumpInterval::final_columns() const {
+  std::vector<std::pair<int, int>> out;  // (block, column)
+  out.reserve(targets_.size());
+  int prev = static_cast<int>(std::floor(lo_)) - 1;
+  const int last = static_cast<int>(std::lround(hi_)) - 1;
+  auto emit = [&](std::size_t i, double pos) {
+    int col = std::max(static_cast<int>(std::lround(pos)), prev + 1);
+    col = std::min(col, last);
+    prev = col;
+    out.emplace_back(blocks_[i], col);
+  };
+  if (repack_baseline_) {
+    std::vector<double> pos;
+    pack(targets_, &pos);
+    for (std::size_t i = 0; i < pos.size(); ++i) emit(i, pos[i]);
+    return out;
+  }
+  // The live stack already holds the packed positions — no repack.
+  for (const auto& c : clusters_) {
+    for (int k = 0; k < static_cast<int>(c.w); ++k) {
+      emit(static_cast<std::size_t>(c.first + k), c.x + k);
+    }
+  }
+  return out;
+}
+
+std::pair<std::vector<double>, std::size_t> ClumpInterval::with_inserted(double tx) const {
+  std::vector<double> t = targets_;
+  const auto it = std::upper_bound(t.begin(), t.end(), tx);
+  const std::size_t idx = static_cast<std::size_t>(it - t.begin());
+  t.insert(it, tx);
+  return {std::move(t), idx};
+}
+
+}  // namespace qgdp

@@ -1,0 +1,120 @@
+// Row-interval packing engine shared by the block-legalization
+// baselines (Abacus, and any row-based packer that prices candidate
+// insertions).
+//
+// An interval is one free span [lo, hi) of a row. Its cells (unit
+// width) are kept in ascending target order and packed by the classic
+// Abacus clumping recurrence (Spindler et al., ISPD'08): maximal runs
+// of touching cells form *clusters*, each holding the recurrence state
+//   e      total weight (cell count here — unit cells)
+//   q      weighted target accumulator (q/e is the unclamped optimum)
+//   w      total width
+//   x      packed position of the cluster's first cell
+//   first  index of the first member cell
+// A new cell enters as a singleton cluster and merges leftward while it
+// overlaps its predecessor — the "merge cascade".
+//
+// The engine keeps this cluster stack *live across insertions* instead
+// of re-running the recurrence from scratch per query:
+//
+//   trial_cost  prices a candidate by simulating only the merge cascade
+//               the new cell would trigger on a scratch register —
+//               amortized O(clusters merged), typically O(1) — instead
+//               of copying the target vector and repacking every cell.
+//   commit      splices the simulated cascade into the stack.
+//   final_columns reads positions straight off the live stack; no
+//               repack after the last commit.
+//
+// Bit-exactness invariant: the stack after any commit sequence is the
+// same e/q/w/x state — produced by the same floating-point operations
+// in the same order — as one from-scratch pack of the final target
+// vector, because pack is a left fold and in-order insertion appends.
+// Each cluster also carries cost_cum, the running cell-order sum of
+// squared displacements up to and including the cluster, maintained by
+// re-accumulating only the merged cluster's cells; trial_cost therefore
+// returns the identical double a full repack would. The from-scratch
+// path is retained behind `repack_baseline` as the differential oracle
+// (same pattern as flat_baseline / linear_scan_baseline).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace qgdp {
+
+/// One free span [lo, hi) of a row holding unit-width cells.
+class ClumpInterval {
+ public:
+  /// Abacus clumping recurrence state for one maximal run of touching
+  /// cells, plus the running cell-order cost prefix.
+  struct Cluster {
+    double e{0};     ///< total weight (= cell count for unit cells)
+    double q{0};     ///< recurrence accumulator (q/e = unclamped optimum)
+    double w{0};     ///< total width
+    double x{0};     ///< packed position of the first member cell
+    int first{0};    ///< index of the first member cell
+    double cost_cum{0};  ///< Σ (pos − target)² over cells 0..first+w−1, cell order
+  };
+
+  ClumpInterval(double lo, double hi, bool repack_baseline = false)
+      : lo_(lo), hi_(hi), repack_baseline_(repack_baseline) {}
+
+  [[nodiscard]] double capacity() const { return hi_ - lo_; }
+  [[nodiscard]] int cell_count() const { return static_cast<int>(targets_.size()); }
+  [[nodiscard]] bool can_accept() const { return cell_count() + 1 <= static_cast<int>(capacity()); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+  /// Total packed cost of the current content.
+  [[nodiscard]] double current_cost() const;
+
+  /// Total packed cost after inserting a cell with target left edge
+  /// `tx`. Pure — the live state is untouched.
+  [[nodiscard]] double trial_cost(double tx) const;
+
+  /// Inserts the cell for good (target order; ties append after equals,
+  /// matching std::upper_bound).
+  void commit(int block, double tx);
+
+  /// Final integer bin columns (block id, column) for the packed cells.
+  [[nodiscard]] std::vector<std::pair<int, int>> final_columns() const;
+
+  /// From-scratch clumping of `targets` within [lo, hi): returns total
+  /// squared cost and, optionally, per-cell left-edge positions. The
+  /// reference implementation the live stack is pinned against.
+  double pack(const std::vector<double>& targets, std::vector<double>* out_pos) const;
+
+  [[nodiscard]] const std::vector<Cluster>& clusters() const { return clusters_; }
+
+ private:
+  /// The clumping recurrence, in exactly one place — the engine's
+  /// bit-exactness contract rests on the live stack, the trial
+  /// cascade, and the from-scratch oracle performing these identical
+  /// floating-point operations.
+  [[nodiscard]] Cluster singleton(double tx, int first) const;
+  void merge_into(Cluster& prev, const Cluster& cur) const;
+  [[nodiscard]] std::vector<Cluster> fold_clusters(const std::vector<double>& targets) const;
+
+  /// Simulated merge cascade for an appended cell targeted at `tx`:
+  /// returns the merged cluster and the number of live clusters it
+  /// absorbs from the top of the stack. `cost_cum` of the result is the
+  /// full post-insertion interval cost.
+  [[nodiscard]] std::pair<Cluster, std::size_t> cascade(double tx) const;
+
+  /// Rebuilds the live stack from targets_ (general-position insertion
+  /// fallback; never hit by in-order legalization).
+  void rebuild_stack();
+
+  [[nodiscard]] std::pair<std::vector<double>, std::size_t> with_inserted(double tx) const;
+
+  double lo_;
+  double hi_;
+  bool repack_baseline_;
+  std::vector<double> targets_;    ///< desired left edges, ascending
+  std::vector<int> blocks_;        ///< block ids parallel to targets_
+  std::vector<Cluster> clusters_;  ///< live stack (unused by the baseline engine)
+  mutable double cached_cost_{0.0};   ///< baseline engine's memoized pack cost
+  mutable bool cost_cached_{false};
+};
+
+}  // namespace qgdp

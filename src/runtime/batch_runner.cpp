@@ -10,6 +10,7 @@ BatchResult run_batch_job(const BatchJob& job) {
   PipelineOptions opt;
   opt.legalizer = job.kind;
   opt.run_detailed = job.run_detailed && job.kind == LegalizerKind::kQgdp;
+  opt.abacus = job.abacus;
   if (job.gp_layout) {
     out.netlist = *job.gp_layout;
     opt.run_gp = false;

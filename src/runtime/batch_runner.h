@@ -21,6 +21,9 @@ struct BatchJob {
   LegalizerKind kind{LegalizerKind::kQgdp};
   unsigned gp_seed{1u};
   bool run_detailed{false};
+  /// Cost-engine options for Abacus-flavoured jobs (kAbacus/kQAbacus);
+  /// ignored by the other flows.
+  AbacusLegalizerOptions abacus{};
   /// When set, the job copies this pre-placed layout and skips GP —
   /// the paper's "all flows share the same GP positions" contract.
   /// The pointed-to netlist must outlive BatchRunner::run().
