@@ -1,0 +1,393 @@
+// Serving benchmark: client-observed latency and throughput of the
+// qgdpd daemon under its three request regimes —
+//
+//   cold   place with the cache bypassed: every request runs the full
+//          GP → legalization pipeline (the pre-daemon cost of a
+//          placement query);
+//   warm   place answered from the content-addressed layout cache;
+//   eco    small qubit-edit batches (<= 8 qubits) repaired in the
+//          dirty window by the incremental legalizer, no pipeline
+//          rerun;
+//
+// plus a concurrent mixed workload (several client sessions issuing
+// warm places, ecos, and stats at once) for requests/sec. Emits
+// BENCH_serving.json; the committed file is the acceptance record for
+// the serving tentpole — warm-cache p50 >= 20x lower than the cold
+// full-pipeline p50 on a >= 1000-qubit topology.
+//
+//   $ ./bench_serving                       # heavyhex-23x39 → BENCH_serving.json
+//   $ ./bench_serving --quick --topology Grid --out /tmp/s.json
+//   $ ./bench_serving --port 7421           # drive an external daemon
+//
+// Every reply is checked: protocol errors, non-ok statuses, cache-hit
+// layouts that are not byte-identical to the cold layout, or dirty-
+// window violations all fail the run (exit 2) — the bench doubles as
+// the serving smoke harness in CI.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netlist/topologies.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/qgdpd.h"
+
+namespace {
+
+using namespace qgdp::server;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct LatencyStats {
+  double p50{0.0};
+  double p99{0.0};
+  double mean{0.0};
+  double rps{0.0};  ///< sequential requests/sec implied by the mean
+};
+
+LatencyStats summarize(std::vector<double> samples) {
+  LatencyStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(samples.size()));
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  s.p50 = pct(0.50);
+  s.p99 = pct(0.99);
+  for (const double v : samples) s.mean += v;
+  s.mean /= static_cast<double>(samples.size());
+  s.rps = s.mean > 0.0 ? 1000.0 / s.mean : 0.0;
+  return s;
+}
+
+void emit(std::ostream& os, const char* name, const LatencyStats& s, int count,
+          bool trailing_comma = true) {
+  os << "  \"" << name << "\": {\"requests\": " << count << ", \"p50_ms\": " << s.p50
+     << ", \"p99_ms\": " << s.p99 << ", \"mean_ms\": " << s.mean << ", \"rps\": " << s.rps
+     << "}" << (trailing_comma ? "," : "") << "\n";
+}
+
+[[noreturn]] void die(const std::string& what) {
+  std::cerr << "bench_serving: " << what << "\n";
+  std::exit(2);
+}
+
+QgdpdClient connect_or_die(const std::string& host, std::uint16_t port) {
+  QgdpdClient client;
+  std::string error;
+  if (!client.connect(host, port, &error)) die("connect: " + error);
+  return client;
+}
+
+struct QubitPos {
+  int id{0};
+  double x{0.0};
+  double y{0.0};
+};
+
+/// Pulls the qubit positions out of a .qlay text ("q <id> <x> <y> ..."
+/// lines) — the bench plans its edit targets around where the served
+/// layout actually put things.
+std::vector<QubitPos> parse_qubit_positions(const std::string& qlay) {
+  std::vector<QubitPos> out;
+  std::istringstream is(qlay);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.size() < 2 || line[0] != 'q' || line[1] != ' ') continue;
+    QubitPos p;
+    std::istringstream ss(line.substr(2));
+    ss >> p.id >> p.x >> p.y;
+    if (!ss.fail()) out.push_back(p);
+  }
+  return out;
+}
+
+/// The eco edit set: `count` qubits spread across the id range, pushed
+/// a couple of sites off their home position on even rounds and pulled
+/// back on odd rounds, so the layout oscillates instead of drifting.
+/// `skew` varies the push per concurrent session.
+EcoRequest eco_round(int round, const std::vector<QubitPos>& home, int count, double skew) {
+  EcoRequest eco;
+  eco.want_layout = false;
+  const int n = static_cast<int>(home.size());
+  for (int k = 0; k < count; ++k) {
+    const QubitPos& p = home[static_cast<std::size_t>((k + 1) * n / (count + 1))];
+    EcoMove m;
+    m.qubit = p.id;
+    m.x = round % 2 == 0 ? p.x + 2.0 + skew : p.x;
+    m.y = round % 2 == 0 ? p.y + 1.0 : p.y;
+    eco.moves.push_back(m);
+  }
+  return eco;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology = "heavyhex-23x39";
+  std::string flow = "qgdp";
+  unsigned seed = 1;
+  std::string out_path = "BENCH_serving.json";
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = self-host an in-process daemon
+  int cold_requests = 5;
+  int warm_requests = 200;
+  int eco_requests = 100;
+  int eco_moves = 8;
+  int mixed_threads = 4;
+  int mixed_ecos_per_thread = 25;
+  bool quick = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--topology") {
+      topology = value();
+    } else if (arg == "--flow") {
+      flow = value();
+    } else if (arg == "--seed") {
+      seed = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--host") {
+      host = value();
+    } else if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      die("unknown option " + arg + "");
+    }
+  }
+  if (quick) {
+    cold_requests = 2;
+    warm_requests = 20;
+    eco_requests = 10;
+    mixed_threads = 2;
+    mixed_ecos_per_thread = 5;
+  }
+
+  const auto spec = qgdp::topology_by_name(topology);
+  if (!spec) die("unknown topology " + topology);
+  const int qubit_count = spec->qubit_count;
+
+  // Self-host unless --port points at an external daemon.
+  std::unique_ptr<Qgdpd> daemon;
+  if (port == 0) {
+    QgdpdOptions opt;
+    opt.host = host;
+    daemon = std::make_unique<Qgdpd>(opt);
+    std::string error;
+    if (!daemon->start(&error)) die("daemon start: " + error);
+    port = daemon->port();
+  }
+  std::cerr << "bench_serving: " << topology << " (" << qubit_count << " qubits), flow " << flow
+            << ", daemon at " << host << ':' << port << "\n";
+
+  PlaceRequest place;
+  place.topology = topology;
+  place.flow = flow;
+  place.seed = seed;
+  place.want_layout = true;
+
+  // ---- cold: cache bypassed, full pipeline per request ---------------
+  std::vector<double> cold_ms;
+  std::string cold_hash;
+  {
+    QgdpdClient client = connect_or_die(host, port);
+    PlaceRequest cold = place;
+    cold.use_cache = false;
+    for (int r = 0; r < cold_requests; ++r) {
+      const auto t0 = Clock::now();
+      std::string error;
+      const auto rep = client.place(cold, &error);
+      cold_ms.push_back(ms_since(t0));
+      if (!rep || rep->status != StatusCode::kOk) {
+        die("cold place failed: " + (rep ? to_string(rep->status) : error));
+      }
+      if (rep->cached) die("cold place unexpectedly served from cache");
+      if (cold_hash.empty()) {
+        cold_hash = rep->layout_hash;
+      } else if (rep->layout_hash != cold_hash) {
+        die("cold places disagree: pipeline not deterministic");
+      }
+    }
+    std::cerr << "bench_serving: cold done (" << cold_ms.back() << " ms last)\n";
+  }
+
+  // ---- warm: cache-backed places ------------------------------------
+  std::vector<double> warm_ms;
+  std::vector<QubitPos> home;  ///< qubit positions of the served layout
+  {
+    QgdpdClient client = connect_or_die(host, port);
+    std::string error;
+    const auto fill = client.place(place, &error);  // populates the cache
+    if (!fill || fill->status != StatusCode::kOk) {
+      die("cache-fill place failed: " + (fill ? to_string(fill->status) : error));
+    }
+    if (fill->layout_hash != cold_hash) die("cache-fill layout differs from cold layout");
+    home = parse_qubit_positions(fill->layout);
+    if (static_cast<int>(home.size()) != qubit_count) die("layout qubit count mismatch");
+    for (int r = 0; r < warm_requests; ++r) {
+      const auto t0 = Clock::now();
+      const auto rep = client.place(place, &error);
+      warm_ms.push_back(ms_since(t0));
+      if (!rep || rep->status != StatusCode::kOk) {
+        die("warm place failed: " + (rep ? to_string(rep->status) : error));
+      }
+      if (!rep->cached) die("warm place missed the cache");
+      // The acceptance bar for the cache: hits are byte-identical to
+      // the cold pipeline output (hash over the full .qlay text).
+      if (rep->layout_hash != cold_hash) die("cache hit not byte-identical to cold layout");
+    }
+    std::cerr << "bench_serving: warm done\n";
+  }
+
+  // ---- eco: small edit batches on a warmed session -------------------
+  std::vector<double> eco_ms;
+  std::vector<double> eco_bins;
+  long long eco_violations = 0;
+  {
+    QgdpdClient client = connect_or_die(host, port);
+    std::string error;
+    const auto warm = client.place(place, &error);
+    if (!warm || warm->status != StatusCode::kOk) die("eco-session place failed");
+    for (int r = 0; r < eco_requests; ++r) {
+      const EcoRequest eco = eco_round(r, home, eco_moves, 0.0);
+      const auto t0 = Clock::now();
+      const auto rep = client.eco(eco, &error);
+      eco_ms.push_back(ms_since(t0));
+      if (!rep || rep->status != StatusCode::kOk || !rep->success) {
+        die("eco failed at round " + std::to_string(r) + ": " +
+            (rep ? to_string(rep->status) : error));
+      }
+      if (rep->window_violations != 0) die("eco left dirty-window violations");
+      eco_bins.push_back(static_cast<double>(rep->grid_bins_touched));
+      eco_violations += rep->window_violations;
+    }
+    std::cerr << "bench_serving: eco done\n";
+  }
+
+  // ---- mixed concurrent workload -------------------------------------
+  std::vector<double> mixed_ms;
+  double mixed_wall_ms = 0.0;
+  int mixed_errors = 0;
+  {
+    std::vector<std::vector<double>> per_thread(static_cast<std::size_t>(mixed_threads));
+    std::vector<int> errors(static_cast<std::size_t>(mixed_threads), 0);
+    const auto wall0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < mixed_threads; ++t) {
+      threads.emplace_back([&, t] {
+        auto& samples = per_thread[static_cast<std::size_t>(t)];
+        QgdpdClient client = connect_or_die(host, port);
+        std::string error;
+        auto timed = [&](auto&& fn) {
+          const auto t0 = Clock::now();
+          const bool ok = fn();
+          samples.push_back(ms_since(t0));
+          if (!ok) ++errors[static_cast<std::size_t>(t)];
+        };
+        timed([&] {
+          const auto rep = client.place(place, &error);
+          return rep && rep->status == StatusCode::kOk && rep->cached;
+        });
+        for (int r = 0; r < mixed_ecos_per_thread; ++r) {
+          const EcoRequest eco = eco_round(r, home, eco_moves, 0.5 * t);
+          timed([&] {
+            const auto rep = client.eco(eco, &error);
+            return rep && rep->status == StatusCode::kOk && rep->success &&
+                   rep->window_violations == 0;
+          });
+        }
+        timed([&] { return client.stats(&error).has_value(); });
+      });
+    }
+    for (auto& t : threads) t.join();
+    mixed_wall_ms = ms_since(wall0);
+    for (int t = 0; t < mixed_threads; ++t) {
+      mixed_errors += errors[static_cast<std::size_t>(t)];
+      mixed_ms.insert(mixed_ms.end(), per_thread[static_cast<std::size_t>(t)].begin(),
+                      per_thread[static_cast<std::size_t>(t)].end());
+    }
+    if (mixed_errors != 0) die("mixed workload saw " + std::to_string(mixed_errors) + " errors");
+    std::cerr << "bench_serving: mixed done\n";
+  }
+
+  // ---- daemon-side counters ------------------------------------------
+  StatsReply final_stats;
+  {
+    QgdpdClient client = connect_or_die(host, port);
+    std::string error;
+    const auto rep = client.stats(&error);
+    if (!rep) die("final stats failed: " + error);
+    final_stats = *rep;
+    if (final_stats.protocol_errors != 0) die("daemon recorded protocol errors");
+  }
+
+  const LatencyStats cold = summarize(cold_ms);
+  const LatencyStats warm = summarize(warm_ms);
+  const LatencyStats eco = summarize(eco_ms);
+  const LatencyStats mixed = summarize(mixed_ms);
+  const double mixed_rps =
+      mixed_wall_ms > 0.0 ? 1000.0 * static_cast<double>(mixed_ms.size()) / mixed_wall_ms : 0.0;
+  const double warm_speedup = warm.p50 > 0.0 ? cold.p50 / warm.p50 : 0.0;
+  const double bins_p50 = summarize(eco_bins).p50;
+
+  std::ofstream out(out_path);
+  if (!out) die("cannot open " + out_path);
+  out << std::fixed << std::setprecision(4);
+  out << "{\n"
+      << "  \"bench\": \"serving\",\n"
+      << "  \"topology\": \"" << topology << "\",\n"
+      << "  \"qubits\": " << qubit_count << ",\n"
+      << "  \"flow\": \"" << flow << "\",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"note\": \"client-observed latency over loopback TCP; cold = cache bypassed "
+         "(full GP+legalization pipeline per request), warm = content-addressed cache hit, "
+         "eco = " << eco_moves << "-qubit incremental edit on a warmed session; mixed = "
+      << mixed_threads << " concurrent sessions issuing warm places + ecos + stats\",\n";
+  emit(out, "cold", cold, static_cast<int>(cold_ms.size()));
+  emit(out, "warm", warm, static_cast<int>(warm_ms.size()));
+  emit(out, "eco", eco, static_cast<int>(eco_ms.size()));
+  out << "  \"eco_detail\": {\"moves_per_request\": " << eco_moves
+      << ", \"window_violations_total\": " << eco_violations
+      << ", \"grid_bins_touched_p50\": " << bins_p50 << "},\n";
+  out << "  \"mixed\": {\"threads\": " << mixed_threads << ", \"requests\": " << mixed_ms.size()
+      << ", \"wall_ms\": " << mixed_wall_ms << ", \"rps\": " << mixed_rps
+      << ", \"p50_ms\": " << mixed.p50 << ", \"p99_ms\": " << mixed.p99
+      << ", \"errors\": " << mixed_errors << "},\n";
+  out << "  \"daemon\": {\"sessions\": " << final_stats.sessions
+      << ", \"served_place\": " << final_stats.served_place
+      << ", \"served_eco\": " << final_stats.served_eco
+      << ", \"cache_hits\": " << final_stats.cache_hits
+      << ", \"cache_misses\": " << final_stats.cache_misses
+      << ", \"cache_bytes\": " << final_stats.cache_bytes
+      << ", \"protocol_errors\": " << final_stats.protocol_errors << "},\n";
+  out << "  \"warm_speedup_p50\": " << warm_speedup << ",\n"
+      << "  \"meets_20x_warm_target\": " << (warm_speedup >= 20.0 ? "true" : "false") << "\n"
+      << "}\n";
+  out.close();
+
+  std::cerr << "bench_serving: cold p50 " << cold.p50 << " ms, warm p50 " << warm.p50
+            << " ms (speedup " << warm_speedup << "x), eco p50 " << eco.p50
+            << " ms, mixed " << mixed_rps << " req/s -> " << out_path << "\n";
+
+  if (daemon) daemon->stop();
+  return 0;
+}

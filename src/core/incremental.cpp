@@ -5,6 +5,9 @@
 #include <limits>
 #include <optional>
 #include <set>
+#include <stdexcept>
+
+#include "legalization/interval_pack.h"
 
 namespace qgdp {
 
@@ -57,74 +60,16 @@ std::optional<Point> find_legal_spot(const QuantumNetlist& nl, int qubit, Point 
   return pick;
 }
 
-}  // namespace
+/// Extends an accumulated union rect (empty `acc` means "nothing yet").
+void grow(std::optional<Rect>& acc, const Rect& r) {
+  acc = acc ? acc->united(r) : r;
+}
 
-EcoResult IncrementalLegalizer::move_qubit(QuantumNetlist& nl, BinGrid& grid, int qubit,
-                                           Point target) const {
-  EcoResult res;
-  const Point old_pos = nl.qubit(qubit).pos;
-  const Rect old_rect = nl.qubit(qubit).rect();
-
-  const auto spot = find_legal_spot(nl, qubit, target, opt_.min_spacing, opt_.search_radius);
-  if (!spot) return res;  // nowhere legal within the search radius
-  res.final_position = *spot;
-  res.qubit_displacement = distance(*spot, target);
-
-  nl.qubit(qubit).pos = *spot;
-  const Rect new_rect = nl.qubit(qubit).rect();
-
-  // Edges to re-place: incident to the qubit, or owning a block that
-  // the moved macro now covers.
-  std::set<int> edges(nl.incident_edges(qubit).begin(), nl.incident_edges(qubit).end());
-  for (const auto& b : nl.blocks()) {
-    if (new_rect.overlaps(b.rect())) edges.insert(b.edge);
-  }
-  res.edges_touched = static_cast<int>(edges.size());
-
-  // Rip up: release every block of the affected edges.
-  struct Snapshot {
-    int block;
-    BinCoord bin;
-    Point pos;
-  };
-  std::vector<Snapshot> snapshots;
-  for (const int eid : edges) {
-    for (const int bid : nl.edge(eid).blocks) {
-      const BinCoord bin = grid.bin_at(nl.block(bid).pos);
-      snapshots.push_back({bid, bin, nl.block(bid).pos});
-      grid.release(bin);
-      ++res.ripped_blocks;
-    }
-  }
-
-  // Rebuild the keep-out: unblocking the old macro area and blocking
-  // the new one. BinGrid has no unblock API by design (blocked cells
-  // are static); emulate by releasing blocked bins of the old rect.
-  // To keep the structure simple we rebuild the grid's qubit blockage
-  // through a fresh grid only when the macro actually moved.
-  BinGrid fresh(nl.die());
-  for (const auto& q : nl.qubits()) fresh.block_rect(q.rect());
-  for (const auto& b : nl.blocks()) {
-    bool ripped = false;
-    for (const auto& s : snapshots) {
-      if (s.block == b.id) {
-        ripped = true;
-        break;
-      }
-    }
-    if (!ripped) fresh.occupy(fresh.bin_at(b.pos), b.id);
-  }
-
-  auto rollback = [&]() {
-    nl.qubit(qubit).pos = old_pos;
-    (void)old_rect;
-    for (const auto& s : snapshots) {
-      grid.occupy(s.bin, s.block);
-      nl.block(s.block).pos = s.pos;
-    }
-  };
-
-  // Re-place the affected edges (largest first) with the Baa discipline.
+/// Re-places ripped blocks with the integration-aware Baa discipline
+/// (Algorithm 1 restricted to the affected edges), in place on `grid`.
+/// Returns false when any block finds no bin — caller rolls back.
+bool baa_replace(QuantumNetlist& nl, BinGrid& grid, const std::set<int>& edges,
+                 EcoResult& res) {
   std::vector<int> order(edges.begin(), edges.end());
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     return nl.edge(a).block_count() > nl.edge(b).block_count();
@@ -137,26 +82,324 @@ EcoResult IncrementalLegalizer::move_qubit(QuantumNetlist& nl, BinGrid& grid, in
       std::optional<BinCoord> chosen;
       double best = std::numeric_limits<double>::infinity();
       for (const BinCoord b : baa) {
-        const double d2 = distance2(fresh.center_of(b), mid);
+        const double d2 = distance2(grid.center_of(b), mid);
         if (d2 < best) {
           best = d2;
           chosen = b;
         }
       }
-      if (!chosen) chosen = fresh.nearest_free(mid);
-      if (!chosen) {
-        rollback();
-        return res;  // success stays false
-      }
-      fresh.occupy(*chosen, bid);
-      nl.block(bid).pos = fresh.center_of(*chosen);
+      if (!chosen) chosen = grid.nearest_free(mid);
+      if (!chosen) return false;
+      grid.occupy(*chosen, bid);
+      nl.block(bid).pos = grid.center_of(*chosen);
       ++res.replaced_blocks;
       baa.erase(*chosen);
-      for (const BinCoord nb : fresh.free_neighbors(*chosen)) baa.insert(nb);
+      for (const BinCoord nb : grid.free_neighbors(*chosen)) baa.insert(nb);
+    }
+  }
+  return true;
+}
+
+/// Abacus row packing of the ripped blocks restricted to `window`:
+/// intervals are the free runs of the window's rows, each holding a
+/// live clump-cluster stack (interval_pack.h), candidates are priced
+/// with trial_cost and committed in ascending target order — the same
+/// cost engine the full Abacus legalizer runs, scoped to the dirty
+/// region. Pure until it succeeds: on failure (a block without a
+/// candidate) nothing has touched the grid or the netlist, so the
+/// caller can simply retry with a larger window.
+bool abacus_window_replace(QuantumNetlist& nl, BinGrid& grid, const std::vector<int>& ripped,
+                           const Rect& window, bool repack_baseline, EcoResult& res) {
+  const Rect die = grid.die();
+  const int nx = grid.width();
+  const int ny = grid.height();
+  const int x0 = std::max(0, static_cast<int>(std::floor(window.lo.x - die.lo.x + 1e-9)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(window.lo.y - die.lo.y + 1e-9)));
+  const int x1 = std::min(nx - 1, static_cast<int>(std::ceil(window.hi.x - die.lo.x - 1e-9)) - 1);
+  const int y1 = std::min(ny - 1, static_cast<int>(std::ceil(window.hi.y - die.lo.y - 1e-9)) - 1);
+  if (x0 > x1 || y0 > y1) return false;
+
+  // Free runs per window row → ClumpIntervals in absolute column units.
+  const int rows = y1 - y0 + 1;
+  std::vector<std::vector<ClumpInterval>> row_ivs(static_cast<std::size_t>(rows));
+  for (int y = y0; y <= y1; ++y) {
+    auto& ivs = row_ivs[static_cast<std::size_t>(y - y0)];
+    int run_start = -1;
+    for (int x = x0; x <= x1 + 1; ++x) {
+      const bool free = x <= x1 && grid.is_free({x, y});
+      if (free && run_start < 0) run_start = x;
+      if (!free && run_start >= 0) {
+        ivs.emplace_back(static_cast<double>(run_start), static_cast<double>(x),
+                         repack_baseline);
+        run_start = -1;
+      }
     }
   }
 
-  grid = std::move(fresh);
+  // Ascending target order — the in-order insertion contract that keeps
+  // the live stacks bit-identical to a from-scratch pack.
+  std::vector<int> order = ripped;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Point pa = nl.block(a).pos;
+    const Point pb = nl.block(b).pos;
+    return pa.x != pb.x ? pa.x < pb.x : (pa.y != pb.y ? pa.y < pb.y : a < b);
+  });
+
+  for (const int bid : order) {
+    const Point target = nl.block(bid).pos;
+    const double tx_edge = (target.x - die.lo.x) - 0.5;  // left-edge column
+    const int ty = std::clamp(grid.bin_at(target).iy, y0, y1);
+
+    double best = std::numeric_limits<double>::infinity();
+    int best_row = -1;
+    int best_span = -1;
+    auto try_row = [&](int y) {
+      if (y < y0 || y > y1) return;
+      const double dyc = target.y - (die.lo.y + y + 0.5);
+      const double ycost = dyc * dyc;
+      if (best_row >= 0 && ycost >= best) return;
+      auto& ivs = row_ivs[static_cast<std::size_t>(y - y0)];
+      for (std::size_t k = 0; k < ivs.size(); ++k) {
+        ClumpInterval& iv = ivs[k];
+        if (!iv.can_accept()) continue;
+        const double c = (iv.trial_cost(tx_edge) - iv.current_cost()) + ycost;
+        if (c < best) {
+          best = c;
+          best_row = y;
+          best_span = static_cast<int>(k);
+        }
+      }
+    };
+    try_row(ty);
+    for (int off = 1; off < rows; ++off) {
+      const double dy = static_cast<double>(off) - 0.5;
+      if (best_row >= 0 && dy * dy >= best) break;
+      try_row(ty - off);
+      try_row(ty + off);
+    }
+    if (best_row < 0) return false;  // window too tight — caller grows it
+    row_ivs[static_cast<std::size_t>(best_row - y0)][static_cast<std::size_t>(best_span)]
+        .commit(bid, tx_edge);
+  }
+
+  // Materialize: every block found a slot; read the live stacks.
+  for (int y = y0; y <= y1; ++y) {
+    for (const auto& iv : row_ivs[static_cast<std::size_t>(y - y0)]) {
+      for (const auto& [bid, col] : iv.final_columns()) {
+        const BinCoord bin{col, y};
+        if (!grid.occupy(bin, bid)) {
+          throw std::logic_error("ECO window replace: packed column not free");
+        }
+        nl.block(bid).pos = grid.center_of(bin);
+        ++res.replaced_blocks;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LayoutState IncrementalLegalizer::save_state(const QuantumNetlist& nl) {
+  LayoutState s;
+  s.qubit_pos.reserve(nl.qubit_count());
+  for (const auto& q : nl.qubits()) s.qubit_pos.push_back(q.pos);
+  s.block_pos.reserve(nl.block_count());
+  for (const auto& b : nl.blocks()) s.block_pos.push_back(b.pos);
+  return s;
+}
+
+BinGrid IncrementalLegalizer::grid_for(const QuantumNetlist& nl) {
+  BinGrid grid(nl.die());
+  for (const auto& q : nl.qubits()) grid.block_rect(q.rect());
+  for (const auto& b : nl.blocks()) {
+    if (!grid.occupy(grid.bin_at(b.pos), b.id)) {
+      throw std::logic_error("IncrementalLegalizer::grid_for: layout is not legalized");
+    }
+  }
+  return grid;
+}
+
+void IncrementalLegalizer::load_state(const LayoutState& state, QuantumNetlist& nl,
+                                      BinGrid& grid) {
+  if (state.qubit_pos.size() != nl.qubit_count() || state.block_pos.size() != nl.block_count()) {
+    throw std::logic_error("IncrementalLegalizer::load_state: snapshot/netlist mismatch");
+  }
+  for (std::size_t q = 0; q < state.qubit_pos.size(); ++q) {
+    nl.qubit(static_cast<int>(q)).pos = state.qubit_pos[q];
+  }
+  for (std::size_t b = 0; b < state.block_pos.size(); ++b) {
+    nl.block(static_cast<int>(b)).pos = state.block_pos[b];
+  }
+  grid = grid_for(nl);
+}
+
+int IncrementalLegalizer::verify_window(const QuantumNetlist& nl, const BinGrid& grid,
+                                        const Rect& window, double min_spacing) {
+  int violations = 0;
+  const Rect die = nl.die();
+
+  // Qubits intersecting the window: containment + spacing against every
+  // qubit that could violate it (the others are beyond reach).
+  for (const auto& q : nl.qubits()) {
+    if (!q.rect().overlaps(window)) continue;
+    if (!die.contains(q.rect())) ++violations;
+    for (const auto& other : nl.qubits()) {
+      if (other.id == q.id) continue;
+      // Count a window-internal pair once; a window-boundary pair is
+      // charged to the inside qubit.
+      if (other.rect().overlaps(window) && other.id < q.id) continue;
+      const double need_x = (q.width + other.width) / 2 + min_spacing;
+      const double need_y = (q.height + other.height) / 2 + min_spacing;
+      if (std::abs(q.pos.x - other.pos.x) < need_x - 1e-9 &&
+          std::abs(q.pos.y - other.pos.y) < need_y - 1e-9) {
+        ++violations;
+      }
+    }
+  }
+
+  // Blocks intersecting the window: on-lattice, in-die, and the grid
+  // must agree the block owns its bin.
+  for (const auto& b : nl.blocks()) {
+    if (!b.rect().overlaps(window)) continue;
+    const double fx = b.pos.x - die.lo.x - 0.5;
+    const double fy = b.pos.y - die.lo.y - 0.5;
+    if (std::abs(fx - std::round(fx)) > 1e-6 || std::abs(fy - std::round(fy)) > 1e-6) {
+      ++violations;
+    }
+    if (!die.contains(b.rect())) ++violations;
+    if (grid.occupant(grid.bin_at(b.pos)) != b.id) ++violations;
+  }
+  return violations;
+}
+
+EcoResult IncrementalLegalizer::move_qubit(QuantumNetlist& nl, BinGrid& grid, int qubit,
+                                           Point target) const {
+  return move_qubits(nl, grid, {{qubit, target}});
+}
+
+EcoResult IncrementalLegalizer::move_qubits(QuantumNetlist& nl, BinGrid& grid,
+                                            const std::vector<QubitMove>& moves) const {
+  EcoResult res;
+  if (moves.empty()) {
+    res.success = true;
+    return res;
+  }
+  const LayoutState snapshot = save_state(nl);
+
+  // Phase 1: choose legal spots sequentially (each later edit sees the
+  // earlier edits' landed positions) and move the macros. Grid is not
+  // touched yet, so a failed spot search only needs positions restored.
+  std::vector<Rect> old_rects;
+  std::vector<Rect> new_rects;
+  old_rects.reserve(moves.size());
+  new_rects.reserve(moves.size());
+  for (const auto& mv : moves) {
+    old_rects.push_back(nl.qubit(mv.qubit).rect());
+    const auto spot =
+        find_legal_spot(nl, mv.qubit, mv.target, opt_.min_spacing, opt_.search_radius);
+    if (!spot) {
+      for (std::size_t q = 0; q < snapshot.qubit_pos.size(); ++q) {
+        nl.qubit(static_cast<int>(q)).pos = snapshot.qubit_pos[q];
+      }
+      return res;  // success stays false; nowhere legal within the radius
+    }
+    res.final_position = *spot;
+    res.qubit_displacement += distance(*spot, mv.target);
+    nl.qubit(mv.qubit).pos = *spot;
+    new_rects.push_back(nl.qubit(mv.qubit).rect());
+  }
+
+  // Phase 2: edges to re-place — incident to a moved qubit, or owning a
+  // block that a moved macro now covers.
+  std::set<int> edges;
+  for (const auto& mv : moves) {
+    const auto& inc = nl.incident_edges(mv.qubit);
+    edges.insert(inc.begin(), inc.end());
+  }
+  for (const auto& b : nl.blocks()) {
+    for (const Rect& nr : new_rects) {
+      if (nr.overlaps(b.rect())) {
+        edges.insert(b.edge);
+        break;
+      }
+    }
+  }
+  res.edges_touched = static_cast<int>(edges.size());
+
+  // Phase 3: rip — release every block of the affected edges, and seed
+  // the dirty window with everything the edit touches.
+  std::optional<Rect> window;
+  for (const Rect& r : old_rects) grow(window, r);
+  for (const Rect& r : new_rects) grow(window, r);
+  std::vector<int> ripped;
+  std::vector<char> is_ripped(nl.block_count(), 0);
+  for (const int eid : edges) {
+    const auto& e = nl.edge(eid);
+    grow(window, nl.qubit(e.q0).rect());
+    grow(window, nl.qubit(e.q1).rect());
+    for (const int bid : e.blocks) {
+      grid.release(grid.bin_at(nl.block(bid).pos));
+      grow(window, nl.block(bid).rect());
+      ripped.push_back(bid);
+      is_ripped[static_cast<std::size_t>(bid)] = 1;
+      ++res.ripped_blocks;
+    }
+  }
+
+  // Phase 4: qubit-blockage update. Region-scoped by default — unblock
+  // the old macro rects, block the new ones; every other bin keeps its
+  // state. The historical full-grid rebuild is retained as the
+  // differential oracle (and is what load_state uses for rollback).
+  if (opt_.full_rebuild_baseline) {
+    BinGrid fresh(nl.die());
+    for (const auto& q : nl.qubits()) fresh.block_rect(q.rect());
+    for (const auto& b : nl.blocks()) {
+      if (!is_ripped[static_cast<std::size_t>(b.id)]) fresh.occupy(fresh.bin_at(b.pos), b.id);
+    }
+    grid = std::move(fresh);
+    res.grid_bins_touched = grid.width() * grid.height();
+  } else {
+    for (const Rect& r : old_rects) res.grid_bins_touched += grid.unblock_rect(r);
+    for (const Rect& r : new_rects) res.grid_bins_touched += grid.block_rect(r);
+  }
+
+  // Phase 5 + 6: dirty window and re-placement.
+  const Rect die = nl.die();
+  Rect w = window->inflated(opt_.window_margin).intersection(die);
+  bool ok = false;
+  if (opt_.policy == EcoOptions::BlockPolicy::kBaa) {
+    ok = baa_replace(nl, grid, edges, res);
+    // Baa's nearest-free fallback may wander outside the seed window;
+    // whatever it touched is dirty.
+    if (ok) {
+      for (const int bid : ripped) w = w.united(nl.block(bid).rect());
+      w = w.intersection(die);
+    }
+  } else {
+    while (true) {
+      ok = abacus_window_replace(nl, grid, ripped, w, opt_.repack_pricing_baseline, res);
+      if (ok || w.contains(die)) break;
+      const double step = std::max(4.0, std::max(w.width(), w.height()) / 2);
+      w = w.inflated(step).intersection(die);
+      ++res.window_growths;
+    }
+  }
+  res.dirty_window = w;
+  if (!ok) {
+    load_state(snapshot, nl, grid);
+    return res;  // success stays false
+  }
+
+  // Phase 7: invariants, re-checked only on the dirty window — the
+  // untouched remainder of the layout cannot have changed.
+  if (opt_.verify_window) {
+    res.window_violations = verify_window(nl, grid, w, opt_.min_spacing);
+    if (res.window_violations > 0) {
+      load_state(snapshot, nl, grid);
+      return res;
+    }
+  }
   res.success = true;
   return res;
 }

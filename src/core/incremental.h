@@ -1,34 +1,98 @@
-// Incremental (ECO) legalization: move one qubit on an already
-// legalized layout and repair the damage locally, without re-running
-// the full flow. The workflow a designer iterating on a floorplan
-// needs: nudge a qubit, keep everything legal, watch the metrics.
+// Incremental (ECO) legalization: edit a handful of qubits on an
+// already legalized layout and repair the damage locally, without
+// re-running the full flow. This is the serving-path primitive behind
+// the qgdpd daemon's eco requests as well as the interactive
+// floorplan-iteration workflow (examples/eco_workflow.cpp).
 //
-// Procedure:
-//  1. the qubit snaps to the nearest lattice position around the
-//     requested target that respects spacing against all other qubits;
-//  2. wire blocks now underneath the moved macro, plus all blocks of
-//     its incident resonators, are ripped up;
-//  3. the ripped resonators are re-placed with the integration-aware
-//     Baa discipline (Algorithm 1 restricted to the affected edges).
+// Procedure for a batch of edits:
+//  1. each edited qubit snaps to the nearest lattice position around
+//     its requested target that respects spacing against all other
+//     qubits (including the other edits' already-chosen spots);
+//  2. the grid's qubit keep-out is updated *region-scoped*: the old
+//     macro rects are unblocked and the new ones blocked in place —
+//     the historical full-grid rebuild is retained behind
+//     `full_rebuild_baseline` as the differential oracle;
+//  3. wire blocks now underneath a moved macro, plus all blocks of
+//     the moved qubits' incident resonators, are ripped up;
+//  4. a *dirty window* is extracted: the union of old/new macro
+//     rects, ripped block rects, and affected-edge endpoint rects,
+//     inflated by `window_margin`;
+//  5. the ripped blocks are re-legalized inside the dirty window,
+//     either with the integration-aware Baa discipline (Algorithm 1
+//     restricted to the affected edges — the qGDP-flavoured default)
+//     or with Abacus row packing priced on live clump-cluster stacks
+//     (`BlockPolicy::kAbacusWindow`, the serving daemon's policy; see
+//     legalization/interval_pack.h). The window grows geometrically
+//     on placement failure, up to the full die;
+//  6. legality invariants are re-checked on the dirty window only —
+//     the untouched remainder of the layout cannot have changed.
+//
+// save_state/load_state snapshot and restore a legalized layout
+// (positions + derived bin grid), the serving shape the OpenROAD
+// legalizer exemplifies: snapshot once, apply speculative edits,
+// restore on rejection.
 #pragma once
+
+#include <vector>
 
 #include "legalization/bin_grid.h"
 #include "netlist/quantum_netlist.h"
 
 namespace qgdp {
 
+/// One requested qubit edit: move `qubit` toward `target`.
+struct QubitMove {
+  int qubit{-1};
+  Point target;
+};
+
 struct EcoOptions {
-  double min_spacing{1.0};   ///< spacing rule for the moved qubit
-  double search_radius{16.0};  ///< how far from the target to search
+  double min_spacing{1.0};     ///< spacing rule for the moved qubits
+  double search_radius{16.0};  ///< how far from a target to search
+
+  /// How ripped wire blocks are re-placed inside the dirty window.
+  enum class BlockPolicy {
+    kBaa,           ///< integration-aware Baa discipline (seed behaviour)
+    kAbacusWindow,  ///< Abacus row packing on live clump stacks
+  };
+  BlockPolicy policy{BlockPolicy::kBaa};
+
+  /// Dirty-window inflation around every touched rect.
+  double window_margin{2.0};
+
+  /// Rebuilds the grid's entire qubit blockage from scratch per edit —
+  /// the historical O(die) path, retained as the differential oracle
+  /// for the region-scoped update (tests pin the two bit-identical).
+  bool full_rebuild_baseline{false};
+
+  /// Prices kAbacusWindow candidates with the from-scratch repack
+  /// engine instead of the live cluster stacks (bit-identical output;
+  /// the differential/perf reference, same pattern as
+  /// AbacusLegalizerOptions::repack_baseline).
+  bool repack_pricing_baseline{false};
+
+  /// Re-check legality invariants on the dirty window after repair.
+  bool verify_window{true};
 };
 
 struct EcoResult {
   bool success{false};
-  Point final_position;      ///< where the qubit actually landed
-  double qubit_displacement{0.0};  ///< |final − requested|
+  Point final_position;            ///< where the (last) qubit landed
+  double qubit_displacement{0.0};  ///< Σ |final − requested| over edits
   int ripped_blocks{0};
   int replaced_blocks{0};
   int edges_touched{0};
+  Rect dirty_window;          ///< region the edit touched (empty on failure)
+  int window_violations{0};   ///< dirty-window invariant failures (0 = clean)
+  int grid_bins_touched{0};   ///< blockage bins updated (full rebuild: all)
+  int window_growths{0};      ///< times the window had to expand to fit
+};
+
+/// Positions-only snapshot of a legalized layout; the bin grid is
+/// derived state and is rebuilt on restore.
+struct LayoutState {
+  std::vector<Point> qubit_pos;
+  std::vector<Point> block_pos;
 };
 
 class IncrementalLegalizer {
@@ -39,6 +103,29 @@ class IncrementalLegalizer {
   /// be the layout's bin grid (qubits blocked, blocks occupied); it is
   /// updated in place. On failure the layout is left unchanged.
   EcoResult move_qubit(QuantumNetlist& nl, BinGrid& grid, int qubit, Point target) const;
+
+  /// Applies a batch of edits as one ECO transaction: all macros move,
+  /// one combined dirty window is repaired, and failure of any part
+  /// rolls the whole batch back.
+  EcoResult move_qubits(QuantumNetlist& nl, BinGrid& grid,
+                        const std::vector<QubitMove>& moves) const;
+
+  /// Snapshot of the current (legalized) positions.
+  [[nodiscard]] static LayoutState save_state(const QuantumNetlist& nl);
+
+  /// Restores a snapshot: positions are written back and `grid` is
+  /// rebuilt to match (qubits blocked, blocks occupied).
+  static void load_state(const LayoutState& state, QuantumNetlist& nl, BinGrid& grid);
+
+  /// Builds the occupancy grid a legalized netlist implies — the
+  /// derived state load_state() reconstructs.
+  [[nodiscard]] static BinGrid grid_for(const QuantumNetlist& nl);
+
+  /// Legality re-check restricted to components intersecting `window`:
+  /// qubit spacing/containment, block lattice alignment/containment,
+  /// and grid-occupancy agreement. Returns the number of violations.
+  [[nodiscard]] static int verify_window(const QuantumNetlist& nl, const BinGrid& grid,
+                                         const Rect& window, double min_spacing);
 
   [[nodiscard]] const EcoOptions& options() const { return opt_; }
 

@@ -50,20 +50,40 @@ void BinGrid::set_state(BinCoord b, State s) {
   state_[i] = s;
 }
 
-void BinGrid::block_rect(const Rect& r) {
+int BinGrid::block_rect(const Rect& r) {
   const int x0 = std::max(0, static_cast<int>(std::floor(r.lo.x - die_.lo.x + 1e-9)));
   const int y0 = std::max(0, static_cast<int>(std::floor(r.lo.y - die_.lo.y + 1e-9)));
   const int x1 = std::min(nx_ - 1, static_cast<int>(std::ceil(r.hi.x - die_.lo.x - 1e-9)) - 1);
   const int y1 = std::min(ny_ - 1, static_cast<int>(std::ceil(r.hi.y - die_.lo.y - 1e-9)) - 1);
+  int changed = 0;
   for (int y = y0; y <= y1; ++y) {
     for (int x = x0; x <= x1; ++x) {
       const BinCoord b{x, y};
       if (state_[index(b)] == State::kOccupied) {
         throw std::logic_error("BinGrid::block_rect over an occupied bin");
       }
+      if (state_[index(b)] != State::kBlocked) ++changed;
       set_state(b, State::kBlocked);
     }
   }
+  return changed;
+}
+
+int BinGrid::unblock_rect(const Rect& r) {
+  const int x0 = std::max(0, static_cast<int>(std::floor(r.lo.x - die_.lo.x + 1e-9)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(r.lo.y - die_.lo.y + 1e-9)));
+  const int x1 = std::min(nx_ - 1, static_cast<int>(std::ceil(r.hi.x - die_.lo.x - 1e-9)) - 1);
+  const int y1 = std::min(ny_ - 1, static_cast<int>(std::ceil(r.hi.y - die_.lo.y - 1e-9)) - 1);
+  int released = 0;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const BinCoord b{x, y};
+      if (state_[index(b)] != State::kBlocked) continue;
+      set_state(b, State::kFree);
+      ++released;
+    }
+  }
+  return released;
 }
 
 bool BinGrid::occupy(BinCoord b, int block_id) {

@@ -58,7 +58,15 @@ class BinGrid {
   [[nodiscard]] BinCoord bin_at(Point p) const;
 
   /// Marks every bin overlapping `r` as blocked (qubit macros, keep-out).
-  void block_rect(const Rect& r);
+  /// Returns the number of bins that changed state.
+  int block_rect(const Rect& r);
+
+  /// Reverts blocked bins overlapping `r` back to free — the inverse of
+  /// block_rect for the ECO path, where a qubit macro moves and its old
+  /// keep-out must be released without rebuilding the whole grid. Only
+  /// kBlocked bins change; free and occupied bins are untouched.
+  /// Returns the number of bins released.
+  int unblock_rect(const Rect& r);
 
   /// Occupies a free bin with a wire block. Returns false if not free.
   bool occupy(BinCoord b, int block_id);

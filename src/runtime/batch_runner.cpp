@@ -17,6 +17,7 @@ BatchResult run_batch_job(const BatchJob& job) {
   } else {
     out.netlist = build_netlist(job.spec);
     opt.gp.seed = job.gp_seed;
+    opt.gp.levels = job.gp_levels;
   }
   out.stats = Pipeline(opt).run(out.netlist).stats;
   return out;

@@ -20,6 +20,8 @@ struct BatchJob {
   DeviceSpec spec;
   LegalizerKind kind{LegalizerKind::kQgdp};
   unsigned gp_seed{1u};
+  /// GP V-cycle depth; 0 = auto (matches GlobalPlacerOptions::levels).
+  int gp_levels{0};
   bool run_detailed{false};
   /// Cost-engine options for Abacus-flavoured jobs (kAbacus/kQAbacus);
   /// ignored by the other flows.

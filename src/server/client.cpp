@@ -1,0 +1,123 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/socket_io.h"
+
+namespace qgdp::server {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error) *error = what;
+}
+
+}  // namespace
+
+bool QgdpdClient::connect(const std::string& host, std::uint16_t port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_error(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    set_error(error, "bad host address: " + host);
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, std::string("connect: ") + std::strerror(errno));
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void QgdpdClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<std::string> QgdpdClient::roundtrip(FrameType request, const std::string& payload,
+                                                  FrameType expected_reply, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return std::nullopt;
+  }
+  if (!detail::send_frame(fd_, request, payload)) {
+    set_error(error, "send failed: connection lost");
+    close();
+    return std::nullopt;
+  }
+  bool bad_frame = false;
+  auto frame = detail::recv_frame(fd_, &bad_frame);
+  if (!frame) {
+    set_error(error, bad_frame ? "malformed reply frame" : "connection closed by server");
+    close();
+    return std::nullopt;
+  }
+  if (frame->type == FrameType::kErrorReply) {
+    const auto rep = parse_error_reply(frame->payload);
+    set_error(error, rep ? to_string(rep->status) + ": " + rep->message
+                         : std::string("unparseable error reply"));
+    return std::nullopt;
+  }
+  if (frame->type != expected_reply) {
+    set_error(error, "unexpected reply frame type");
+    return std::nullopt;
+  }
+  return std::move(frame->payload);
+}
+
+std::optional<PlaceReply> QgdpdClient::place(const PlaceRequest& req, std::string* error) {
+  auto payload = roundtrip(FrameType::kPlaceRequest, format_place_request(req),
+                           FrameType::kPlaceReply, error);
+  if (!payload) return std::nullopt;
+  auto rep = parse_place_reply(*payload);
+  if (!rep) set_error(error, "unparseable place reply");
+  return rep;
+}
+
+std::optional<EcoReply> QgdpdClient::eco(const EcoRequest& req, std::string* error) {
+  auto payload =
+      roundtrip(FrameType::kEcoRequest, format_eco_request(req), FrameType::kEcoReply, error);
+  if (!payload) return std::nullopt;
+  auto rep = parse_eco_reply(*payload);
+  if (!rep) set_error(error, "unparseable eco reply");
+  return rep;
+}
+
+std::optional<StatsReply> QgdpdClient::stats(std::string* error) {
+  auto payload = roundtrip(FrameType::kStatsRequest, std::string("\n"), FrameType::kStatsReply,
+                           error);
+  if (!payload) return std::nullopt;
+  auto rep = parse_stats_reply(*payload);
+  if (!rep) set_error(error, "unparseable stats reply");
+  return rep;
+}
+
+std::optional<StatsReply> QgdpdClient::shutdown_server(std::string* error) {
+  auto payload = roundtrip(FrameType::kShutdownRequest, std::string("\n"),
+                           FrameType::kShutdownReply, error);
+  if (!payload) return std::nullopt;
+  auto rep = parse_stats_reply(*payload);
+  if (!rep) set_error(error, "unparseable shutdown reply");
+  return rep;
+}
+
+}  // namespace qgdp::server

@@ -1,0 +1,61 @@
+// QgdpdClient: a blocking client for the qgdpd wire protocol — one
+// TCP connection = one server session. Used by the qgdpd_tool client
+// subcommands, the serving bench, and the CI smoke script.
+//
+// Each call sends one request frame and blocks for the reply. A
+// nullopt return means transport or protocol failure (connection lost,
+// malformed reply, or a server-side error frame); `*error` carries the
+// reason. Domain-level failures (placement_failed carried inside a
+// typed reply) come back as a reply whose `status != kOk` — callers
+// gate on both.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace qgdp::server {
+
+class QgdpdClient {
+ public:
+  QgdpdClient() = default;
+  ~QgdpdClient() { close(); }
+
+  QgdpdClient(const QgdpdClient&) = delete;
+  QgdpdClient& operator=(const QgdpdClient&) = delete;
+  QgdpdClient(QgdpdClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  QgdpdClient& operator=(QgdpdClient&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Opens the session. False (with `*error`) on connect failure.
+  bool connect(const std::string& host, std::uint16_t port, std::string* error = nullptr);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  [[nodiscard]] std::optional<PlaceReply> place(const PlaceRequest& req,
+                                                std::string* error = nullptr);
+  [[nodiscard]] std::optional<EcoReply> eco(const EcoRequest& req, std::string* error = nullptr);
+  [[nodiscard]] std::optional<StatsReply> stats(std::string* error = nullptr);
+
+  /// Asks the daemon to drain; returns its final stats snapshot.
+  [[nodiscard]] std::optional<StatsReply> shutdown_server(std::string* error = nullptr);
+
+ private:
+  /// One request/reply exchange; validates the reply frame type and
+  /// surfaces error frames through `*error`.
+  [[nodiscard]] std::optional<std::string> roundtrip(FrameType request, const std::string& payload,
+                                                     FrameType expected_reply,
+                                                     std::string* error);
+
+  int fd_{-1};
+};
+
+}  // namespace qgdp::server

@@ -1,0 +1,74 @@
+#include "server/layout_cache.h"
+
+#include <sstream>
+
+#include "io/serialization.h"
+#include "server/protocol.h"
+
+namespace qgdp::server {
+
+std::optional<std::string> LayoutCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void LayoutCache::put(const std::string& key, std::string payload) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.bytes += payload.size();
+    stats_.bytes -= it->second->second.size();
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  stats_.bytes += payload.size();
+  ++stats_.insertions;
+  lru_.emplace_front(key, std::move(payload));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > max_entries_) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.second.size();
+    ++stats_.evictions;
+    index_.erase(victim.first);
+    lru_.pop_back();
+  }
+}
+
+bool LayoutCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+LayoutCacheStats LayoutCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LayoutCacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void LayoutCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+}
+
+std::string layout_cache_key(const DeviceSpec& spec, const std::string& flow, unsigned seed,
+                             const std::string& options_fingerprint) {
+  std::ostringstream material;
+  write_device(spec, material);
+  material << "flow " << flow << "\nseed " << seed << "\noptions " << options_fingerprint
+           << "\n";
+  return hex64(fnv1a64(material.str()));
+}
+
+}  // namespace qgdp::server

@@ -1,0 +1,74 @@
+// Content-addressed layout cache for the qgdpd serving daemon.
+//
+// Keys are derived from *content*: the serialized DeviceSpec
+// (name + connectivity + schematic coordinates), the flow, the GP
+// seed, and a canonical options fingerprint are hashed together, so
+// two requests that would run the identical deterministic pipeline
+// share one entry — and a request whose inputs differ in any
+// pipeline-relevant way can never collide onto a stale layout. Values are serialized `.qlay` texts
+// (io/serialization), which round-trip exactly; a cache hit therefore
+// reproduces the cold run byte for byte.
+//
+// The store is a bounded LRU guarded by one mutex — get/put from
+// concurrent sessions are safe, and eviction keeps the resident set at
+// `max_entries` whole layouts. Hit/miss/eviction counters feed the
+// daemon's stats endpoint.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "netlist/topologies.h"
+
+namespace qgdp::server {
+
+struct LayoutCacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t insertions{0};
+  std::uint64_t evictions{0};
+  std::size_t entries{0};
+  std::size_t bytes{0};  ///< payload bytes currently resident
+};
+
+class LayoutCache {
+ public:
+  explicit LayoutCache(std::size_t max_entries = 64) : max_entries_(max_entries) {}
+
+  /// Looks up `key`, refreshing its LRU position. Counts a hit or a
+  /// miss either way.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  /// Inserts or refreshes `key`; evicts least-recently-used entries
+  /// beyond the capacity. A put of an existing key replaces its value
+  /// (the deterministic pipeline makes that a byte-level no-op).
+  void put(const std::string& key, std::string payload);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] LayoutCacheStats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return max_entries_; }
+  void clear();
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, payload
+
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  LayoutCacheStats stats_;
+};
+
+/// Content-addressed key: fnv1a64 over the serialized device, the flow
+/// name, the GP seed, and the canonical options fingerprint, rendered
+/// as 16 hex digits. The fingerprint must encode every option that can
+/// change pipeline output (see Qgdpd's options_fingerprint()).
+[[nodiscard]] std::string layout_cache_key(const DeviceSpec& spec, const std::string& flow,
+                                           unsigned seed, const std::string& options_fingerprint);
+
+}  // namespace qgdp::server

@@ -1,0 +1,377 @@
+#include "server/protocol.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace qgdp::server {
+
+namespace {
+
+/// Splits a payload into its "key value" header map and the free-form
+/// body after the first blank line. Repeated keys keep every value in
+/// submission order (eco "move" lines).
+struct Payload {
+  std::multimap<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    auto it = headers.find(key);
+    return it == headers.end() ? nullptr : &it->second;
+  }
+  // The getters leave `out` untouched when the key is absent, so
+  // callers keep struct defaults for optional fields; return values
+  // only matter for required keys.
+  bool get(const std::string& key, std::string& out) const {
+    const std::string* v = find(key);
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+  template <typename T>
+  bool get_num(const std::string& key, T& out) const {
+    const std::string* v = find(key);
+    if (!v) return false;
+    std::istringstream ss(*v);
+    ss >> out;
+    return !ss.fail();
+  }
+  bool get_flag(const std::string& key, bool& out) const {
+    int v = 0;
+    if (!get_num(key, v)) return false;
+    out = v != 0;
+    return true;
+  }
+};
+
+Payload split_payload(const std::string& payload) {
+  Payload out;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    const std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {  // blank line: the rest is the body, verbatim
+      out.body = payload.substr(pos);
+      break;
+    }
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) {
+      out.headers.emplace(line, "");
+    } else {
+      out.headers.emplace(line.substr(0, sp), line.substr(sp + 1));
+    }
+  }
+  return out;
+}
+
+/// Header-line writer with full double round-trip precision.
+class Kv {
+ public:
+  Kv() { os_ << std::setprecision(17); }
+  template <typename T>
+  Kv& add(const char* key, const T& value) {
+    os_ << key << ' ' << value << '\n';
+    return *this;
+  }
+  Kv& flag(const char* key, bool value) { return add(key, value ? 1 : 0); }
+  /// Terminates the headers and appends the body (may be empty).
+  [[nodiscard]] std::string finish(const std::string& body = {}) {
+    os_ << '\n' << body;
+    return os_.str();
+  }
+
+ private:
+  std::ostringstream os_;
+};
+
+[[nodiscard]] bool valid_frame_type(std::uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kPlaceRequest:
+    case FrameType::kEcoRequest:
+    case FrameType::kStatsRequest:
+    case FrameType::kShutdownRequest:
+    case FrameType::kPlaceReply:
+    case FrameType::kEcoReply:
+    case FrameType::kStatsReply:
+    case FrameType::kShutdownReply:
+    case FrameType::kErrorReply:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kBadFrame: return "bad_frame";
+    case StatusCode::kBadRequest: return "bad_request";
+    case StatusCode::kUnknownTopology: return "unknown_topology";
+    case StatusCode::kUnknownFlow: return "unknown_flow";
+    case StatusCode::kPlacementFailed: return "placement_failed";
+    case StatusCode::kEcoFailed: return "eco_failed";
+    case StatusCode::kNoLayout: return "no_layout";
+    case StatusCode::kShuttingDown: return "shutting_down";
+    case StatusCode::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+// ---- framing ---------------------------------------------------------
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.push_back('Q');
+  out.push_back('D');
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out += payload;
+  return out;
+}
+
+std::optional<FrameHeader> decode_frame_header(const unsigned char header[kFrameHeaderSize]) {
+  if (header[0] != 'Q' || header[1] != 'D') return std::nullopt;
+  if (header[2] != kProtocolVersion) return std::nullopt;
+  if (!valid_frame_type(header[3])) return std::nullopt;
+  const std::uint32_t n = (std::uint32_t{header[4]} << 24) | (std::uint32_t{header[5]} << 16) |
+                          (std::uint32_t{header[6]} << 8) | std::uint32_t{header[7]};
+  if (n > kMaxPayloadBytes) return std::nullopt;
+  return FrameHeader{static_cast<FrameType>(header[3]), n};
+}
+
+// ---- requests --------------------------------------------------------
+
+std::string format_place_request(const PlaceRequest& req) {
+  Kv kv;
+  kv.add("topology", req.topology)
+      .add("flow", req.flow)
+      .add("seed", req.seed)
+      .flag("dp", req.run_detailed)
+      .add("gp_levels", req.gp_levels)
+      .flag("cache", req.use_cache)
+      .flag("layout", req.want_layout);
+  return kv.finish();
+}
+
+std::optional<PlaceRequest> parse_place_request(const std::string& payload) {
+  const Payload p = split_payload(payload);
+  PlaceRequest req;
+  if (!p.get("topology", req.topology) || req.topology.empty()) return std::nullopt;
+  p.get("flow", req.flow);
+  p.get_num("seed", req.seed);
+  p.get_flag("dp", req.run_detailed);
+  p.get_num("gp_levels", req.gp_levels);
+  p.get_flag("cache", req.use_cache);
+  p.get_flag("layout", req.want_layout);
+  return req;
+}
+
+std::string format_eco_request(const EcoRequest& req) {
+  Kv kv;
+  kv.add("policy", req.policy).flag("layout", req.want_layout);
+  std::ostringstream moves;
+  moves << std::setprecision(17);
+  for (const EcoMove& m : req.moves) {
+    moves.str("");
+    moves << m.qubit << ' ' << m.x << ' ' << m.y;
+    kv.add("move", moves.str());
+  }
+  return kv.finish();
+}
+
+std::optional<EcoRequest> parse_eco_request(const std::string& payload) {
+  const Payload p = split_payload(payload);
+  EcoRequest req;
+  p.get("policy", req.policy);
+  if (req.policy != "abacus" && req.policy != "baa") return std::nullopt;
+  p.get_flag("layout", req.want_layout);
+  const auto [lo, hi] = p.headers.equal_range("move");
+  for (auto it = lo; it != hi; ++it) {
+    EcoMove m;
+    std::istringstream ss(it->second);
+    ss >> m.qubit >> m.x >> m.y;
+    if (ss.fail() || m.qubit < 0) return std::nullopt;
+    req.moves.push_back(m);
+  }
+  if (req.moves.empty() || req.moves.size() > kMaxEcoMoves) return std::nullopt;
+  return req;
+}
+
+// ---- replies ---------------------------------------------------------
+
+std::string format_place_reply(const PlaceReply& rep) {
+  Kv kv;
+  kv.add("status", static_cast<int>(rep.status))
+      .flag("cached", rep.cached)
+      .add("key", rep.cache_key)
+      .add("layout_hash", rep.layout_hash)
+      .add("qubits", rep.qubits)
+      .add("blocks", rep.blocks)
+      .add("place_ms", rep.place_ms)
+      .add("gp_ms", rep.gp_ms)
+      .add("qubit_ms", rep.qubit_ms)
+      .add("resonator_ms", rep.resonator_ms)
+      .add("dp_ms", rep.dp_ms);
+  return kv.finish(rep.layout);
+}
+
+std::optional<PlaceReply> parse_place_reply(const std::string& payload) {
+  const Payload p = split_payload(payload);
+  PlaceReply rep;
+  int status = 0;
+  if (!p.get_num("status", status)) return std::nullopt;
+  rep.status = static_cast<StatusCode>(status);
+  p.get_flag("cached", rep.cached);
+  p.get("key", rep.cache_key);
+  p.get("layout_hash", rep.layout_hash);
+  p.get_num("qubits", rep.qubits);
+  p.get_num("blocks", rep.blocks);
+  p.get_num("place_ms", rep.place_ms);
+  p.get_num("gp_ms", rep.gp_ms);
+  p.get_num("qubit_ms", rep.qubit_ms);
+  p.get_num("resonator_ms", rep.resonator_ms);
+  p.get_num("dp_ms", rep.dp_ms);
+  rep.layout = p.body;
+  return rep;
+}
+
+std::string format_eco_reply(const EcoReply& rep) {
+  Kv kv;
+  std::ostringstream window;
+  window << std::setprecision(17) << rep.window[0] << ' ' << rep.window[1] << ' '
+         << rep.window[2] << ' ' << rep.window[3];
+  kv.add("status", static_cast<int>(rep.status))
+      .flag("success", rep.success)
+      .add("ripped", rep.ripped_blocks)
+      .add("replaced", rep.replaced_blocks)
+      .add("edges", rep.edges_touched)
+      .add("violations", rep.window_violations)
+      .add("bins_touched", rep.grid_bins_touched)
+      .add("growths", rep.window_growths)
+      .add("window", window.str())
+      .add("eco_ms", rep.eco_ms)
+      .add("layout_hash", rep.layout_hash);
+  return kv.finish(rep.layout);
+}
+
+std::optional<EcoReply> parse_eco_reply(const std::string& payload) {
+  const Payload p = split_payload(payload);
+  EcoReply rep;
+  int status = 0;
+  if (!p.get_num("status", status)) return std::nullopt;
+  rep.status = static_cast<StatusCode>(status);
+  p.get_flag("success", rep.success);
+  p.get_num("ripped", rep.ripped_blocks);
+  p.get_num("replaced", rep.replaced_blocks);
+  p.get_num("edges", rep.edges_touched);
+  p.get_num("violations", rep.window_violations);
+  p.get_num("bins_touched", rep.grid_bins_touched);
+  p.get_num("growths", rep.window_growths);
+  if (const std::string* w = p.find("window")) {
+    std::istringstream ss(*w);
+    ss >> rep.window[0] >> rep.window[1] >> rep.window[2] >> rep.window[3];
+  }
+  p.get_num("eco_ms", rep.eco_ms);
+  p.get("layout_hash", rep.layout_hash);
+  rep.layout = p.body;
+  return rep;
+}
+
+std::string format_stats_reply(const StatsReply& rep) {
+  Kv kv;
+  kv.add("status", static_cast<int>(rep.status))
+      .add("uptime_ms", rep.uptime_ms)
+      .add("sessions", rep.sessions)
+      .add("served_place", rep.served_place)
+      .add("served_eco", rep.served_eco)
+      .add("served_stats", rep.served_stats)
+      .add("protocol_errors", rep.protocol_errors)
+      .add("cache_hits", rep.cache_hits)
+      .add("cache_misses", rep.cache_misses)
+      .add("cache_insertions", rep.cache_insertions)
+      .add("cache_evictions", rep.cache_evictions)
+      .add("cache_entries", rep.cache_entries)
+      .add("cache_bytes", rep.cache_bytes);
+  return kv.finish();
+}
+
+std::optional<StatsReply> parse_stats_reply(const std::string& payload) {
+  const Payload p = split_payload(payload);
+  StatsReply rep;
+  int status = 0;
+  if (!p.get_num("status", status)) return std::nullopt;
+  rep.status = static_cast<StatusCode>(status);
+  p.get_num("uptime_ms", rep.uptime_ms);
+  p.get_num("sessions", rep.sessions);
+  p.get_num("served_place", rep.served_place);
+  p.get_num("served_eco", rep.served_eco);
+  p.get_num("served_stats", rep.served_stats);
+  p.get_num("protocol_errors", rep.protocol_errors);
+  p.get_num("cache_hits", rep.cache_hits);
+  p.get_num("cache_misses", rep.cache_misses);
+  p.get_num("cache_insertions", rep.cache_insertions);
+  p.get_num("cache_evictions", rep.cache_evictions);
+  p.get_num("cache_entries", rep.cache_entries);
+  p.get_num("cache_bytes", rep.cache_bytes);
+  return rep;
+}
+
+std::string format_error_reply(const ErrorReply& rep) {
+  Kv kv;
+  kv.add("status", static_cast<int>(rep.status)).add("message", rep.message);
+  return kv.finish();
+}
+
+std::optional<ErrorReply> parse_error_reply(const std::string& payload) {
+  const Payload p = split_payload(payload);
+  ErrorReply rep;
+  int status = 0;
+  if (!p.get_num("status", status)) return std::nullopt;
+  rep.status = static_cast<StatusCode>(status);
+  p.get("message", rep.message);
+  return rep;
+}
+
+// ---- shared helpers --------------------------------------------------
+
+std::optional<LegalizerKind> flow_by_name(const std::string& name) {
+  if (name == "qgdp") return LegalizerKind::kQgdp;
+  if (name == "q-abacus") return LegalizerKind::kQAbacus;
+  if (name == "q-tetris") return LegalizerKind::kQTetris;
+  if (name == "abacus") return LegalizerKind::kAbacus;
+  if (name == "tetris") return LegalizerKind::kTetris;
+  return std::nullopt;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(const std::string& s) { return fnv1a64(s.data(), s.size()); }
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace qgdp::server

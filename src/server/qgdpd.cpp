@@ -1,0 +1,411 @@
+#include "server/qgdpd.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "core/incremental.h"
+#include "io/serialization.h"
+#include "runtime/batch_runner.h"
+#include "server/socket_io.h"
+
+namespace qgdp::server {
+
+namespace {
+
+[[nodiscard]] double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Every pipeline-relevant option outside (topology, flow, seed) must
+/// appear here — the cache key is only sound if two requests with the
+/// same fingerprint run the identical deterministic pipeline.
+[[nodiscard]] std::string options_fingerprint(const PlaceRequest& req) {
+  std::ostringstream os;
+  os << "dp=" << (req.run_detailed ? 1 : 0) << ";gp_levels=" << req.gp_levels;
+  return os.str();
+}
+
+/// Pulls "<key> N" out of a .qlay text without a full parse — the
+/// warm-cache reply path must not deserialize the layout.
+[[nodiscard]] std::size_t qlay_count(const std::string& qlay, const char* key) {
+  const std::string needle = std::string("\n") + key + ' ';
+  const std::size_t pos = qlay.find(needle);
+  if (pos == std::string::npos) return 0;
+  std::istringstream ss(qlay.substr(pos + needle.size(), 24));
+  std::size_t n = 0;
+  ss >> n;
+  return ss.fail() ? 0 : n;
+}
+
+[[nodiscard]] std::string error_frame(StatusCode code, std::string message) {
+  ErrorReply rep;
+  rep.status = code;
+  rep.message = std::move(message);
+  return encode_frame(FrameType::kErrorReply, format_error_reply(rep));
+}
+
+}  // namespace
+
+/// Per-connection warmed state. The layout is authoritative as text
+/// (`layout_payload`); the netlist and grid are derived and built
+/// lazily on the first eco edit, so warm cache hits stay parse-free.
+struct Qgdpd::Session {
+  bool has_layout{false};
+  bool materialized{false};
+  std::string layout_payload;  ///< current layout, serialized .qlay
+  std::string cache_key;
+  double spacing{1.0};  ///< qubit spacing rule for ECO edits
+  QuantumNetlist nl;
+  std::optional<BinGrid> grid;
+};
+
+Qgdpd::Qgdpd(QgdpdOptions opt) : opt_(std::move(opt)), cache_(opt_.cache_entries) {}
+
+Qgdpd::~Qgdpd() { stop(); }
+
+bool Qgdpd::start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    return fail("inet_pton(" + opt_.host + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 32) != 0) return fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  started_ = std::chrono::steady_clock::now();
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (opt_.verbose) {
+    std::cerr << "qgdpd: listening on " << opt_.host << ':' << port_ << "\n";
+  }
+  return true;
+}
+
+void Qgdpd::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed: shutting down
+    }
+    if (shutdown_.load()) {
+      (void)detail::send_frame(fd, FrameType::kErrorReply,
+                               format_error_reply({StatusCode::kShuttingDown, "draining"}));
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sessions_accepted_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    session_fds_.push_back(fd);
+    session_threads_.emplace_back([this, fd] { serve_session(fd); });
+  }
+}
+
+void Qgdpd::serve_session(int fd) {
+  Session session;
+  for (;;) {
+    bool bad_frame = false;
+    auto frame = detail::recv_frame(fd, &bad_frame);
+    if (!frame) {
+      if (bad_frame) {
+        protocol_errors_.fetch_add(1);
+        (void)detail::send_frame(fd, FrameType::kErrorReply,
+                                 format_error_reply({StatusCode::kBadFrame, "bad frame"}));
+      }
+      break;
+    }
+    bool shutdown = false;
+    const std::string reply = handle_frame(session, frame->type, frame->payload, &shutdown);
+    if (!detail::write_all(fd, reply.data(), reply.size())) break;
+    if (shutdown) {
+      initiate_shutdown();
+      break;
+    }
+    if (shutdown_.load()) break;
+  }
+  ::close(fd);
+}
+
+std::string Qgdpd::handle_frame(Session& session, FrameType type, const std::string& payload,
+                                bool* shutdown) {
+  *shutdown = false;
+  try {
+    switch (type) {
+      case FrameType::kPlaceRequest:
+        return handle_place(session, payload);
+      case FrameType::kEcoRequest:
+        return handle_eco(session, payload);
+      case FrameType::kStatsRequest:
+        return handle_stats();
+      case FrameType::kShutdownRequest: {
+        *shutdown = true;
+        // Shutdown acks with a final stats snapshot as its payload.
+        const std::string stats = handle_stats();
+        return encode_frame(FrameType::kShutdownReply, stats.substr(kFrameHeaderSize));
+      }
+      default:
+        protocol_errors_.fetch_add(1);
+        return error_frame(StatusCode::kBadRequest, "unexpected frame type");
+    }
+  } catch (const std::exception& e) {
+    return error_frame(StatusCode::kInternalError, e.what());
+  }
+}
+
+std::string Qgdpd::handle_place(Session& session, const std::string& payload) {
+  const auto t0 = std::chrono::steady_clock::now();
+  served_place_.fetch_add(1);
+  const auto req = parse_place_request(payload);
+  if (!req) {
+    protocol_errors_.fetch_add(1);
+    return error_frame(StatusCode::kBadRequest, "unparseable place request");
+  }
+  const auto kind = flow_by_name(req->flow);
+  if (!kind) return error_frame(StatusCode::kUnknownFlow, req->flow);
+  const auto spec = topology_by_name(req->topology);
+  if (!spec) return error_frame(StatusCode::kUnknownTopology, req->topology);
+
+  PlaceReply rep;
+  rep.cache_key = layout_cache_key(*spec, req->flow, req->seed, options_fingerprint(*req));
+  rep.qubits = static_cast<std::size_t>(spec->qubit_count);
+
+  if (req->use_cache) {
+    if (auto hit = cache_.get(rep.cache_key)) {
+      // Warm path: answer from the cached bytes; the session adopts
+      // the layout lazily (no parse unless an eco edit arrives).
+      rep.cached = true;
+      rep.blocks = qlay_count(*hit, "blocks");
+      rep.layout_hash = hex64(fnv1a64(*hit));
+      session.has_layout = true;
+      session.materialized = false;
+      session.grid.reset();
+      session.layout_payload = std::move(*hit);
+      session.cache_key = rep.cache_key;
+      {
+        std::lock_guard<std::mutex> lock(spacing_mutex_);
+        const auto it = spacing_by_key_.find(rep.cache_key);
+        session.spacing = it != spacing_by_key_.end() ? it->second : 1.0;
+      }
+      if (req->want_layout) rep.layout = session.layout_payload;
+      rep.place_ms = ms_since(t0);
+      if (opt_.verbose) {
+        std::cerr << "qgdpd: place " << req->topology << '/' << req->flow << " hit "
+                  << rep.cache_key << " in " << rep.place_ms << " ms\n";
+      }
+      return encode_frame(FrameType::kPlaceReply, format_place_reply(rep));
+    }
+  }
+
+  // Cold path: one BatchRunner job. A single job runs inline on this
+  // session thread, so concurrent sessions place concurrently while
+  // sharing the process-wide pool for any intra-job parallelism.
+  BatchJob job;
+  job.spec = *spec;
+  job.kind = *kind;
+  job.gp_seed = req->seed;
+  job.gp_levels = req->gp_levels;
+  job.run_detailed = req->run_detailed;
+  BatchOptions bopt;
+  bopt.jobs = opt_.jobs;
+  std::vector<BatchResult> results;
+  try {
+    results = BatchRunner(bopt).run({job});
+  } catch (const std::exception& e) {
+    return error_frame(StatusCode::kPlacementFailed, e.what());
+  }
+  BatchResult& res = results.front();
+
+  std::ostringstream qlay;
+  write_layout(res.netlist, qlay);
+  std::string text = qlay.str();
+  rep.blocks = res.netlist.block_count();
+  rep.layout_hash = hex64(fnv1a64(text));
+  rep.gp_ms = res.stats.gp_ms;
+  rep.qubit_ms = res.stats.qubit_ms;
+  rep.resonator_ms = res.stats.resonator_ms;
+  rep.dp_ms = res.stats.dp_ms;
+
+  const double spacing = quantum_flow(*kind) ? res.stats.qubit.spacing_used : 0.0;
+  if (req->use_cache) {
+    cache_.put(rep.cache_key, text);
+    std::lock_guard<std::mutex> lock(spacing_mutex_);
+    spacing_by_key_[rep.cache_key] = spacing;
+  }
+
+  // The session keeps the materialized netlist — a follow-up eco edit
+  // starts from the live state, not a reparse.
+  session.has_layout = true;
+  session.materialized = true;
+  session.nl = std::move(res.netlist);
+  session.grid.reset();
+  session.layout_payload = std::move(text);
+  session.cache_key = rep.cache_key;
+  session.spacing = spacing;
+  if (req->want_layout) rep.layout = session.layout_payload;
+  rep.place_ms = ms_since(t0);
+  if (opt_.verbose) {
+    std::cerr << "qgdpd: place " << req->topology << '/' << req->flow << " cold "
+              << rep.cache_key << " in " << rep.place_ms << " ms\n";
+  }
+  return encode_frame(FrameType::kPlaceReply, format_place_reply(rep));
+}
+
+std::string Qgdpd::handle_eco(Session& session, const std::string& payload) {
+  const auto t0 = std::chrono::steady_clock::now();
+  served_eco_.fetch_add(1);
+  const auto req = parse_eco_request(payload);
+  if (!req) {
+    protocol_errors_.fetch_add(1);
+    return error_frame(StatusCode::kBadRequest, "unparseable eco request");
+  }
+  if (!session.has_layout) {
+    return error_frame(StatusCode::kNoLayout, "eco before place on this session");
+  }
+  if (!session.materialized) {
+    std::istringstream is(session.layout_payload);
+    session.nl = read_layout(is);
+    session.materialized = true;
+  }
+  if (!session.grid) session.grid.emplace(IncrementalLegalizer::grid_for(session.nl));
+
+  std::vector<QubitMove> moves;
+  moves.reserve(req->moves.size());
+  for (const EcoMove& m : req->moves) {
+    if (m.qubit < 0 || static_cast<std::size_t>(m.qubit) >= session.nl.qubit_count()) {
+      return error_frame(StatusCode::kBadRequest,
+                         "qubit " + std::to_string(m.qubit) + " out of range");
+    }
+    moves.push_back({m.qubit, Point{m.x, m.y}});
+  }
+
+  EcoOptions eopt;
+  eopt.min_spacing = session.spacing;
+  eopt.policy = req->policy == "baa" ? EcoOptions::BlockPolicy::kBaa
+                                     : EcoOptions::BlockPolicy::kAbacusWindow;
+  const EcoResult res = IncrementalLegalizer(eopt).move_qubits(session.nl, *session.grid, moves);
+
+  EcoReply rep;
+  rep.success = res.success;
+  rep.ripped_blocks = res.ripped_blocks;
+  rep.replaced_blocks = res.replaced_blocks;
+  rep.edges_touched = res.edges_touched;
+  rep.window_violations = res.window_violations;
+  rep.grid_bins_touched = res.grid_bins_touched;
+  rep.window_growths = res.window_growths;
+  rep.window[0] = res.dirty_window.lo.x;
+  rep.window[1] = res.dirty_window.lo.y;
+  rep.window[2] = res.dirty_window.hi.x;
+  rep.window[3] = res.dirty_window.hi.y;
+  if (!res.success) {
+    rep.status = StatusCode::kEcoFailed;
+    rep.layout_hash = hex64(fnv1a64(session.layout_payload));  // unchanged
+    rep.eco_ms = ms_since(t0);
+    return encode_frame(FrameType::kEcoReply, format_eco_reply(rep));
+  }
+
+  std::ostringstream qlay;
+  write_layout(session.nl, qlay);
+  session.layout_payload = qlay.str();
+  rep.layout_hash = hex64(fnv1a64(session.layout_payload));
+  if (req->want_layout) rep.layout = session.layout_payload;
+  rep.eco_ms = ms_since(t0);
+  if (opt_.verbose) {
+    std::cerr << "qgdpd: eco " << moves.size() << " moves, " << res.replaced_blocks
+              << " blocks replaced in " << rep.eco_ms << " ms\n";
+  }
+  return encode_frame(FrameType::kEcoReply, format_eco_reply(rep));
+}
+
+std::string Qgdpd::handle_stats() {
+  served_stats_.fetch_add(1);
+  StatsReply rep;
+  rep.uptime_ms = ms_since(started_);
+  rep.sessions = sessions_accepted_.load();
+  rep.served_place = served_place_.load();
+  rep.served_eco = served_eco_.load();
+  rep.served_stats = served_stats_.load();
+  rep.protocol_errors = protocol_errors_.load();
+  const LayoutCacheStats cs = cache_.stats();
+  rep.cache_hits = cs.hits;
+  rep.cache_misses = cs.misses;
+  rep.cache_insertions = cs.insertions;
+  rep.cache_evictions = cs.evictions;
+  rep.cache_entries = cs.entries;
+  rep.cache_bytes = cs.bytes;
+  return encode_frame(FrameType::kStatsReply, format_stats_reply(rep));
+}
+
+void Qgdpd::initiate_shutdown() {
+  if (shutdown_.exchange(true)) return;
+  // Closing the listener pops accept() out of its blocking call; the
+  // session loops re-check shutdown_ after their current request.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.notify_all();
+}
+
+void Qgdpd::wait() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_.load(); });
+  }
+  stop();
+}
+
+void Qgdpd::stop() {
+  if (!running_.exchange(false)) return;
+  initiate_shutdown();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock sessions parked in recv; their loops exit and close fds.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    threads.swap(session_threads_);
+    session_fds_.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace qgdp::server

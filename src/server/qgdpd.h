@@ -1,0 +1,122 @@
+// qgdpd: the placement-as-a-service daemon.
+//
+// One TCP listener (loopback by default, port 0 = ephemeral) accepts
+// connections; each connection is a *session* served by its own
+// thread, speaking the framed protocol of server/protocol.h. A session
+// owns warmed state — the resolved DeviceSpec, the current layout, and
+// its derived bin grid — so a place followed by a stream of eco edits
+// never rebuilds what it already has:
+//
+//   place     resolve topology → content-addressed cache probe →
+//             on miss, run the full pipeline through
+//             runtime::BatchRunner (sessions share the process-wide
+//             ThreadPool; a single job runs inline on the session
+//             thread, so concurrent sessions place concurrently) →
+//             serialize, cache, reply. On hit, reply straight from the
+//             cache — the netlist/grid are materialized lazily only if
+//             an eco edit arrives later.
+//   eco       apply a batch of qubit moves via IncrementalLegalizer
+//             (Abacus-window policy by default), re-serialize, reply
+//             with the dirty-window stats.
+//   stats     daemon counters + cache hit/miss/occupancy.
+//   shutdown  reply, then drain: stop accepting, unblock sessions.
+//
+// The daemon is deterministic where the pipeline is: the same place
+// request always yields the byte-identical .qlay, which is what makes
+// the content-addressed cache sound (and is asserted by the CI
+// serving-smoke job).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/layout_cache.h"
+#include "server/protocol.h"
+
+namespace qgdp::server {
+
+struct QgdpdOptions {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};          ///< 0 = ephemeral (read back via port())
+  std::size_t cache_entries{64};  ///< layout-cache capacity
+  std::size_t jobs{0};            ///< BatchRunner lanes per request (0 = pool)
+  bool verbose{false};            ///< per-request log lines on stderr
+};
+
+class Qgdpd {
+ public:
+  explicit Qgdpd(QgdpdOptions opt = {});
+  ~Qgdpd();
+
+  Qgdpd(const Qgdpd&) = delete;
+  Qgdpd& operator=(const Qgdpd&) = delete;
+
+  /// Binds, listens, and starts the accept loop. False (with `*error`
+  /// filled) if the socket could not be set up.
+  bool start(std::string* error = nullptr);
+
+  /// Blocks until a shutdown request (or stop()) drains the daemon,
+  /// then joins all threads.
+  void wait();
+
+  /// Initiates shutdown and joins all threads; idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  /// Bound port (resolves ephemeral port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] LayoutCache& cache() { return cache_; }
+  [[nodiscard]] const QgdpdOptions& options() const { return opt_; }
+
+ private:
+  struct Session;
+
+  void accept_loop();
+  void serve_session(int fd);
+  /// Dispatches one request frame; returns the encoded reply frame and
+  /// sets `*shutdown` when the request asked the daemon to drain.
+  [[nodiscard]] std::string handle_frame(Session& session, FrameType type,
+                                         const std::string& payload, bool* shutdown);
+  [[nodiscard]] std::string handle_place(Session& session, const std::string& payload);
+  [[nodiscard]] std::string handle_eco(Session& session, const std::string& payload);
+  [[nodiscard]] std::string handle_stats();
+  /// Flags shutdown and closes the listener so accept() returns; the
+  /// caller's session loop exits on its own. Joining happens in stop().
+  void initiate_shutdown();
+
+  QgdpdOptions opt_;
+  LayoutCache cache_;
+  std::uint16_t port_{0};
+  int listen_fd_{-1};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_{false};
+  std::thread accept_thread_;
+
+  std::mutex sessions_mutex_;
+  std::vector<std::thread> session_threads_;
+  std::vector<int> session_fds_;
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+
+  /// qubit spacing each cached layout was legalized with, so a session
+  /// that materializes a cache hit applies the right ECO spacing rule.
+  std::mutex spacing_mutex_;
+  std::unordered_map<std::string, double> spacing_by_key_;
+
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<std::uint64_t> sessions_accepted_{0};
+  std::atomic<std::uint64_t> served_place_{0};
+  std::atomic<std::uint64_t> served_eco_{0};
+  std::atomic<std::uint64_t> served_stats_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace qgdp::server

@@ -1,0 +1,64 @@
+#include "server/socket_io.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace qgdp::server::detail {
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+    } else if (r == 0) {
+      return false;  // peer closed
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+    } else if (r < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool send_frame(int fd, FrameType type, const std::string& payload) {
+  const std::string frame = encode_frame(type, payload);
+  return write_all(fd, frame.data(), frame.size());
+}
+
+std::optional<ReceivedFrame> recv_frame(int fd, bool* bad_frame) {
+  if (bad_frame) *bad_frame = false;
+  unsigned char header[kFrameHeaderSize];
+  if (!read_exact(fd, header, kFrameHeaderSize)) return std::nullopt;
+  const auto h = decode_frame_header(header);
+  if (!h) {
+    if (bad_frame) *bad_frame = true;
+    return std::nullopt;
+  }
+  ReceivedFrame frame;
+  frame.type = h->type;
+  frame.payload.resize(h->length);
+  if (h->length > 0 && !read_exact(fd, frame.payload.data(), frame.payload.size())) {
+    return std::nullopt;
+  }
+  return frame;
+}
+
+}  // namespace qgdp::server::detail

@@ -1,0 +1,35 @@
+// Blocking socket I/O for framed qgdpd messages — the only code in
+// src/server that touches file descriptors. Both the daemon and the
+// client are loops around send_frame/recv_frame; the codec itself
+// (server/protocol.h) never sees a socket.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace qgdp::server::detail {
+
+/// Reads exactly `n` bytes; false on EOF or error.
+[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t n);
+
+/// Writes all `n` bytes (MSG_NOSIGNAL — a closed peer is a false
+/// return, not a SIGPIPE); false on error.
+[[nodiscard]] bool write_all(int fd, const void* buf, std::size_t n);
+
+/// Encodes and writes one frame.
+[[nodiscard]] bool send_frame(int fd, FrameType type, const std::string& payload);
+
+struct ReceivedFrame {
+  FrameType type{FrameType::kErrorReply};
+  std::string payload;
+};
+
+/// Reads one frame. nullopt on clean EOF, I/O error, or malformed
+/// header; `*bad_frame` distinguishes the malformed-header case so the
+/// daemon can answer kBadFrame before closing.
+[[nodiscard]] std::optional<ReceivedFrame> recv_frame(int fd, bool* bad_frame = nullptr);
+
+}  // namespace qgdp::server::detail

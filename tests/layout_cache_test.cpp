@@ -1,0 +1,147 @@
+// Layout-cache tests: content-addressed key derivation (every key
+// component must perturb the hash), LRU bookkeeping and eviction,
+// byte-identical round trips through the serialized payloads, and
+// thread safety of concurrent get/put through the shared ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "io/serialization.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+#include "runtime/thread_pool.h"
+#include "server/layout_cache.h"
+#include "server/protocol.h"
+
+namespace qgdp {
+namespace {
+
+using server::LayoutCache;
+using server::layout_cache_key;
+
+// ---- key derivation --------------------------------------------------
+
+TEST(LayoutCacheKey, StableForIdenticalInputs) {
+  const DeviceSpec spec = make_grid_device();
+  EXPECT_EQ(layout_cache_key(spec, "qgdp", 1, "dp=0;gp_levels=0"),
+            layout_cache_key(spec, "qgdp", 1, "dp=0;gp_levels=0"));
+  EXPECT_EQ(layout_cache_key(spec, "qgdp", 1, "dp=0;gp_levels=0").size(), 16u);
+}
+
+TEST(LayoutCacheKey, EveryComponentPerturbsTheKey) {
+  const DeviceSpec spec = make_grid_device();
+  const std::string base = layout_cache_key(spec, "qgdp", 1, "dp=0;gp_levels=0");
+  // options hash
+  EXPECT_NE(base, layout_cache_key(spec, "qgdp", 1, "dp=1;gp_levels=0"));
+  EXPECT_NE(base, layout_cache_key(spec, "qgdp", 1, "dp=0;gp_levels=2"));
+  // flow and seed
+  EXPECT_NE(base, layout_cache_key(spec, "q-abacus", 1, "dp=0;gp_levels=0"));
+  EXPECT_NE(base, layout_cache_key(spec, "qgdp", 2, "dp=0;gp_levels=0"));
+  // device content: one extra coupling changes the serialized spec
+  DeviceSpec bigger = spec;
+  bigger.couplings.emplace_back(0, 7);
+  EXPECT_NE(base, layout_cache_key(bigger, "qgdp", 1, "dp=0;gp_levels=0"));
+}
+
+// ---- LRU store -------------------------------------------------------
+
+TEST(LayoutCache, MissThenHitWithCounters) {
+  LayoutCache cache(4);
+  EXPECT_FALSE(cache.get("k1").has_value());
+  cache.put("k1", "payload-1");
+  const auto hit = cache.get("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-1");
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, std::string("payload-1").size());
+}
+
+TEST(LayoutCache, EvictsLeastRecentlyUsed) {
+  LayoutCache cache(2);
+  cache.put("a", "A");
+  cache.put("b", "B");
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh a: b is now LRU
+  cache.put("c", "C");
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 2u);
+}
+
+TEST(LayoutCache, PutOfExistingKeyReplacesAndRefreshes) {
+  LayoutCache cache(2);
+  cache.put("a", "old");
+  cache.put("b", "B");
+  cache.put("a", "new");  // refresh: b becomes LRU
+  cache.put("c", "C");
+  EXPECT_FALSE(cache.contains("b"));
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "new");
+  EXPECT_EQ(cache.stats().bytes, std::string("new").size() + 1);
+}
+
+// ---- serialization round trip ---------------------------------------
+
+TEST(LayoutCache, CachedLayoutRoundTripsByteIdentically) {
+  const DeviceSpec spec = make_grid_device();
+  QuantumNetlist nl = build_netlist(spec);
+  Pipeline pipeline;
+  (void)pipeline.run(nl);
+
+  std::ostringstream first;
+  write_layout(nl, first);
+  LayoutCache cache(4);
+  cache.put("layout", first.str());
+
+  const auto cached = cache.get("layout");
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, first.str());
+
+  // Deserialize the cached bytes and re-serialize: the text must be
+  // byte-identical, so a cache hit reproduces the cold run exactly.
+  std::istringstream is(*cached);
+  const QuantumNetlist reread = read_layout(is);
+  std::ostringstream second;
+  write_layout(reread, second);
+  EXPECT_EQ(second.str(), first.str());
+  EXPECT_EQ(server::fnv1a64(second.str()), server::fnv1a64(first.str()));
+}
+
+// ---- concurrency -----------------------------------------------------
+
+TEST(LayoutCache, ConcurrentGetPutUnderThreadPool) {
+  LayoutCache cache(64);  // no eviction: every key stays resident
+  constexpr std::size_t kKeys = 8;
+  constexpr std::size_t kOps = 512;
+  std::atomic<std::size_t> wrong{0};
+  parallel_for(ThreadPool::shared(), 0, kOps, 8, [&](std::size_t i) {
+    const std::string key = "key-" + std::to_string(i % kKeys);
+    const std::string payload = "payload-" + std::to_string(i % kKeys);
+    if (i % 3 == 0) {
+      cache.put(key, payload);
+    } else if (const auto hit = cache.get(key)) {
+      if (*hit != payload) wrong.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(wrong.load(), 0u);
+  const auto s = cache.stats();
+  EXPECT_LE(s.entries, kKeys);
+  EXPECT_EQ(s.evictions, 0u);
+  // Every non-put op counted as exactly one hit or one miss.
+  EXPECT_EQ(s.hits + s.misses, kOps - (kOps + 2) / 3);
+}
+
+}  // namespace
+}  // namespace qgdp

@@ -1,0 +1,342 @@
+// Serving subsystem tests: the framed wire codec (socket-independent),
+// and the qgdpd daemon end to end over loopback TCP — cold/warm place
+// byte-identity through the content-addressed cache, ECO edits matching
+// a local IncrementalLegalizer run bit for bit, protocol error paths,
+// and the stats/shutdown lifecycle.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "core/pipeline.h"
+#include "io/serialization.h"
+#include "metrics/audit.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/qgdpd.h"
+
+namespace qgdp {
+namespace {
+
+using namespace qgdp::server;
+
+// ---- framing ---------------------------------------------------------
+
+TEST(Protocol, FrameRoundTrip) {
+  const std::string payload = "topology Grid\n\nbody bytes \x01\x02";
+  const std::string frame = encode_frame(FrameType::kPlaceRequest, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + payload.size());
+  const auto header =
+      decode_frame_header(reinterpret_cast<const unsigned char*>(frame.data()));
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->type, FrameType::kPlaceRequest);
+  EXPECT_EQ(header->length, payload.size());
+  EXPECT_EQ(frame.substr(kFrameHeaderSize), payload);
+}
+
+TEST(Protocol, RejectsMalformedHeaders) {
+  const std::string good = encode_frame(FrameType::kStatsRequest, "");
+  unsigned char h[kFrameHeaderSize];
+  auto with = [&](int at, unsigned char value) {
+    std::memcpy(h, good.data(), kFrameHeaderSize);
+    h[at] = value;
+    return decode_frame_header(h);
+  };
+  EXPECT_TRUE(with(0, 'Q').has_value());
+  EXPECT_FALSE(with(0, 'X').has_value());             // bad magic
+  EXPECT_FALSE(with(2, kProtocolVersion + 1).has_value());  // bad version
+  EXPECT_FALSE(with(3, 0x7F).has_value());            // unknown type
+  EXPECT_FALSE(with(4, 0xFF).has_value());            // > kMaxPayloadBytes
+}
+
+// ---- request/reply codecs -------------------------------------------
+
+TEST(Protocol, PlaceRequestRoundTrips) {
+  PlaceRequest req;
+  req.topology = "heavyhex-23x39";
+  req.flow = "q-abacus";
+  req.seed = 7;
+  req.run_detailed = true;
+  req.gp_levels = 3;
+  req.use_cache = false;
+  req.want_layout = false;
+  const auto back = parse_place_request(format_place_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->topology, req.topology);
+  EXPECT_EQ(back->flow, req.flow);
+  EXPECT_EQ(back->seed, req.seed);
+  EXPECT_EQ(back->run_detailed, req.run_detailed);
+  EXPECT_EQ(back->gp_levels, req.gp_levels);
+  EXPECT_EQ(back->use_cache, req.use_cache);
+  EXPECT_EQ(back->want_layout, req.want_layout);
+  EXPECT_FALSE(parse_place_request("flow qgdp\n\n").has_value());  // no topology
+}
+
+TEST(Protocol, EcoRequestRoundTripsAtFullPrecision) {
+  EcoRequest req;
+  req.policy = "baa";
+  req.want_layout = true;
+  req.moves = {{3, 1.0 / 3.0, 2.0 / 7.0}, {12, -4.25, 9.5}};
+  const auto back = parse_eco_request(format_eco_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->policy, "baa");
+  EXPECT_TRUE(back->want_layout);
+  ASSERT_EQ(back->moves.size(), 2u);
+  EXPECT_EQ(back->moves[0].qubit, 3);
+  EXPECT_EQ(back->moves[0].x, 1.0 / 3.0);  // exact: setprecision(17)
+  EXPECT_EQ(back->moves[0].y, 2.0 / 7.0);
+  EXPECT_EQ(back->moves[1].qubit, 12);
+
+  EXPECT_FALSE(parse_eco_request("policy abacus\n\n").has_value());  // no moves
+  EXPECT_FALSE(parse_eco_request("policy tetris\nmove 0 1 1\n\n").has_value());
+  EcoRequest too_many;
+  too_many.moves.assign(kMaxEcoMoves + 1, {0, 0.0, 0.0});
+  EXPECT_FALSE(parse_eco_request(format_eco_request(too_many)).has_value());
+}
+
+TEST(Protocol, RepliesRoundTripWithBody) {
+  PlaceReply place;
+  place.status = StatusCode::kOk;
+  place.cached = true;
+  place.cache_key = hex64(0xdeadbeefULL);
+  place.layout_hash = hex64(fnv1a64(std::string("qlay")));
+  place.qubits = 1117;
+  place.blocks = 4242;
+  place.place_ms = 0.125;
+  place.layout = "qlay 1\nname x\n";  // body carried verbatim
+  const auto p = parse_place_reply(format_place_reply(place));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->status, StatusCode::kOk);
+  EXPECT_TRUE(p->cached);
+  EXPECT_EQ(p->cache_key, place.cache_key);
+  EXPECT_EQ(p->layout_hash, place.layout_hash);
+  EXPECT_EQ(p->qubits, 1117u);
+  EXPECT_EQ(p->blocks, 4242u);
+  EXPECT_EQ(p->place_ms, 0.125);
+  EXPECT_EQ(p->layout, place.layout);
+
+  EcoReply eco;
+  eco.status = StatusCode::kEcoFailed;
+  eco.success = false;
+  eco.ripped_blocks = 9;
+  eco.window[0] = -1.5;
+  eco.window[3] = 22.25;
+  const auto e = parse_eco_reply(format_eco_reply(eco));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->status, StatusCode::kEcoFailed);
+  EXPECT_FALSE(e->success);
+  EXPECT_EQ(e->ripped_blocks, 9);
+  EXPECT_EQ(e->window[0], -1.5);
+  EXPECT_EQ(e->window[3], 22.25);
+
+  StatsReply stats;
+  stats.cache_hits = 17;
+  stats.cache_bytes = 123456;
+  const auto s = parse_stats_reply(format_stats_reply(stats));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->cache_hits, 17u);
+  EXPECT_EQ(s->cache_bytes, 123456u);
+
+  ErrorReply err;
+  err.status = StatusCode::kUnknownTopology;
+  err.message = "no such device";
+  const auto r = parse_error_reply(format_error_reply(err));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, StatusCode::kUnknownTopology);
+  EXPECT_EQ(r->message, "no such device");
+}
+
+// ---- daemon end to end ----------------------------------------------
+
+class QgdpdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    QgdpdOptions opt;
+    opt.port = 0;  // ephemeral
+    daemon_ = std::make_unique<Qgdpd>(opt);
+    std::string error;
+    ASSERT_TRUE(daemon_->start(&error)) << error;
+  }
+  void TearDown() override { daemon_->stop(); }
+
+  [[nodiscard]] QgdpdClient connect() {
+    QgdpdClient client;
+    std::string error;
+    EXPECT_TRUE(client.connect("127.0.0.1", daemon_->port(), &error)) << error;
+    return client;
+  }
+
+  std::unique_ptr<Qgdpd> daemon_;
+};
+
+TEST_F(QgdpdTest, ColdThenWarmPlaceIsByteIdentical) {
+  PlaceRequest req;
+  req.topology = "Grid";
+
+  QgdpdClient a = connect();
+  std::string error;
+  const auto cold = a.place(req, &error);
+  ASSERT_TRUE(cold.has_value()) << error;
+  EXPECT_EQ(cold->status, StatusCode::kOk);
+  EXPECT_FALSE(cold->cached);
+  EXPECT_EQ(cold->qubits, 25u);
+  ASSERT_FALSE(cold->layout.empty());
+  EXPECT_EQ(cold->layout_hash, hex64(fnv1a64(cold->layout)));
+
+  // The cold reply must match a local run of the identical pipeline.
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  PipelineOptions popt;
+  (void)Pipeline(popt).run(nl);
+  std::ostringstream local;
+  write_layout(nl, local);
+  EXPECT_EQ(cold->layout, local.str());
+
+  // A second session gets the cached bytes, verbatim.
+  QgdpdClient b = connect();
+  const auto warm = b.place(req, &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  EXPECT_TRUE(warm->cached);
+  EXPECT_EQ(warm->cache_key, cold->cache_key);
+  EXPECT_EQ(warm->layout, cold->layout);
+  EXPECT_EQ(warm->layout_hash, cold->layout_hash);
+  EXPECT_EQ(warm->blocks, cold->blocks);
+
+  // cache=0 bypasses the cache and recomputes (still deterministic).
+  PlaceRequest uncached = req;
+  uncached.use_cache = false;
+  const auto recomputed = b.place(uncached, &error);
+  ASSERT_TRUE(recomputed.has_value()) << error;
+  EXPECT_FALSE(recomputed->cached);
+  EXPECT_EQ(recomputed->layout, cold->layout);
+
+  // Different seed → different cache key (content-addressing).
+  PlaceRequest other_seed = req;
+  other_seed.seed = 2;
+  const auto other = b.place(other_seed, &error);
+  ASSERT_TRUE(other.has_value()) << error;
+  EXPECT_FALSE(other->cached);
+  EXPECT_NE(other->cache_key, cold->cache_key);
+}
+
+TEST_F(QgdpdTest, EcoMatchesLocalIncrementalLegalizer) {
+  // Local reference: the same pipeline, then the same edits applied
+  // with IncrementalLegalizer directly.
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  PipelineOptions popt;
+  const auto out = Pipeline(popt).run(nl);
+  const double spacing = out.stats.qubit.spacing_used;
+
+  const Point p0 = nl.qubit(3).pos;
+  const Point p1 = nl.qubit(17).pos;
+  EcoRequest eco;
+  eco.want_layout = true;
+  eco.moves = {{3, p0.x + 2.0, p0.y + 1.0}, {17, p1.x - 1.0, p1.y + 2.0}};
+
+  BinGrid grid = IncrementalLegalizer::grid_for(nl);
+  EcoOptions eopt;
+  eopt.min_spacing = spacing;
+  eopt.policy = EcoOptions::BlockPolicy::kAbacusWindow;
+  std::vector<QubitMove> moves;
+  for (const EcoMove& m : eco.moves) moves.push_back({m.qubit, Point{m.x, m.y}});
+  const EcoResult local = IncrementalLegalizer(eopt).move_qubits(nl, grid, moves);
+  ASSERT_TRUE(local.success);
+  std::ostringstream local_qlay;
+  write_layout(nl, local_qlay);
+
+  // Served path: place cold, then the same eco batch.
+  QgdpdClient client = connect();
+  std::string error;
+  PlaceRequest place;
+  place.topology = "Grid";
+  place.want_layout = false;
+  const auto placed = client.place(place, &error);
+  ASSERT_TRUE(placed.has_value()) << error;
+
+  const auto served = client.eco(eco, &error);
+  ASSERT_TRUE(served.has_value()) << error;
+  EXPECT_EQ(served->status, StatusCode::kOk);
+  EXPECT_TRUE(served->success);
+  EXPECT_EQ(served->window_violations, 0);
+  EXPECT_EQ(served->ripped_blocks, local.ripped_blocks);
+  EXPECT_EQ(served->replaced_blocks, local.replaced_blocks);
+  EXPECT_EQ(served->edges_touched, local.edges_touched);
+  // Bit-identical to the from-scratch local re-legalization.
+  EXPECT_EQ(served->layout, local_qlay.str());
+  EXPECT_EQ(served->layout_hash, hex64(fnv1a64(local_qlay.str())));
+
+  // The served layout is audit-clean under the flow's spacing rule.
+  std::istringstream is(served->layout);
+  const QuantumNetlist reread = read_layout(is);
+  AuditOptions aopt;
+  aopt.qubit_min_spacing = spacing;
+  EXPECT_TRUE(audit_layout(reread, aopt).clean());
+
+  // A warm session materializes the cached layout lazily and serves
+  // the identical eco result.
+  QgdpdClient warm = connect();
+  const auto warm_place = warm.place(place, &error);
+  ASSERT_TRUE(warm_place.has_value()) << error;
+  EXPECT_TRUE(warm_place->cached);
+  const auto warm_eco = warm.eco(eco, &error);
+  ASSERT_TRUE(warm_eco.has_value()) << error;
+  EXPECT_EQ(warm_eco->layout, local_qlay.str());
+}
+
+TEST_F(QgdpdTest, RequestErrorsAreTyped) {
+  QgdpdClient client = connect();
+  std::string error;
+
+  PlaceRequest bad_topology;
+  bad_topology.topology = "no-such-device";
+  EXPECT_FALSE(client.place(bad_topology, &error).has_value());
+  EXPECT_NE(error.find("unknown_topology"), std::string::npos) << error;
+
+  PlaceRequest bad_flow;
+  bad_flow.topology = "Grid";
+  bad_flow.flow = "annealer";
+  EXPECT_FALSE(client.place(bad_flow, &error).has_value());
+  EXPECT_NE(error.find("unknown_flow"), std::string::npos) << error;
+
+  EcoRequest premature;
+  premature.moves = {{0, 1.0, 1.0}};
+  EXPECT_FALSE(client.eco(premature, &error).has_value());
+  EXPECT_NE(error.find("no_layout"), std::string::npos) << error;
+
+  // The connection survives typed errors and still serves requests.
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_GE(stats->served_place, 2u);
+}
+
+TEST_F(QgdpdTest, StatsAndShutdownLifecycle) {
+  QgdpdClient client = connect();
+  std::string error;
+  PlaceRequest req;
+  req.topology = "Grid";
+  req.want_layout = false;
+  ASSERT_TRUE(client.place(req, &error).has_value()) << error;
+  ASSERT_TRUE(client.place(req, &error).has_value()) << error;  // same session, warm
+
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->served_place, 2u);
+  EXPECT_EQ(stats->cache_hits, 1u);
+  EXPECT_EQ(stats->cache_misses, 1u);
+  EXPECT_EQ(stats->cache_entries, 1u);
+  EXPECT_GT(stats->cache_bytes, 0u);
+  EXPECT_GE(stats->sessions, 1u);
+
+  const auto final_stats = client.shutdown_server(&error);
+  ASSERT_TRUE(final_stats.has_value()) << error;
+  EXPECT_GE(final_stats->served_place, 2u);
+  daemon_->wait();  // drains promptly once shutdown was requested
+  EXPECT_FALSE(daemon_->running());
+}
+
+}  // namespace
+}  // namespace qgdp
