@@ -70,6 +70,35 @@ struct FlowSample {
   double block_disp{0.0};
   int unified{0};
   bool audit_clean{false};
+  bool solver_converged{true};
+  /// Process high-water RSS right after this flow finished. ru_maxrss
+  /// is monotonic, so the delta against the previous sample attributes
+  /// memory growth to the flow (and rung) that actually caused it —
+  /// the end-of-sweep-only number used to blame everything on the
+  /// last rung.
+  double rss_after_mb{0.0};
+};
+
+/// qGDP worklist-vs-full-sweep differential at one rung: the same
+/// GP layout legalized by the worklist scheduler and by the retained
+/// full-sweep oracle, for the CI tq perf guard (time ratio is
+/// machine-speed-free) and the tolerance-contract check (displacement
+/// gap bounded, both audits clean).
+struct SolverDiff {
+  double tq_worklist_ms{0.0};
+  double tq_full_sweep_ms{0.0};
+  double qubit_disp_worklist{0.0};
+  double qubit_disp_full_sweep{0.0};
+  bool worklist_converged{false};
+  bool full_sweep_converged{false};
+  bool both_audit_clean{false};
+  [[nodiscard]] double ratio() const {
+    return tq_worklist_ms / std::max(tq_full_sweep_ms, 1e-6);
+  }
+  [[nodiscard]] double disp_gap_pct() const {
+    return 100.0 * (qubit_disp_worklist - qubit_disp_full_sweep) /
+           std::max(qubit_disp_full_sweep, 1e-6);
+  }
 };
 
 /// One timed hot-path baseline field: either a measurement or a skip
@@ -138,10 +167,12 @@ struct Entry {
   std::vector<JobsSample> jobs_scaling;
   double rss_mb{0.0};
   std::vector<FlowSample> flows;
+  SolverDiff solver;
   HotPaths hot;
 };
 
-FlowSample run_flow(const QuantumNetlist& gp_nl, LegalizerKind kind, bool abacus_baseline) {
+FlowSample run_flow(const QuantumNetlist& gp_nl, LegalizerKind kind, bool abacus_baseline,
+                    bool lg_full_sweep = false) {
   FlowSample s;
   s.name = legalizer_name(kind);
   QuantumNetlist nl = gp_nl;
@@ -149,15 +180,21 @@ FlowSample run_flow(const QuantumNetlist& gp_nl, LegalizerKind kind, bool abacus
   opt.run_gp = false;
   opt.legalizer = kind;
   opt.abacus.repack_baseline = abacus_baseline;
+  if (lg_full_sweep) {
+    opt.solver.full_sweep_baseline = true;
+    opt.solver.start = DisplacementSolver::Start::kBoth;
+  }
   const auto out = Pipeline(opt).run(nl);
   s.tq_ms = out.stats.qubit_ms;
   s.te_ms = out.stats.resonator_ms;
   s.qubit_disp = out.stats.qubit.total_displacement;
   s.block_disp = out.stats.blocks.total_displacement;
   s.unified = unified_edge_count(nl);
+  s.solver_converged = out.stats.qubit.solver_converged;
   AuditOptions aopt;
   aopt.qubit_min_spacing = quantum_flow(kind) ? out.stats.qubit.spacing_used : 0.0;
   s.audit_clean = audit_layout(nl, aopt).clean();
+  s.rss_after_mb = peak_rss_mb();
   return s;
 }
 
@@ -353,10 +390,22 @@ void write_json(const std::vector<Entry>& entries, unsigned gp_seed, std::size_t
       os << "        {\"flow\": \"" << json_escape(s.name) << "\", \"tq_ms\": " << s.tq_ms
          << ", \"te_ms\": " << s.te_ms << ", \"qubit_disp\": " << s.qubit_disp
          << ", \"block_disp\": " << s.block_disp << ", \"unified\": " << s.unified
-         << ", \"audit_clean\": " << (s.audit_clean ? "true" : "false") << "}"
+         << ", \"audit_clean\": " << (s.audit_clean ? "true" : "false")
+         << ", \"solver_converged\": " << (s.solver_converged ? "true" : "false")
+         << ", \"rss_after_mb\": " << s.rss_after_mb << "}"
          << (f + 1 < e.flows.size() ? "," : "") << "\n";
     }
     os << "      ],\n";
+    os << "      \"qgdp_solver\": {\"tq_worklist_ms\": " << e.solver.tq_worklist_ms
+       << ", \"tq_full_sweep_ms\": " << e.solver.tq_full_sweep_ms
+       << ", \"tq_ratio\": " << e.solver.ratio()
+       << ", \"qubit_disp_worklist\": " << e.solver.qubit_disp_worklist
+       << ", \"qubit_disp_full_sweep\": " << e.solver.qubit_disp_full_sweep
+       << ", \"qubit_disp_gap_pct\": " << e.solver.disp_gap_pct()
+       << ", \"worklist_converged\": " << (e.solver.worklist_converged ? "true" : "false")
+       << ", \"full_sweep_converged\": " << (e.solver.full_sweep_converged ? "true" : "false")
+       << ", \"both_audit_clean\": " << (e.solver.both_audit_clean ? "true" : "false")
+       << "},\n";
     // hot_paths is always an object with a stable key set; a quadratic
     // baseline that the time budget skipped emits a per-field marker
     // instead of a number (never a null blob).
@@ -592,6 +641,20 @@ int main(int argc, char** argv) {
     for (const LegalizerKind kind : flows) {
       e.flows.push_back(run_flow(gp_nl, kind, abacus_baseline));
     }
+    {
+      // qGDP worklist vs retained full-sweep oracle on the same GP
+      // layout — feeds the CI tq perf guard and the tolerance-contract
+      // divergence check.
+      const FlowSample wl = run_flow(gp_nl, LegalizerKind::kQgdp, abacus_baseline, false);
+      const FlowSample fs = run_flow(gp_nl, LegalizerKind::kQgdp, abacus_baseline, true);
+      e.solver.tq_worklist_ms = wl.tq_ms;
+      e.solver.tq_full_sweep_ms = fs.tq_ms;
+      e.solver.qubit_disp_worklist = wl.qubit_disp;
+      e.solver.qubit_disp_full_sweep = fs.qubit_disp;
+      e.solver.worklist_converged = wl.solver_converged;
+      e.solver.full_sweep_converged = fs.solver_converged;
+      e.solver.both_audit_clean = wl.audit_clean && fs.audit_clean;
+    }
     const Entry* prev = entries.empty() ? nullptr : &entries.back();
     e.hot = measure_hot_paths(
         gp_nl, prev, e.spec.qubit_count <= baseline_max_qubits ? baseline_budget_ms : 0.0);
@@ -639,6 +702,13 @@ int main(int argc, char** argv) {
             << (abacus_engines_match ? "incremental == repack at every size"
                                      : "OUTPUTS DIVERGED")
             << "\n";
+  if (!entries.empty()) {
+    const SolverDiff& s = entries.back().solver;
+    std::cout << "qgdp solver: worklist " << fmt(s.tq_worklist_ms, 1) << " ms vs full-sweep "
+              << fmt(s.tq_full_sweep_ms, 1) << " ms at " << entries.back().spec.qubit_count
+              << "q (ratio " << fmt(s.ratio(), 2) << ", disp gap " << fmt(s.disp_gap_pct(), 2)
+              << "%)\n";
+  }
   if (!jobs_sweep.empty()) {
     std::cout << "jobs determinism: "
               << (determinism_clean ? "positions byte-identical at every lane count"

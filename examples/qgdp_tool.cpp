@@ -58,6 +58,11 @@ options:
                     incremental cluster stacks (bit-identical output;
                     the differential/perf reference for abacus and
                     q-abacus flows)
+  --lg-full-sweep   run qubit legalization with the retained full-graph
+                    sweep solver instead of the worklist scheduler (the
+                    differential/perf oracle; see docs/ARCHITECTURE.md
+                    "Worklist scheduling")
+  --lg-no-banking   disable cluster banking inside the worklist solver
   --out FILE        write the final layout as .qlay
   --svg FILE        render the final layout as SVG
   --list            list built-in topologies and exit
@@ -135,6 +140,8 @@ int main(int argc, char** argv) {
   std::size_t jobs = 0;  // 0 = hardware concurrency
   bool gp_farfield = false;
   bool abacus_baseline = false;
+  bool lg_full_sweep = false;
+  bool lg_no_banking = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -182,6 +189,10 @@ int main(int argc, char** argv) {
       gp_farfield = true;
     } else if (arg == "--abacus-baseline") {
       abacus_baseline = true;
+    } else if (arg == "--lg-full-sweep") {
+      lg_full_sweep = true;
+    } else if (arg == "--lg-no-banking") {
+      lg_no_banking = true;
     } else if (arg == "--out") {
       out_file = value();
     } else if (arg == "--svg") {
@@ -229,6 +240,9 @@ int main(int argc, char** argv) {
   opt.legalizer = *flow;
   opt.run_detailed = run_dp && *flow == LegalizerKind::kQgdp;
   opt.abacus.repack_baseline = abacus_baseline;
+  opt.solver.full_sweep_baseline = lg_full_sweep;
+  opt.solver.banking = !lg_no_banking;
+  if (lg_full_sweep) opt.solver.start = DisplacementSolver::Start::kBoth;
   opt.gp.seed = seed;
   opt.gp.levels = gp_levels;
   opt.gp.jobs = jobs;

@@ -302,6 +302,7 @@ EcoResult IncrementalLegalizer::move_qubits(QuantumNetlist& nl, BinGrid& grid,
       for (std::size_t q = 0; q < snapshot.qubit_pos.size(); ++q) {
         nl.qubit(static_cast<int>(q)).pos = snapshot.qubit_pos[q];
       }
+      res.failure = EcoResult::Failure::kQubitInfeasible;
       return res;  // success stays false; nowhere legal within the radius
     }
     res.final_position = *spot;
@@ -387,6 +388,7 @@ EcoResult IncrementalLegalizer::move_qubits(QuantumNetlist& nl, BinGrid& grid,
   }
   res.dirty_window = w;
   if (!ok) {
+    res.failure = EcoResult::Failure::kBlockPlacement;
     load_state(snapshot, nl, grid);
     return res;  // success stays false
   }
@@ -396,6 +398,7 @@ EcoResult IncrementalLegalizer::move_qubits(QuantumNetlist& nl, BinGrid& grid,
   if (opt_.verify_window) {
     res.window_violations = verify_window(nl, grid, w, opt_.min_spacing);
     if (res.window_violations > 0) {
+      res.failure = EcoResult::Failure::kWindowViolation;
       load_state(snapshot, nl, grid);
       return res;
     }

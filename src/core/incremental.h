@@ -77,6 +77,19 @@ struct EcoOptions {
 
 struct EcoResult {
   bool success{false};
+  /// Why the transaction failed (kNone on success). Distinguishes a
+  /// genuinely over-constrained edit — no legal spot for a moved qubit
+  /// within the search radius (`kQubitInfeasible`, the solver-level
+  /// infeasibility the serving daemon must surface as a typed protocol
+  /// error) — from a block-repair failure inside the dirty window and
+  /// from a post-repair invariant violation.
+  enum class Failure {
+    kNone,
+    kQubitInfeasible,   ///< no legal spot for a moved qubit
+    kBlockPlacement,    ///< window repair could not re-place the blocks
+    kWindowViolation,   ///< repaired window failed the legality re-check
+  };
+  Failure failure{Failure::kNone};
   Point final_position;            ///< where the (last) qubit landed
   double qubit_displacement{0.0};  ///< Σ |final − requested| over edits
   int ripped_blocks{0};

@@ -55,7 +55,10 @@ PipelineOutput Pipeline::run(QuantumNetlist& nl) const {
   const bool quantum_qubits = quantum_flow(opt_.legalizer);
   {
     const auto t0 = std::chrono::steady_clock::now();
-    QubitLegalizer ql(quantum_qubits);
+    MacroLegalizerOptions mopt =
+        quantum_qubits ? MacroLegalizer::quantum().options() : MacroLegalizer::classic().options();
+    mopt.solver = opt_.solver;
+    QubitLegalizer ql(mopt);
     stats.qubit = ql.legalize(nl);
     stats.qubit_ms = ms_since(t0);
   }

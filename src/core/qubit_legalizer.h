@@ -21,6 +21,13 @@ struct QubitLegalizeResult {
   double max_displacement{0.0};
   int relaxations{0};
   int axis_flips{0};
+  /// False when a displacement solve stalled at max_sweeps instead of
+  /// reaching its fixed point (the layout is still verified feasible).
+  /// Stays true on the greedy fallback path, which has no solver.
+  bool solver_converged{true};
+  int solver_sweeps{0};
+  long long solver_nodes_relaxed{0};
+  int solver_min_bodies{0};  ///< smallest body count banking reached
 };
 
 class QubitLegalizer {

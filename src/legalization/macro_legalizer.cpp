@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "geometry/spatial_hash.h"
+#include "runtime/thread_pool.h"
 
 namespace qgdp {
 
@@ -211,8 +212,19 @@ MacroLegalizeResult MacroLegalizer::legalize(QuantumNetlist& nl) const {
     const auto bad_x = gx.infeasible_nodes();
     const auto bad_y = gy.infeasible_nodes();
     if (bad_x.empty() && bad_y.empty()) {
-      sol_x = solver.solve(gx, tx);
-      sol_y = solver.solve(gy, ty);
+      // The two axis solves share nothing (separate graphs, separate
+      // targets, const solver); run them on two lanes. parallel_for's
+      // caller-helps contract keeps this safe under the batch
+      // runner's outer parallelism, and each solve is deterministic
+      // on its own.
+      parallel_for(ThreadPool::shared(), 0, 2, 2, [&](std::size_t i) {
+        DisplacementSolver s(opt_.solver);
+        if (i == 0) {
+          sol_x = s.solve(gx, tx);
+        } else {
+          sol_y = s.solve(gy, ty);
+        }
+      });
       if (sol_x.feasible && sol_y.feasible) {
         solved = true;
         break;
@@ -303,6 +315,15 @@ MacroLegalizeResult MacroLegalizer::legalize(QuantumNetlist& nl) const {
   }
 
   if (!solved) return result;  // success stays false; caller may fall back
+
+  // Solver telemetry, aggregated over both axes of the final solve.
+  result.solver_converged = sol_x.converged && sol_y.converged;
+  result.solver_sweeps = std::max(sol_x.sweeps_used, sol_y.sweeps_used);
+  result.solver_nodes_relaxed = sol_x.nodes_relaxed + sol_y.nodes_relaxed;
+  result.solver_clusters_shifted = sol_x.clusters_shifted + sol_y.clusters_shifted;
+  result.solver_banks_formed = sol_x.banks_formed + sol_y.banks_formed;
+  result.solver_debanks = sol_x.debanks + sol_y.debanks;
+  result.solver_min_bodies = std::min(sol_x.min_bodies, sol_y.min_bodies);
 
   // Report the weakest spacing still guaranteed between any pair.
   double spacing_floor = spacing;

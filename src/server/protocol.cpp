@@ -116,6 +116,7 @@ std::string to_string(StatusCode code) {
     case StatusCode::kNoLayout: return "no_layout";
     case StatusCode::kShuttingDown: return "shutting_down";
     case StatusCode::kInternalError: return "internal_error";
+    case StatusCode::kSolverInfeasible: return "solver_infeasible";
   }
   return "unknown";
 }

@@ -60,6 +60,13 @@ enum class StatusCode : int {
   kNoLayout = 7,         ///< eco before any place on this session
   kShuttingDown = 8,     ///< daemon is draining
   kInternalError = 9,
+  /// The edit itself is over-constrained: no legal spot exists for a
+  /// moved qubit within the search radius, so the solver would have to
+  /// serve an infeasible (or silently unmoved) layout. Carried in an
+  /// error frame, unlike kEcoFailed's typed eco reply: there is no
+  /// meaningful dirty-window diagnostics payload for a move that never
+  /// landed.
+  kSolverInfeasible = 10,
 };
 
 [[nodiscard]] std::string to_string(StatusCode code);

@@ -329,6 +329,15 @@ std::string Qgdpd::handle_eco(Session& session, const std::string& payload) {
   rep.window[2] = res.dirty_window.hi.x;
   rep.window[3] = res.dirty_window.hi.y;
   if (!res.success) {
+    // An over-constrained move batch is a protocol-level error, not an
+    // eco reply: the move never landed, so there are no dirty-window
+    // diagnostics to carry, and a client gating only on `success`
+    // could otherwise mistake the echoed (unchanged) layout for a
+    // serviced edit.
+    if (res.failure == EcoResult::Failure::kQubitInfeasible) {
+      return error_frame(StatusCode::kSolverInfeasible,
+                         "no legal spot for a moved qubit within the search radius");
+    }
     rep.status = StatusCode::kEcoFailed;
     rep.layout_hash = hex64(fnv1a64(session.layout_payload));  // unchanged
     rep.eco_ms = ms_since(t0);

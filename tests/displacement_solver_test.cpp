@@ -1,0 +1,286 @@
+// Worklist-scheduled DisplacementSolver: differential against the
+// retained full-sweep oracle, the fp tolerance contract (the PR 5
+// active-set failure mode), cluster banking fold/unfold exactness,
+// convergence reporting, and the Start selection modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "graph/constraint_graph.h"
+#include "metrics/audit.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+
+namespace qgdp {
+namespace {
+
+/// Random legalization-shaped instance: forward arcs (acyclic by
+/// construction), box bounds, clustered targets so tight clumps form.
+struct Instance {
+  ConstraintGraph g;
+  std::vector<double> target;
+  explicit Instance(int n) : g(static_cast<std::size_t>(n)), target(static_cast<std::size_t>(n)) {}
+};
+
+Instance random_instance(unsigned seed, int n) {
+  std::mt19937 rng(seed);
+  Instance inst(n);
+  const double span = 4.0 * n;
+  std::uniform_real_distribution<double> pos(0.0, span / 2);  // crowded lower half
+  std::uniform_int_distribution<int> gap(1, 3);
+  for (int i = 0; i < n; ++i) {
+    inst.g.set_bounds(i, 0.0, span);
+    inst.target[static_cast<std::size_t>(i)] = pos(rng);
+  }
+  // A spine chain keeps everything coupled; extra shortcut arcs add
+  // the fan-in/fan-out the legalizer graphs have.
+  for (int i = 0; i + 1 < n; ++i) inst.g.add_constraint(i, i + 1, gap(rng));
+  std::uniform_int_distribution<int> node(0, n - 1);
+  for (int k = 0; k < n; ++k) {
+    const int a = node(rng);
+    const int b = node(rng);
+    if (a < b) inst.g.add_constraint(a, b, gap(rng) + (b - a) / 2);
+  }
+  return inst;
+}
+
+double max_violation(const ConstraintGraph& g, const std::vector<double>& x) {
+  double v = 0.0;
+  for (const auto& a : g.constraints()) {
+    v = std::max(v, a.gap - (x[static_cast<std::size_t>(a.to)] -
+                             x[static_cast<std::size_t>(a.from)]));
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    v = std::max(v, g.lower(static_cast<int>(i)) - x[i]);
+    v = std::max(v, x[i] - g.upper(static_cast<int>(i)));
+  }
+  return v;
+}
+
+// ---- worklist vs full-sweep differential ----------------------------
+
+// The worklist scheduler is NOT pinned bit-identical to the oracle —
+// chained clumping can settle in a neighbouring basin. The contract is
+// a tripwire instead: both feasible at the same tolerance, objectives
+// within 1% of each other, and both certified against the LP dual.
+TEST(WorklistDifferential, ObjectiveWithinToleranceOfFullSweep) {
+  DisplacementSolver::Options wl;  // worklist default
+  DisplacementSolver::Options fs;
+  fs.full_sweep_baseline = true;
+  for (const unsigned seed : {11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u}) {
+    for (const int n : {20, 90, 300}) {
+      const Instance inst = random_instance(seed, n);
+      if (!inst.g.feasible()) continue;
+      const auto a = DisplacementSolver(wl).solve(inst.g, inst.target);
+      const auto b = DisplacementSolver(fs).solve(inst.g, inst.target);
+      ASSERT_TRUE(a.feasible) << "seed " << seed << " n " << n;
+      ASSERT_TRUE(b.feasible) << "seed " << seed << " n " << n;
+      EXPECT_TRUE(a.converged) << "seed " << seed << " n " << n;
+      EXPECT_TRUE(b.converged) << "seed " << seed << " n " << n;
+      EXPECT_LE(max_violation(inst.g, a.position), 1e-7);
+      EXPECT_LE(max_violation(inst.g, b.position), 1e-7);
+      // Tolerance tripwire: divergence beyond 1% is a real regression,
+      // not fp noise.
+      const double tol = 0.01 * std::max(1.0, b.objective);
+      EXPECT_NEAR(a.objective, b.objective, tol) << "seed " << seed << " n " << n;
+    }
+  }
+}
+
+// Both schedulers must stay dual-certified: a feasible primal can
+// never beat the min-cost-flow lower bound, and on these instances the
+// gap also bounds solution quality.
+TEST(WorklistDifferential, DualCertifiedOnBothSchedulers) {
+  DisplacementSolver::Options wl;
+  DisplacementSolver::Options fs;
+  fs.full_sweep_baseline = true;
+  for (const unsigned seed : {5u, 6u, 7u, 8u}) {
+    const Instance inst = random_instance(seed, 60);
+    if (!inst.g.feasible()) continue;
+    const DisplacementSolver solver;
+    const double lb = solver.dual_lower_bound(inst.g, inst.target);
+    for (const auto& opt : {wl, fs}) {
+      const auto sol = DisplacementSolver(opt).solve(inst.g, inst.target);
+      ASSERT_TRUE(sol.feasible);
+      EXPECT_GE(sol.objective, lb - std::max(1e-3, 1e-6 * lb));
+      EXPECT_LE(sol.objective, 1.5 * lb + 2.0);
+    }
+  }
+}
+
+// Flow-level differential on paper topologies: the full pipeline run
+// with the worklist solver vs the full-sweep oracle. Layouts may
+// diverge (tripwired above at the solver level); what must hold is
+// audit-clean legality for both and total displacement within 2%.
+TEST(WorklistDifferential, PipelineDisplacementWithinToleranceOnPaperTopologies) {
+  const std::vector<DeviceSpec> specs = {make_grid_device(), make_falcon27(),
+                                         make_heavy_hex_device(7, 12)};
+  for (const auto& spec : specs) {
+    PipelineOptions wl_opt;
+    PipelineOptions fs_opt;
+    fs_opt.solver.full_sweep_baseline = true;
+    fs_opt.solver.start = DisplacementSolver::Start::kBoth;
+    QuantumNetlist wl_nl = build_netlist(spec);
+    QuantumNetlist fs_nl = build_netlist(spec);
+    const auto wl_out = Pipeline(wl_opt).run(wl_nl);
+    const auto fs_out = Pipeline(fs_opt).run(fs_nl);
+    EXPECT_TRUE(wl_out.stats.qubit.solver_converged) << spec.name;
+    EXPECT_TRUE(fs_out.stats.qubit.solver_converged) << spec.name;
+    AuditOptions aopt;
+    aopt.qubit_min_spacing = wl_out.stats.qubit.spacing_used;
+    EXPECT_TRUE(audit_layout(wl_nl, aopt).clean()) << spec.name;
+    aopt.qubit_min_spacing = fs_out.stats.qubit.spacing_used;
+    EXPECT_TRUE(audit_layout(fs_nl, aopt).clean()) << spec.name;
+    const double fs_disp = fs_out.stats.qubit.total_displacement;
+    EXPECT_NEAR(wl_out.stats.qubit.total_displacement, fs_disp,
+                0.02 * std::max(1.0, fs_disp))
+        << spec.name;
+  }
+}
+
+// ---- tolerance contract (the PR 5 active-set failure) ---------------
+
+// Gaps that are not exactly representable make every projection land
+// with an ulp or two of dust. Without hysteresis (dirty_eps) each
+// speck re-dirties its neighbours and the worklist never drains — the
+// exact failure that forced the PR 5 active-set revert. The contract
+// says: dust below dirty_eps accumulates silently, so the solve must
+// converge quickly and stay feasible at the kFeasEps tolerance.
+TEST(ToleranceContract, FpDustDoesNotRedirtyForever) {
+  const int n = 120;
+  ConstraintGraph g(static_cast<std::size_t>(n));
+  std::vector<double> target(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    g.set_bounds(i, 0.0, 100.0);
+    // 0.1 and 0.3 are repeating fractions in binary: every projection
+    // through these gaps carries representation error.
+    target[static_cast<std::size_t>(i)] = 50.0 + 0.1 * i - 0.3 * (i % 7);
+  }
+  for (int i = 0; i + 1 < n; ++i) g.add_constraint(i, i + 1, 0.1);
+  for (int i = 0; i + 13 < n; ++i) g.add_constraint(i, i + 13, 1.3);
+  ASSERT_TRUE(g.feasible());
+
+  DisplacementSolver::Options opt;
+  opt.max_sweeps = 64;
+  const auto sol = DisplacementSolver(opt).solve(g, target);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_TRUE(sol.converged);
+  // The worklist must drain in a handful of rounds — an fp-dust loop
+  // burns the whole sweep budget instead.
+  EXPECT_LT(sol.sweeps_used, 32);
+  EXPECT_LE(max_violation(g, sol.position), 1e-7);
+}
+
+// The contract clamps out-of-range dirty_eps at solve():
+// convergence_eps <= dirty_eps <= kFeasEps / 2. Both misconfigurations
+// must still converge to a feasible, certified solution.
+TEST(ToleranceContract, DirtyEpsClampKeepsSolveSound) {
+  const Instance inst = random_instance(99u, 80);
+  ASSERT_TRUE(inst.g.feasible());
+  const auto ref = DisplacementSolver().solve(inst.g, inst.target);
+
+  DisplacementSolver::Options too_big;
+  too_big.dirty_eps = 1e-3;  // above kFeasEps/2: would mask violations
+  DisplacementSolver::Options too_small;
+  too_small.dirty_eps = 1e-12;  // below convergence_eps: fp-dust land
+  for (const auto& opt : {too_big, too_small}) {
+    const auto sol = DisplacementSolver(opt).solve(inst.g, inst.target);
+    ASSERT_TRUE(sol.feasible);
+    EXPECT_TRUE(sol.converged);
+    EXPECT_LE(max_violation(inst.g, sol.position), 1e-7);
+    EXPECT_NEAR(sol.objective, ref.objective, 0.01 * std::max(1.0, ref.objective));
+  }
+}
+
+// ---- convergence reporting (silent-stall bugfix) --------------------
+
+// Hitting max_sweeps used to be indistinguishable from convergence.
+// Now: converged=false, while `feasible` stays an honest verdict on
+// the returned (still feasible) iterate.
+TEST(Convergence, StallAtMaxSweepsIsReportedHonestly) {
+  const Instance inst = random_instance(7u, 200);
+  ASSERT_TRUE(inst.g.feasible());
+  DisplacementSolver::Options strangled;
+  strangled.max_sweeps = 1;
+  strangled.start = DisplacementSolver::Start::kForward;  // one refinement
+  const auto stalled = DisplacementSolver(strangled).solve(inst.g, inst.target);
+  EXPECT_FALSE(stalled.converged);
+  EXPECT_EQ(stalled.sweeps_used, 1);
+  // The iterate is still a feasible point — the inits are feasible by
+  // construction and projections preserve feasibility.
+  EXPECT_TRUE(stalled.feasible);
+  EXPECT_LE(max_violation(inst.g, stalled.position), 1e-7);
+
+  const auto full = DisplacementSolver().solve(inst.g, inst.target);
+  EXPECT_TRUE(full.converged);
+  EXPECT_LE(full.objective, stalled.objective + 1e-9);
+}
+
+// ---- banking --------------------------------------------------------
+
+// Banking must be a pure scheduling optimization: folding a rigid
+// chain into a super-node and unfolding it back is exact, so the
+// banked and unbanked solves land on the same objective, and the
+// scheduler's body count actually shrinks when banks form.
+TEST(Banking, FoldUnfoldIsExact) {
+  int instances_with_banks = 0;
+  for (const unsigned seed : {3u, 14u, 159u, 265u, 358u}) {
+    const Instance inst = random_instance(seed, 250);
+    if (!inst.g.feasible()) continue;
+    DisplacementSolver::Options banked;
+    banked.bank_patience = 1;  // eager, to exercise fold/unfold hard
+    DisplacementSolver::Options unbanked;
+    unbanked.banking = false;
+    const auto a = DisplacementSolver(banked).solve(inst.g, inst.target);
+    const auto b = DisplacementSolver(unbanked).solve(inst.g, inst.target);
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(b.feasible);
+    EXPECT_TRUE(a.converged);
+    EXPECT_LE(max_violation(inst.g, a.position), 1e-7);
+    EXPECT_EQ(a.banks_formed > 0, a.min_bodies < 250) << "seed " << seed;
+    if (a.banks_formed > 0) ++instances_with_banks;
+    // Every bank must dissolve for the final verification rounds.
+    EXPECT_EQ(a.debanks, a.banks_formed);
+    EXPECT_NEAR(a.objective, b.objective, 0.01 * std::max(1.0, b.objective))
+        << "seed " << seed;
+  }
+  // The knob must actually engage somewhere, or this test is vacuous.
+  EXPECT_GT(instances_with_banks, 0);
+}
+
+// ---- start selection ------------------------------------------------
+
+TEST(StartSelection, AutoMatchesTheBetterOfForwardAndBackward) {
+  for (const unsigned seed : {1u, 2u, 3u, 4u}) {
+    const Instance inst = random_instance(seed, 100);
+    if (!inst.g.feasible()) continue;
+    auto with_start = [&](DisplacementSolver::Start s) {
+      DisplacementSolver::Options o;
+      o.start = s;
+      return DisplacementSolver(o).solve(inst.g, inst.target);
+    };
+    const auto fwd = with_start(DisplacementSolver::Start::kForward);
+    const auto bwd = with_start(DisplacementSolver::Start::kBackward);
+    const auto both = with_start(DisplacementSolver::Start::kBoth);
+    const auto auto_pick = with_start(DisplacementSolver::Start::kAuto);
+    ASSERT_TRUE(fwd.feasible);
+    ASSERT_TRUE(bwd.feasible);
+    // kBoth is exactly min(fwd, bwd) with ties to forward.
+    EXPECT_DOUBLE_EQ(both.objective, std::min(fwd.objective, bwd.objective));
+    // kAuto refines one init; its result is one of the two, and the
+    // init-objective heuristic must not pick a basin that is worse
+    // than the hedged pick by more than the documented 1% tripwire.
+    const bool matches_one = auto_pick.objective == fwd.objective ||
+                             auto_pick.objective == bwd.objective;
+    EXPECT_TRUE(matches_one) << "seed " << seed;
+    EXPECT_LE(auto_pick.objective,
+              both.objective + 0.01 * std::max(1.0, both.objective))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace qgdp

@@ -313,6 +313,40 @@ TEST_F(QgdpdTest, RequestErrorsAreTyped) {
   EXPECT_GE(stats->served_place, 2u);
 }
 
+TEST_F(QgdpdTest, OverConstrainedEcoIsSolverInfeasible) {
+  QgdpdClient client = connect();
+  std::string error;
+  PlaceRequest place;
+  place.topology = "Grid";
+  place.want_layout = true;
+  const auto placed = client.place(place, &error);
+  ASSERT_TRUE(placed.has_value()) << error;
+  const std::string before = placed->layout;
+
+  // A target far outside the die has no legal spot within the search
+  // radius: the batch is over-constrained and must come back as the
+  // typed solver_infeasible error frame, NOT as a served layout from
+  // a failed solve.
+  EcoRequest impossible;
+  impossible.want_layout = true;
+  impossible.moves = {{0, 1e6, 1e6}};
+  EXPECT_FALSE(client.eco(impossible, &error).has_value());
+  EXPECT_NE(error.find("solver_infeasible"), std::string::npos) << error;
+
+  // The session layout is untouched and the connection still serves:
+  // a normal follow-up eco on the same session must succeed.
+  std::istringstream is(before);
+  const QuantumNetlist nl = read_layout(is);
+  const Point p0 = nl.qubit(0).pos;
+  EcoRequest fine;
+  fine.want_layout = true;
+  fine.moves = {{0, p0.x + 1.0, p0.y}};
+  const auto served = client.eco(fine, &error);
+  ASSERT_TRUE(served.has_value()) << error;
+  EXPECT_EQ(served->status, StatusCode::kOk);
+  EXPECT_TRUE(served->success);
+}
+
 TEST_F(QgdpdTest, StatsAndShutdownLifecycle) {
   QgdpdClient client = connect();
   std::string error;
