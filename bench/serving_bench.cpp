@@ -23,19 +23,44 @@
 // layouts that are not byte-identical to the cold layout, or dirty-
 // window violations all fail the run (exit 2) — the bench doubles as
 // the serving smoke harness in CI.
+//
+// `--chaos` additionally runs the robustness harness on a dedicated
+// self-hosted daemon with a seeded FaultInjector wired into both
+// sides of the socket layer (`--fault-seed N` replays a schedule):
+//
+//   exact     faults disarmed: a known request sequence, then every
+//             daemon counter checked for exact equality, and the
+//             served layout compared byte-for-byte against the local
+//             (daemon-free) pipeline;
+//   soak      faults armed: concurrent retrying clients hammer warm
+//             places / ecos / stats through torn frames, short I/O,
+//             injected delays, and dropped reads — every successful
+//             place must still hash byte-identical, the daemon must
+//             end with zero internal errors and every session reaped;
+//   overload  faults disarmed: sessions parked up to max_sessions so
+//             extra connects shed with kOverloaded (exact count), and
+//             concurrent cold places over max_inflight_places shed
+//             per request (client-observed count == daemon counter).
 #include <algorithm>
+#include <arpa/inet.h>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <netinet/in.h>
 #include <sstream>
 #include <string>
+#include <sys/socket.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
+#include "io/serialization.h"
 #include "netlist/topologies.h"
+#include "runtime/batch_runner.h"
 #include "server/client.h"
+#include "server/fault_injector.h"
 #include "server/protocol.h"
 #include "server/qgdpd.h"
 
@@ -133,6 +158,368 @@ EcoRequest eco_round(int round, const std::vector<QubitPos>& home, int count, do
   return eco;
 }
 
+// ---- chaos harness ---------------------------------------------------
+
+/// Connects and reads (without sending a byte) until one frame
+/// arrives, expecting the daemon to shed this connection at accept
+/// with a kOverloaded error frame. Not sending first matters: a
+/// request racing the server's close could turn the FIN into an RST
+/// and discard the frame in flight.
+bool probe_shed(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::string buf;
+  char chunk[512];
+  for (;;) {
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(r));
+    if (buf.size() >= kFrameHeaderSize) {
+      const auto h = decode_frame_header(reinterpret_cast<const unsigned char*>(buf.data()));
+      if (h && buf.size() >= kFrameHeaderSize + h->length) break;
+    }
+  }
+  ::close(fd);
+  if (buf.size() < kFrameHeaderSize) return false;
+  const auto h = decode_frame_header(reinterpret_cast<const unsigned char*>(buf.data()));
+  if (!h || h->type != FrameType::kErrorReply) return false;
+  const auto rep = parse_error_reply(buf.substr(kFrameHeaderSize));
+  return rep && rep->status == StatusCode::kOverloaded;
+}
+
+/// Runs the job the daemon would run for `place` straight through the
+/// local pipeline — the daemon-free reference for byte-identity.
+std::string local_pipeline_qlay(const PlaceRequest& place) {
+  const auto spec = qgdp::topology_by_name(place.topology);
+  const auto kind = flow_by_name(place.flow);
+  if (!spec || !kind) die("chaos: bad topology/flow for the local reference run");
+  qgdp::BatchJob job;
+  job.spec = *spec;
+  job.kind = *kind;
+  job.gp_seed = place.seed;
+  job.gp_levels = place.gp_levels;
+  job.run_detailed = place.run_detailed;
+  auto results = qgdp::BatchRunner(qgdp::BatchOptions{}).run({job});
+  std::ostringstream qlay;
+  qgdp::write_layout(results.front().netlist, qlay);
+  return qlay.str();
+}
+
+struct ChaosReport {
+  std::uint64_t soak_attempts{0};   ///< client-side call attempts (incl. retries)
+  std::uint64_t soak_ok{0};         ///< calls that eventually succeeded
+  std::uint64_t soak_retries{0};    ///< backoff sleeps across all soak clients
+  std::uint64_t faults_injected{0};
+  double soak_wall_ms{0.0};
+  double soak_p99_ms{0.0};          ///< per successful call, retries included
+  double shed_rate{0.0};            ///< daemon sheds / accepted connections
+  std::uint64_t shed_sessions{0};
+  std::uint64_t shed_places{0};
+  std::uint64_t timeouts{0};
+  std::uint64_t fault_seed{0};
+};
+
+ChaosReport run_chaos(const std::string& host, const PlaceRequest& place,
+                      const std::vector<QubitPos>& home, int eco_moves, std::uint64_t fault_seed,
+                      bool quick) {
+  const int soak_threads = quick ? 2 : 4;
+  const int soak_rounds = quick ? 6 : 25;
+  const std::size_t kMaxSessions = 4;
+
+  FaultConfig fcfg;
+  fcfg.seed = fault_seed;
+  fcfg.short_io_permille = 80;
+  fcfg.delay_permille = 50;
+  fcfg.torn_send_permille = 20;
+  fcfg.drop_recv_permille = 12;
+  fcfg.delay_ms = 2;
+  FaultInjector faults(fcfg);
+  faults.arm(false);  // exact phase first; the soak arms it
+
+  QgdpdOptions dopt;
+  dopt.host = host;
+  dopt.max_sessions = kMaxSessions;
+  dopt.max_inflight_places = 1;
+  dopt.idle_timeout_ms = 10'000;
+  dopt.frame_timeout_ms = 5'000;
+  dopt.faults = &faults;
+  Qgdpd daemon(dopt);
+  std::string error;
+  if (!daemon.start(&error)) die("chaos daemon start: " + error);
+  const std::uint16_t port = daemon.port();
+
+  ClientOptions copt;
+  copt.connect_timeout_ms = 2'000;
+  copt.reply_timeout_ms = 60'000;
+  copt.frame_timeout_ms = 10'000;
+  copt.retry.max_attempts = 8;
+  copt.retry.backoff_base_ms = 2;
+  copt.retry.backoff_max_ms = 50;
+  copt.faults = &faults;
+
+  // ---- exact phase: known sequence, counters checked to the unit ----
+  const std::string reference = local_pipeline_qlay(place);
+  const std::string reference_hash = hex64(fnv1a64(reference));
+  const int exact_warm = 8;
+  const int exact_ecos = 4;
+  {
+    QgdpdClient client{copt};
+    if (!client.connect(host, port, &error)) die("chaos connect: " + error);
+    auto cold = client.place(place, &error);
+    if (!cold || cold->status != StatusCode::kOk || cold->cached) {
+      die("chaos exact: cold place failed: " + error);
+    }
+    if (cold->layout != reference || cold->layout_hash != reference_hash) {
+      die("chaos exact: served layout is not byte-identical to the local pipeline");
+    }
+    for (int r = 0; r < exact_warm; ++r) {
+      const auto rep = client.place(place, &error);
+      if (!rep || !rep->cached || rep->layout_hash != reference_hash) {
+        die("chaos exact: warm place failed: " + error);
+      }
+    }
+    for (int r = 0; r < exact_ecos; ++r) {
+      const auto rep = client.eco(eco_round(r, home, eco_moves, 0.25), &error);
+      if (!rep || rep->status != StatusCode::kOk || !rep->success) {
+        die("chaos exact: eco failed: " + error);
+      }
+    }
+    // Undo the eco edits (exact_ecos is even, rounds oscillate) so the
+    // session ends back on the reference layout.
+    const auto st = client.stats(&error);
+    if (!st) die("chaos exact: stats failed: " + error);
+    auto expect = [&](const char* what, std::uint64_t got, std::uint64_t want) {
+      if (got != want) {
+        die("chaos exact: " + std::string(what) + " = " + std::to_string(got) + ", expected " +
+            std::to_string(want));
+      }
+    };
+    expect("sessions", st->sessions, 1);
+    expect("active_sessions", st->active_sessions, 1);
+    expect("served_place", st->served_place, 1 + exact_warm);
+    expect("served_eco", st->served_eco, exact_ecos);
+    expect("served_stats", st->served_stats, 1);
+    expect("cache_misses", st->cache_misses, 1);
+    expect("cache_hits", st->cache_hits, exact_warm);
+    expect("protocol_errors", st->protocol_errors, 0);
+    expect("internal_errors", st->internal_errors, 0);
+    expect("shed_sessions", st->shed_sessions, 0);
+    expect("shed_places", st->shed_places, 0);
+    expect("timeouts", st->timeouts, 0);
+    expect("client_retries", client.retries(), 0);
+  }
+  std::cerr << "bench_serving: chaos exact-counter phase ok\n";
+
+  // ---- soak phase: armed faults, retrying concurrent clients --------
+  ChaosReport report;
+  report.fault_seed = fault_seed;
+  {
+    faults.arm(true);
+    std::vector<std::thread> threads;
+    std::vector<std::uint64_t> ok(static_cast<std::size_t>(soak_threads), 0);
+    std::vector<std::uint64_t> attempts(static_cast<std::size_t>(soak_threads), 0);
+    std::vector<std::uint64_t> retries(static_cast<std::size_t>(soak_threads), 0);
+    std::vector<std::vector<double>> call_ms(static_cast<std::size_t>(soak_threads));
+    std::atomic<bool> failed{false};
+    const auto wall0 = Clock::now();
+    for (int t = 0; t < soak_threads; ++t) {
+      threads.emplace_back([&, t] {
+        const auto ti = static_cast<std::size_t>(t);
+        ClientOptions o = copt;
+        o.retry.jitter_seed = fault_seed + static_cast<std::uint64_t>(t) + 1;
+        QgdpdClient client{o};
+        std::string err;
+        bool warmed = false;
+        for (int r = 0; r < soak_rounds; ++r) {
+          // (Re)establish the session; a soak round survives any
+          // injected fault by reconnecting and retrying.
+          if (!client.connected() && !client.connect(host, port, &err)) continue;
+          ++attempts[ti];
+          const auto t0 = Clock::now();
+          const auto rep = client.place(place, &err);
+          if (rep && rep->status == StatusCode::kOk) {
+            call_ms[ti].push_back(ms_since(t0));
+            ++ok[ti];
+            warmed = true;
+            // Byte-identity under injected faults: a reply that made
+            // it through torn frames and short reads must still carry
+            // the reference layout.
+            if (rep->layout_hash != reference_hash ||
+                (!rep->layout.empty() && rep->layout != reference)) {
+              std::cerr << "bench_serving: chaos soak: layout diverged under faults\n";
+              failed.store(true);
+              return;
+            }
+          } else {
+            warmed = false;
+          }
+          if (warmed && r % 3 == 1) {
+            ++attempts[ti];
+            const auto e0 = Clock::now();
+            const auto erep = client.eco(eco_round(0, home, eco_moves, 1.0 + t), &err);
+            if (erep && erep->success) {
+              call_ms[ti].push_back(ms_since(e0));
+              ++ok[ti];
+              // Pull the moved qubits straight back so the session
+              // layout returns to the reference state.
+              ++attempts[ti];
+              const auto undo = client.eco(eco_round(1, home, eco_moves, 1.0 + t), &err);
+              if (undo && undo->success) ++ok[ti];
+              if (!undo) warmed = client.connected();
+            } else if (!erep) {
+              warmed = client.connected();
+            }
+          }
+          if (r % 4 == 3) {
+            ++attempts[ti];
+            if (client.stats(&err)) ++ok[ti];
+          }
+        }
+        retries[ti] = client.retries();
+      });
+    }
+    for (auto& t : threads) t.join();
+    report.soak_wall_ms = ms_since(wall0);
+    faults.arm(false);
+    if (failed.load()) die("chaos soak: determinism violated under faults");
+    std::vector<double> all_ms;
+    for (int t = 0; t < soak_threads; ++t) {
+      const auto ti = static_cast<std::size_t>(t);
+      report.soak_ok += ok[ti];
+      report.soak_attempts += attempts[ti];
+      report.soak_retries += retries[ti];
+      all_ms.insert(all_ms.end(), call_ms[ti].begin(), call_ms[ti].end());
+    }
+    report.soak_p99_ms = summarize(all_ms).p99;
+    report.faults_injected = faults.injected_total();
+    if (report.soak_ok == 0) die("chaos soak: no request ever succeeded");
+    if (report.soak_ok > report.soak_attempts) die("chaos soak: bookkeeping impossible");
+  }
+
+  // All sessions must unwind on their own once the soak clients hang
+  // up — a wedged session thread parks active_sessions above zero.
+  {
+    const auto t0 = Clock::now();
+    while (daemon.active_sessions() != 0) {
+      if (ms_since(t0) > 5'000.0) die("chaos soak: sessions not reaped (wedged thread?)");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  // And the daemon must still be fully serviceable, with zero internal
+  // errors and zero protocol errors across the whole soak.
+  {
+    QgdpdClient client{copt};
+    if (!client.connect(host, port, &error)) die("chaos post-soak connect: " + error);
+    const auto rep = client.place(place, &error);
+    if (!rep || rep->status != StatusCode::kOk || rep->layout_hash != reference_hash) {
+      die("chaos post-soak place failed: " + error);
+    }
+    const auto st = client.stats(&error);
+    if (!st) die("chaos post-soak stats failed: " + error);
+    if (st->internal_errors != 0) die("chaos soak: daemon recorded internal errors");
+    if (st->protocol_errors != 0) die("chaos soak: daemon recorded protocol errors");
+    if (st->active_sessions != 1) die("chaos soak: stale sessions in the registry");
+  }
+  std::cerr << "bench_serving: chaos soak ok (" << report.soak_ok << "/" << report.soak_attempts
+            << " calls, " << report.soak_retries << " retries, " << report.faults_injected
+            << " faults)\n";
+
+  // ---- overload phase: deterministic shedding, faults disarmed ------
+  {
+    // Let the post-soak probe session unwind first — the phase fills
+    // the session cap exactly, so a lingering session would skew it.
+    const auto t0 = Clock::now();
+    while (daemon.active_sessions() != 0) {
+      if (ms_since(t0) > 5'000.0) die("chaos overload: prior sessions not reaped");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    // No-retry clients: a retried kOverloaded would mask the very
+    // shed this phase exists to observe.
+    ClientOptions no_retry = copt;
+    no_retry.retry.max_attempts = 1;
+    std::vector<QgdpdClient> parked;
+    for (std::size_t i = 0; i < kMaxSessions; ++i) {
+      QgdpdClient client{no_retry};
+      if (!client.connect(host, port, &error)) die("chaos overload connect: " + error);
+      const auto rep = client.place(place, &error);
+      if (!rep || rep->status != StatusCode::kOk) die("chaos overload park failed: " + error);
+      parked.push_back(std::move(client));
+    }
+    StatsReply before;
+    {
+      const auto st = parked.front().stats(&error);
+      if (!st) die("chaos overload stats failed: " + error);
+      before = *st;
+    }
+    const int extra = 3;
+    for (int i = 0; i < extra; ++i) {
+      if (!probe_shed(host, port)) die("chaos overload: connection " + std::to_string(i) +
+                                       " was not shed with kOverloaded");
+    }
+    // Cold-place shedding: one thread holds the single in-flight cold
+    // slot; concurrent cold attempts on parked sessions must shed.
+    std::uint64_t client_place_sheds = 0;
+    {
+      PlaceRequest cold = place;
+      cold.use_cache = false;
+      std::thread holder([&] {
+        std::string err;
+        const auto rep = parked[0].place(cold, &err);
+        if (!rep || rep->status != StatusCode::kOk) {
+          std::cerr << "bench_serving: chaos overload: holder cold place failed: " << err << "\n";
+          std::exit(2);
+        }
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(quick ? 30 : 80));
+      // Probe over the parked sessions: the session cap is full, so a
+      // fresh connect would measure the wrong cap.
+      for (std::size_t i = 1; i < parked.size(); ++i) {
+        std::string err;
+        const auto rep = parked[i].place(cold, &err);
+        if (!rep && parked[i].last_status() == StatusCode::kOverloaded) ++client_place_sheds;
+      }
+      holder.join();
+    }
+    StatsReply after;
+    {
+      const auto st = parked.front().stats(&error);
+      if (!st) die("chaos overload stats failed: " + error);
+      after = *st;
+    }
+    if (after.shed_sessions - before.shed_sessions != static_cast<std::uint64_t>(extra)) {
+      die("chaos overload: shed_sessions delta " +
+          std::to_string(after.shed_sessions - before.shed_sessions) + ", expected " +
+          std::to_string(extra));
+    }
+    if (after.shed_places - before.shed_places != client_place_sheds) {
+      die("chaos overload: shed_places delta disagrees with client-observed kOverloaded count");
+    }
+    if (!quick && client_place_sheds == 0) {
+      die("chaos overload: no cold place was shed at the in-flight cap");
+    }
+    report.shed_sessions = after.shed_sessions;
+    report.shed_places = after.shed_places;
+    report.timeouts = after.timeouts;
+    report.shed_rate = after.sessions > 0
+                           ? static_cast<double>(after.shed_sessions) /
+                                 static_cast<double>(after.sessions + after.shed_sessions)
+                           : 0.0;
+    std::cerr << "bench_serving: chaos overload ok (" << extra << " sessions + "
+              << client_place_sheds << " cold places shed)\n";
+  }
+
+  daemon.stop();
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +536,8 @@ int main(int argc, char** argv) {
   int mixed_threads = 4;
   int mixed_ecos_per_thread = 25;
   bool quick = false;
+  bool chaos = false;
+  std::uint64_t fault_seed = 42;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -170,6 +559,10 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(std::stoul(value()));
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--fault-seed") {
+      fault_seed = std::stoull(value());
     } else {
       die("unknown option " + arg + "");
     }
@@ -340,6 +733,16 @@ int main(int argc, char** argv) {
     if (final_stats.protocol_errors != 0) die("daemon recorded protocol errors");
   }
 
+  // ---- chaos harness: faults, soak, and deterministic shedding -------
+  // Runs on its own dedicated daemon (tight caps, fault injector wired
+  // in), so its counters and sheds never pollute the latency numbers
+  // above.
+  ChaosReport chaos_report;
+  if (chaos) {
+    chaos_report = run_chaos(host, place, home, eco_moves, fault_seed, quick);
+    std::cerr << "bench_serving: chaos done\n";
+  }
+
   const LatencyStats cold = summarize(cold_ms);
   const LatencyStats warm = summarize(warm_ms);
   const LatencyStats eco = summarize(eco_ms);
@@ -379,6 +782,25 @@ int main(int argc, char** argv) {
       << ", \"cache_misses\": " << final_stats.cache_misses
       << ", \"cache_bytes\": " << final_stats.cache_bytes
       << ", \"protocol_errors\": " << final_stats.protocol_errors << "},\n";
+  if (chaos) {
+    const double ok_rate = chaos_report.soak_attempts > 0
+                               ? static_cast<double>(chaos_report.soak_ok) /
+                                     static_cast<double>(chaos_report.soak_attempts)
+                               : 0.0;
+    out << "  \"chaos\": {\"fault_seed\": " << chaos_report.fault_seed
+        << ", \"faults_injected\": " << chaos_report.faults_injected
+        << ", \"soak_attempts\": " << chaos_report.soak_attempts
+        << ", \"soak_ok\": " << chaos_report.soak_ok
+        << ", \"soak_ok_rate\": " << ok_rate
+        << ", \"soak_retries\": " << chaos_report.soak_retries
+        << ", \"soak_wall_ms\": " << chaos_report.soak_wall_ms
+        << ", \"soak_p99_ms\": " << chaos_report.soak_p99_ms
+        << ", \"shed_sessions\": " << chaos_report.shed_sessions
+        << ", \"shed_places\": " << chaos_report.shed_places
+        << ", \"shed_rate\": " << chaos_report.shed_rate
+        << ", \"timeouts\": " << chaos_report.timeouts
+        << ", \"internal_errors\": 0, \"determinism\": \"byte-identical under faults\"},\n";
+  }
   out << "  \"warm_speedup_p50\": " << warm_speedup << ",\n"
       << "  \"meets_20x_warm_target\": " << (warm_speedup >= 20.0 ? "true" : "false") << "\n"
       << "}\n";

@@ -47,8 +47,15 @@ daemon:
   --cache N         layout-cache capacity in entries (default 64)
   --jobs N          BatchRunner lanes per request (default: pool size)
   --verbose         per-request log lines on stderr
+  --max-sessions N      concurrent-session cap; excess connections are
+                        shed with kOverloaded (default 64)
+  --max-inflight N      concurrent cold-place cap, 0 = unlimited (default 8)
+  --idle-timeout-ms N   between-requests eviction deadline (default 120000)
+  --frame-timeout-ms N  mid-frame / send deadline (default 30000)
+  --place-budget-ms N   per-place wall budget, 0 = unlimited (default 0)
 
-client subcommands (first argument; all take --host/--port):
+client subcommands (first argument; all take --host/--port and
+  --retries N  retry attempts for transient overloaded/timeout (default 3)):
   place             request a placement
     --topology NAME   registry name, e.g. Grid or heavyhex-23x39
     --flow FLOW       qgdp | q-abacus | q-tetris | abacus | tetris
@@ -71,6 +78,7 @@ client subcommands (first argument; all take --host/--port):
 struct CommonArgs {
   std::string host{"127.0.0.1"};
   std::uint16_t port{0};
+  int retries{3};  ///< client attempts for retryable (overloaded/timeout) failures
 };
 
 [[nodiscard]] QgdpdClient connect_or_die(const CommonArgs& args) {
@@ -78,7 +86,9 @@ struct CommonArgs {
     std::cerr << "qgdpd_tool: client subcommands need --port\n";
     std::exit(1);
   }
-  QgdpdClient client;
+  ClientOptions copt;
+  copt.retry.max_attempts = args.retries;
+  QgdpdClient client{copt};
   std::string error;
   if (!client.connect(args.host, args.port, &error)) {
     std::cerr << "qgdpd_tool: " << error << "\n";
@@ -99,10 +109,16 @@ void write_layout_file_or_die(const std::string& path, const std::string& qlay) 
 void print_stats(const StatsReply& s) {
   std::cout << "uptime_ms " << s.uptime_ms << "\n"
             << "sessions " << s.sessions << "\n"
+            << "active_sessions " << s.active_sessions << "\n"
             << "served_place " << s.served_place << "\n"
             << "served_eco " << s.served_eco << "\n"
             << "served_stats " << s.served_stats << "\n"
             << "protocol_errors " << s.protocol_errors << "\n"
+            << "internal_errors " << s.internal_errors << "\n"
+            << "shed_sessions " << s.shed_sessions << "\n"
+            << "shed_places " << s.shed_places << "\n"
+            << "timeouts " << s.timeouts << "\n"
+            << "accept_retries " << s.accept_retries << "\n"
             << "cache_hits " << s.cache_hits << "\n"
             << "cache_misses " << s.cache_misses << "\n"
             << "cache_insertions " << s.cache_insertions << "\n"
@@ -111,14 +127,9 @@ void print_stats(const StatsReply& s) {
             << "cache_bytes " << s.cache_bytes << "\n";
 }
 
-int run_serve(const CommonArgs& common, std::size_t cache_entries, std::size_t jobs,
-              bool verbose) {
-  QgdpdOptions opt;
+int run_serve(const CommonArgs& common, QgdpdOptions opt) {
   opt.host = common.host;
   opt.port = common.port;
-  opt.cache_entries = cache_entries;
-  opt.jobs = jobs;
-  opt.verbose = verbose;
   qgdp::server::Qgdpd daemon(opt);
   std::string error;
   if (!daemon.start(&error)) {
@@ -193,9 +204,7 @@ int main(int argc, char** argv) {
   std::string out_file;
   std::string subcommand;
   bool serve = false;
-  bool verbose = false;
-  std::size_t cache_entries = 64;
-  std::size_t jobs = 0;
+  QgdpdOptions serve_opt;
 
   int i = 1;
   if (i < argc && argv[i][0] != '-') subcommand = argv[i++];
@@ -231,11 +240,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--port") {
       common.port = static_cast<std::uint16_t>(numeric_value(65535));
     } else if (arg == "--cache") {
-      cache_entries = numeric_value(1u << 20);
+      serve_opt.cache_entries = numeric_value(1u << 20);
     } else if (arg == "--jobs") {
-      jobs = numeric_value(1024);
+      serve_opt.jobs = numeric_value(1024);
     } else if (arg == "--verbose") {
-      verbose = true;
+      serve_opt.verbose = true;
+    } else if (arg == "--max-sessions") {
+      serve_opt.max_sessions = numeric_value(1u << 16);
+    } else if (arg == "--max-inflight") {
+      serve_opt.max_inflight_places = numeric_value(1u << 16);
+    } else if (arg == "--idle-timeout-ms") {
+      serve_opt.idle_timeout_ms = static_cast<int>(numeric_value(86'400'000));
+    } else if (arg == "--frame-timeout-ms") {
+      serve_opt.frame_timeout_ms = static_cast<int>(numeric_value(86'400'000));
+    } else if (arg == "--place-budget-ms") {
+      serve_opt.place_budget_ms = static_cast<int>(numeric_value(86'400'000));
+    } else if (arg == "--retries") {
+      common.retries = static_cast<int>(numeric_value(100));
     } else if (arg == "--topology") {
       place.topology = value();
     } else if (arg == "--flow") {
@@ -267,7 +288,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (serve) return run_serve(common, cache_entries, jobs, verbose);
+  if (serve) return run_serve(common, serve_opt);
   if (subcommand == "place") {
     if (place.topology.empty()) {
       std::cerr << "qgdpd_tool: place needs --topology\n";

@@ -1,13 +1,18 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "server/socket_io.h"
 
@@ -19,10 +24,35 @@ void set_error(std::string* error, const std::string& what) {
   if (error) *error = what;
 }
 
+/// splitmix64 finalizer — the same deterministic mixing primitive the
+/// fault injector uses, applied to (seed, attempt) for jitter.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (k + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
+
+int retry_backoff_ms(const RetryPolicy& policy, int attempt) {
+  if (attempt < 1) attempt = 1;
+  const int base = std::max(1, policy.backoff_base_ms);
+  const int cap = std::max(base, policy.backoff_max_ms);
+  // Shift without overflow: once the doubling passes the cap, stay there.
+  long long d = base;
+  for (int i = 1; i < attempt && d < cap; ++i) d *= 2;
+  const int delay = static_cast<int>(std::min<long long>(d, cap));
+  const int half = delay / 2;
+  const int span = delay - half + 1;  // jitter over [half, delay]
+  return half + static_cast<int>(mix64(policy.jitter_seed, static_cast<std::uint64_t>(attempt)) %
+                                 static_cast<std::uint64_t>(span));
+}
 
 bool QgdpdClient::connect(const std::string& host, std::uint16_t port, std::string* error) {
   close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     set_error(error, std::string("socket: ") + std::strerror(errno));
@@ -36,10 +66,33 @@ bool QgdpdClient::connect(const std::string& host, std::uint16_t port, std::stri
     close();
     return false;
   }
+  // Non-blocking connect raced against the deadline: a black-holed
+  // SYN fails in connect_timeout_ms instead of the kernel's minutes.
+  detail::prepare_socket(fd_);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    set_error(error, std::string("connect: ") + std::strerror(errno));
-    close();
-    return false;
+    if (errno != EINPROGRESS) {
+      set_error(error, std::string("connect: ") + std::strerror(errno));
+      close();
+      return false;
+    }
+    pollfd pfd{fd_, POLLOUT, 0};
+    int r;
+    do {
+      r = ::poll(&pfd, 1, opt_.connect_timeout_ms);
+    } while (r < 0 && errno == EINTR);
+    if (r == 0) {
+      set_error(error, "connect: timed out after " + std::to_string(opt_.connect_timeout_ms) +
+                           " ms");
+      close();
+      return false;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (r < 0 || ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+      set_error(error, std::string("connect: ") + std::strerror(soerr != 0 ? soerr : errno));
+      close();
+      return false;
+    }
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -55,68 +108,145 @@ void QgdpdClient::close() {
 
 std::optional<std::string> QgdpdClient::roundtrip(FrameType request, const std::string& payload,
                                                   FrameType expected_reply, std::string* error) {
+  last_status_ = StatusCode::kOk;
+  last_transport_error_ = false;
   if (fd_ < 0) {
+    last_status_ = StatusCode::kInternalError;
+    last_transport_error_ = true;
     set_error(error, "not connected");
     return std::nullopt;
   }
-  if (!detail::send_frame(fd_, request, payload)) {
+  detail::IoPolicy policy;
+  policy.idle_timeout_ms = opt_.reply_timeout_ms;
+  policy.frame_timeout_ms = opt_.frame_timeout_ms;
+  policy.faults = opt_.faults;
+  if (detail::send_frame(fd_, request, payload, policy) != detail::IoStatus::kOk) {
+    last_status_ = StatusCode::kInternalError;
+    last_transport_error_ = true;
     set_error(error, "send failed: connection lost");
     close();
     return std::nullopt;
   }
-  bool bad_frame = false;
-  auto frame = detail::recv_frame(fd_, &bad_frame);
-  if (!frame) {
-    set_error(error, bad_frame ? "malformed reply frame" : "connection closed by server");
+  detail::ReceivedFrame frame;
+  const detail::IoStatus st = detail::recv_frame(fd_, &frame, policy);
+  if (st != detail::IoStatus::kOk) {
+    // A local deadline expiry is a kTimeout like the server-sent kind:
+    // same classification, same retryability.
+    last_status_ = st == detail::IoStatus::kTimeout ? StatusCode::kTimeout
+                                                    : StatusCode::kInternalError;
+    last_transport_error_ = true;
+    set_error(error, st == detail::IoStatus::kBadFrame
+                         ? "malformed reply frame"
+                         : std::string("no reply: ") + detail::to_string(st));
     close();
     return std::nullopt;
   }
-  if (frame->type == FrameType::kErrorReply) {
-    const auto rep = parse_error_reply(frame->payload);
+  if (frame.type == FrameType::kErrorReply) {
+    const auto rep = parse_error_reply(frame.payload);
+    last_status_ = rep ? rep->status : StatusCode::kInternalError;
     set_error(error, rep ? to_string(rep->status) + ": " + rep->message
                          : std::string("unparseable error reply"));
     return std::nullopt;
   }
-  if (frame->type != expected_reply) {
+  if (frame.type != expected_reply) {
+    last_status_ = StatusCode::kInternalError;
     set_error(error, "unexpected reply frame type");
     return std::nullopt;
   }
-  return std::move(frame->payload);
+  return std::move(frame.payload);
+}
+
+bool QgdpdClient::recover_for_retry(bool allow_reconnect, std::string* error) {
+  if (last_transport_error_ || !connected()) {
+    // The connection is gone (or the failure took it down): only
+    // idempotent calls may reconnect-and-replay. kTimeout while
+    // waiting for a reply is retryable the same way — the server may
+    // have banked the work, so the replay lands warm.
+    if (!allow_reconnect) return false;
+    if (last_status_ != StatusCode::kTimeout && last_status_ != StatusCode::kInternalError) {
+      if (!is_retryable(last_status_)) return false;
+    }
+    return connect(host_, port_, error);
+  }
+  // Server said no on a live connection: retry only the typed
+  // transient conditions.
+  return is_retryable(last_status_);
 }
 
 std::optional<PlaceReply> QgdpdClient::place(const PlaceRequest& req, std::string* error) {
-  auto payload = roundtrip(FrameType::kPlaceRequest, format_place_request(req),
-                           FrameType::kPlaceReply, error);
-  if (!payload) return std::nullopt;
-  auto rep = parse_place_reply(*payload);
-  if (!rep) set_error(error, "unparseable place reply");
-  return rep;
+  const std::string payload = format_place_request(req);
+  for (int attempt = 1;; ++attempt) {
+    auto reply = roundtrip(FrameType::kPlaceRequest, payload, FrameType::kPlaceReply, error);
+    if (reply) {
+      auto rep = parse_place_reply(*reply);
+      if (!rep) {
+        last_status_ = StatusCode::kInternalError;
+        set_error(error, "unparseable place reply");
+      }
+      return rep;
+    }
+    if (attempt >= opt_.retry.max_attempts) return std::nullopt;
+    if (!last_transport_error_ && !is_retryable(last_status_)) return std::nullopt;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retry_backoff_ms(opt_.retry, attempt)));
+    ++retries_;
+    if (!recover_for_retry(/*allow_reconnect=*/true, error)) return std::nullopt;
+  }
 }
 
 std::optional<EcoReply> QgdpdClient::eco(const EcoRequest& req, std::string* error) {
-  auto payload =
-      roundtrip(FrameType::kEcoRequest, format_eco_request(req), FrameType::kEcoReply, error);
-  if (!payload) return std::nullopt;
-  auto rep = parse_eco_reply(*payload);
-  if (!rep) set_error(error, "unparseable eco reply");
-  return rep;
+  const std::string payload = format_eco_request(req);
+  for (int attempt = 1;; ++attempt) {
+    auto reply = roundtrip(FrameType::kEcoRequest, payload, FrameType::kEcoReply, error);
+    if (reply) {
+      auto rep = parse_eco_reply(*reply);
+      if (!rep) {
+        last_status_ = StatusCode::kInternalError;
+        set_error(error, "unparseable eco reply");
+      }
+      return rep;
+    }
+    // Eco state lives on the server session: a dead connection means
+    // the layout is gone, so only same-connection shedding retries.
+    if (attempt >= opt_.retry.max_attempts) return std::nullopt;
+    if (last_transport_error_ || !is_retryable(last_status_)) return std::nullopt;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retry_backoff_ms(opt_.retry, attempt)));
+    ++retries_;
+    if (!recover_for_retry(/*allow_reconnect=*/false, error)) return std::nullopt;
+  }
 }
 
 std::optional<StatsReply> QgdpdClient::stats(std::string* error) {
-  auto payload = roundtrip(FrameType::kStatsRequest, std::string("\n"), FrameType::kStatsReply,
-                           error);
-  if (!payload) return std::nullopt;
-  auto rep = parse_stats_reply(*payload);
-  if (!rep) set_error(error, "unparseable stats reply");
-  return rep;
+  const std::string payload = format_empty_request();
+  for (int attempt = 1;; ++attempt) {
+    auto reply = roundtrip(FrameType::kStatsRequest, payload, FrameType::kStatsReply, error);
+    if (reply) {
+      auto rep = parse_stats_reply(*reply);
+      if (!rep) {
+        last_status_ = StatusCode::kInternalError;
+        set_error(error, "unparseable stats reply");
+      }
+      return rep;
+    }
+    if (attempt >= opt_.retry.max_attempts) return std::nullopt;
+    if (!last_transport_error_ && !is_retryable(last_status_)) return std::nullopt;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retry_backoff_ms(opt_.retry, attempt)));
+    ++retries_;
+    if (!recover_for_retry(/*allow_reconnect=*/true, error)) return std::nullopt;
+  }
 }
 
 std::optional<StatsReply> QgdpdClient::shutdown_server(std::string* error) {
-  auto payload = roundtrip(FrameType::kShutdownRequest, std::string("\n"),
+  auto payload = roundtrip(FrameType::kShutdownRequest, format_empty_request(),
                            FrameType::kShutdownReply, error);
   if (!payload) return std::nullopt;
   auto rep = parse_stats_reply(*payload);
-  if (!rep) set_error(error, "unparseable shutdown reply");
+  if (!rep) {
+    last_status_ = StatusCode::kInternalError;
+    set_error(error, "unparseable shutdown reply");
+  }
   return rep;
 }
 

@@ -5,37 +5,80 @@
 // Each call sends one request frame and blocks for the reply. A
 // nullopt return means transport or protocol failure (connection lost,
 // malformed reply, or a server-side error frame); `*error` carries the
-// reason. Domain-level failures (placement_failed carried inside a
-// typed reply) come back as a reply whose `status != kOk` — callers
-// gate on both.
+// reason and last_status() the machine-readable code. Domain-level
+// failures (placement_failed carried inside a typed reply) come back
+// as a reply whose `status != kOk` — callers gate on both.
+//
+// The client is deadline-bounded end to end: connect() is a
+// non-blocking connect raced against connect_timeout_ms, and every
+// roundtrip runs under the reply/frame deadlines of ClientOptions. A
+// RetryPolicy with max_attempts > 1 turns transient failures into
+// jittered exponential-backoff retries, classified by is_retryable():
+//   - place/stats retry across reconnects (the requests are
+//     idempotent — a replayed place lands on the warm cache);
+//   - eco retries only server-side kOverloaded/kTimeout on the *same*
+//     connection — a reconnect would lose the session layout, so a
+//     transport failure mid-eco is fatal to the call.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 
+#include "server/fault_injector.h"
 #include "server/protocol.h"
 
 namespace qgdp::server {
 
+/// Jittered exponential backoff: attempt k (1-based) sleeps in
+/// [d/2, d] where d = min(backoff_base_ms << (k-1), backoff_max_ms),
+/// the point in the interval drawn deterministically from jitter_seed.
+struct RetryPolicy {
+  int max_attempts{1};  ///< total tries, including the first (1 = no retry)
+  int backoff_base_ms{10};
+  int backoff_max_ms{1000};
+  std::uint64_t jitter_seed{1};
+};
+
+/// The deterministic sleep before (1-based) retry `attempt`. Exposed
+/// for unit tests: the schedule is pure in (policy, attempt).
+[[nodiscard]] int retry_backoff_ms(const RetryPolicy& policy, int attempt);
+
+struct ClientOptions {
+  int connect_timeout_ms{5'000};  ///< non-blocking connect deadline (-1 = none)
+  int reply_timeout_ms{120'000};  ///< first byte of a reply (-1 = wait forever)
+  int frame_timeout_ms{30'000};   ///< rest-of-frame / send deadline (-1 = none)
+  RetryPolicy retry;
+  FaultInjector* faults{nullptr};  ///< chaos-harness hook (not owned)
+};
+
 class QgdpdClient {
  public:
   QgdpdClient() = default;
+  explicit QgdpdClient(ClientOptions opt) : opt_(opt) {}
   ~QgdpdClient() { close(); }
 
   QgdpdClient(const QgdpdClient&) = delete;
   QgdpdClient& operator=(const QgdpdClient&) = delete;
-  QgdpdClient(QgdpdClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  QgdpdClient(QgdpdClient&& other) noexcept { *this = std::move(other); }
   QgdpdClient& operator=(QgdpdClient&& other) noexcept {
     if (this != &other) {
       close();
+      opt_ = other.opt_;
       fd_ = other.fd_;
+      host_ = std::move(other.host_);
+      port_ = other.port_;
+      last_status_ = other.last_status_;
+      last_transport_error_ = other.last_transport_error_;
+      retries_ = other.retries_;
       other.fd_ = -1;
     }
     return *this;
   }
 
-  /// Opens the session. False (with `*error`) on connect failure.
+  /// Opens the session. False (with `*error`) on connect failure or
+  /// connect deadline expiry. Remembers host:port for retry reconnects.
   bool connect(const std::string& host, std::uint16_t port, std::string* error = nullptr);
   void close();
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
@@ -46,16 +89,33 @@ class QgdpdClient {
   [[nodiscard]] std::optional<StatsReply> stats(std::string* error = nullptr);
 
   /// Asks the daemon to drain; returns its final stats snapshot.
+  /// Never retried — a lost reply may mean the request landed.
   [[nodiscard]] std::optional<StatsReply> shutdown_server(std::string* error = nullptr);
+
+  [[nodiscard]] const ClientOptions& options() const { return opt_; }
+  /// Status of the last failed call: the server error frame's code, or
+  /// kInternalError for transport/protocol failures. kOk after success.
+  [[nodiscard]] StatusCode last_status() const { return last_status_; }
+  /// Backoff sleeps performed across this client's lifetime.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
 
  private:
   /// One request/reply exchange; validates the reply frame type and
-  /// surfaces error frames through `*error`.
+  /// surfaces error frames through `*error` / last_status_.
   [[nodiscard]] std::optional<std::string> roundtrip(FrameType request, const std::string& payload,
                                                      FrameType expected_reply,
                                                      std::string* error);
+  /// True when the last roundtrip failure is worth retrying under
+  /// `allow_reconnect` (and a reconnect, if needed, succeeded).
+  [[nodiscard]] bool recover_for_retry(bool allow_reconnect, std::string* error);
 
+  ClientOptions opt_;
   int fd_{-1};
+  std::string host_;
+  std::uint16_t port_{0};
+  StatusCode last_status_{StatusCode::kOk};
+  bool last_transport_error_{false};
+  std::uint64_t retries_{0};
 };
 
 }  // namespace qgdp::server

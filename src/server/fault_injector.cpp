@@ -1,0 +1,60 @@
+#include "server/fault_injector.h"
+
+namespace qgdp::server {
+
+namespace {
+
+/// splitmix64 finalizer — the draw for op index k under `seed`.
+[[nodiscard]] std::uint64_t mix(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + (k + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector::Action FaultInjector::next(bool is_send) {
+  if (!armed_.load(std::memory_order_relaxed)) return Action::kNone;
+  const std::uint64_t k = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t r = static_cast<std::uint32_t>(mix(cfg_.seed, k) % 1000);
+  Action a = Action::kNone;
+  std::uint32_t lo = 0;
+  auto in_range = [&](std::uint32_t width) {
+    const bool hit = r >= lo && r < lo + width;
+    lo += width;
+    return hit;
+  };
+  if (in_range(cfg_.short_io_permille)) {
+    a = Action::kShortIo;
+  } else if (in_range(cfg_.delay_permille)) {
+    a = Action::kDelay;
+  } else if (in_range(cfg_.torn_send_permille)) {
+    a = is_send ? Action::kTornSend : Action::kNone;
+  } else if (in_range(cfg_.drop_recv_permille)) {
+    a = is_send ? Action::kNone : Action::kDropRecv;
+  }
+  counts_[static_cast<std::size_t>(a)].fetch_add(1, std::memory_order_relaxed);
+  return a;
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < kActionCount; ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const char* to_string(FaultInjector::Action a) {
+  switch (a) {
+    case FaultInjector::Action::kNone: return "none";
+    case FaultInjector::Action::kShortIo: return "short_io";
+    case FaultInjector::Action::kDelay: return "delay";
+    case FaultInjector::Action::kTornSend: return "torn_send";
+    case FaultInjector::Action::kDropRecv: return "drop_recv";
+  }
+  return "unknown";
+}
+
+}  // namespace qgdp::server

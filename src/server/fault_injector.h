@@ -1,0 +1,87 @@
+// FaultInjector: a deterministic, seeded source of injected I/O
+// faults for the serving layer's chaos harness.
+//
+// Every socket-level operation in server/socket_io asks the injector
+// (when one is installed) what to do before touching the fd. The
+// answer is a pure function of (seed, global op index): op k draws
+// splitmix64(seed, k) and maps it onto the configured per-mille
+// ranges. Threads interleave which op index they draw, but the
+// *schedule* — which op indices fault, and how — is fixed by the
+// seed, so a failing chaos run can be replayed with the same seed and
+// the same fault budget (`bench_serving --chaos --fault-seed N`).
+//
+// Fault classes:
+//   kShortIo   the op moves at most 1 byte this step (exercises the
+//              partial-read/write resume loops; benign — never
+//              changes the bytes that eventually arrive)
+//   kDelay     sleep cfg.delay_ms before the op (burns deadline
+//              budget; surfaces as kTimeout when aggressive)
+//   kTornSend  send half of the remaining bytes, then fail the write
+//              (the peer sees a torn frame: a mid-frame EOF or a
+//              frame deadline, both retryable)
+//   kDropRecv  fail the read outright, as if the peer vanished
+//
+// The injector is armed/disarmed atomically so a bench can soak under
+// faults and then run an exact-counters verification phase on the
+// same daemon with the schedule suspended.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace qgdp::server {
+
+struct FaultConfig {
+  std::uint64_t seed{1};
+  /// Per-mille probability that an I/O step draws each fault class.
+  /// The ranges are disjoint; their sum must stay <= 1000.
+  std::uint32_t short_io_permille{0};
+  std::uint32_t delay_permille{0};
+  std::uint32_t torn_send_permille{0};  ///< applies to send steps only
+  std::uint32_t drop_recv_permille{0};  ///< applies to recv steps only
+  int delay_ms{2};  ///< length of one injected kDelay stall
+};
+
+class FaultInjector {
+ public:
+  enum class Action : std::uint8_t { kNone = 0, kShortIo, kDelay, kTornSend, kDropRecv };
+  static constexpr std::size_t kActionCount = 5;
+
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  /// Suspends (false) or resumes (true) the schedule; while disarmed
+  /// every draw is kNone and the op counter does not advance, so
+  /// re-arming resumes the schedule where it left off.
+  void arm(bool on) { armed_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+  [[nodiscard]] int delay_ms() const { return cfg_.delay_ms; }
+
+  /// Draws the action for the next I/O step. `is_send` masks the
+  /// direction-specific classes (a torn send can't fire on a recv);
+  /// the draw itself is direction-independent, so the schedule does
+  /// not depend on the send/recv mix.
+  [[nodiscard]] Action next(bool is_send);
+
+  /// Total steps drawn while armed.
+  [[nodiscard]] std::uint64_t ops() const { return op_counter_.load(std::memory_order_relaxed); }
+  /// Times `a` was actually injected (post direction mask).
+  [[nodiscard]] std::uint64_t injected(Action a) const {
+    return counts_[static_cast<std::size_t>(a)].load(std::memory_order_relaxed);
+  }
+  /// Injected faults of every class except kNone.
+  [[nodiscard]] std::uint64_t injected_total() const;
+
+ private:
+  FaultConfig cfg_{};
+  std::atomic<bool> armed_{true};
+  std::atomic<std::uint64_t> op_counter_{0};
+  std::array<std::atomic<std::uint64_t>, kActionCount> counts_{};
+};
+
+[[nodiscard]] const char* to_string(FaultInjector::Action a);
+
+}  // namespace qgdp::server

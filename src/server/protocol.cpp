@@ -117,8 +117,21 @@ std::string to_string(StatusCode code) {
     case StatusCode::kShuttingDown: return "shutting_down";
     case StatusCode::kInternalError: return "internal_error";
     case StatusCode::kSolverInfeasible: return "solver_infeasible";
+    case StatusCode::kOverloaded: return "overloaded";
+    case StatusCode::kTimeout: return "timeout";
   }
   return "unknown";
+}
+
+bool is_retryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOverloaded:
+    case StatusCode::kTimeout:
+    case StatusCode::kShuttingDown:
+      return true;
+    default:
+      return false;
+  }
 }
 
 // ---- framing ---------------------------------------------------------
@@ -207,6 +220,10 @@ std::optional<EcoRequest> parse_eco_request(const std::string& payload) {
   return req;
 }
 
+std::string format_empty_request() { return "\n"; }
+
+bool parse_empty_request(const std::string& payload) { return payload == "\n"; }
+
 // ---- replies ---------------------------------------------------------
 
 std::string format_place_reply(const PlaceReply& rep) {
@@ -292,10 +309,16 @@ std::string format_stats_reply(const StatsReply& rep) {
   kv.add("status", static_cast<int>(rep.status))
       .add("uptime_ms", rep.uptime_ms)
       .add("sessions", rep.sessions)
+      .add("active_sessions", rep.active_sessions)
       .add("served_place", rep.served_place)
       .add("served_eco", rep.served_eco)
       .add("served_stats", rep.served_stats)
       .add("protocol_errors", rep.protocol_errors)
+      .add("internal_errors", rep.internal_errors)
+      .add("shed_sessions", rep.shed_sessions)
+      .add("shed_places", rep.shed_places)
+      .add("timeouts", rep.timeouts)
+      .add("accept_retries", rep.accept_retries)
       .add("cache_hits", rep.cache_hits)
       .add("cache_misses", rep.cache_misses)
       .add("cache_insertions", rep.cache_insertions)
@@ -313,10 +336,16 @@ std::optional<StatsReply> parse_stats_reply(const std::string& payload) {
   rep.status = static_cast<StatusCode>(status);
   p.get_num("uptime_ms", rep.uptime_ms);
   p.get_num("sessions", rep.sessions);
+  p.get_num("active_sessions", rep.active_sessions);
   p.get_num("served_place", rep.served_place);
   p.get_num("served_eco", rep.served_eco);
   p.get_num("served_stats", rep.served_stats);
   p.get_num("protocol_errors", rep.protocol_errors);
+  p.get_num("internal_errors", rep.internal_errors);
+  p.get_num("shed_sessions", rep.shed_sessions);
+  p.get_num("shed_places", rep.shed_places);
+  p.get_num("timeouts", rep.timeouts);
+  p.get_num("accept_retries", rep.accept_retries);
   p.get_num("cache_hits", rep.cache_hits);
   p.get_num("cache_misses", rep.cache_misses);
   p.get_num("cache_insertions", rep.cache_insertions);

@@ -67,9 +67,25 @@ enum class StatusCode : int {
   /// meaningful dirty-window diagnostics payload for a move that never
   /// landed.
   kSolverInfeasible = 10,
+  /// Admission control shed the request instead of queueing it: the
+  /// daemon is at its concurrent-session cap (shed at accept, then the
+  /// connection is closed) or at its in-flight cold-place cap (shed
+  /// per request; the connection stays open). Retryable.
+  kOverloaded = 11,
+  /// A deadline expired: the peer stalled mid-frame or between
+  /// requests (connection is closed after this frame), or a place
+  /// exceeded the per-request wall budget (the result was still
+  /// banked in the layout cache, so a retry is warm). Retryable.
+  kTimeout = 12,
 };
 
 [[nodiscard]] std::string to_string(StatusCode code);
+
+/// The client retry contract: true for transient conditions a
+/// well-behaved client should retry with backoff (kOverloaded,
+/// kTimeout, kShuttingDown — another replica may be healthy); false
+/// for request or state errors a retry cannot fix.
+[[nodiscard]] bool is_retryable(StatusCode code);
 
 // ---- framing ---------------------------------------------------------
 
@@ -116,6 +132,13 @@ struct EcoRequest {
 [[nodiscard]] std::string format_eco_request(const EcoRequest& req);
 [[nodiscard]] std::optional<EcoRequest> parse_eco_request(const std::string& payload);
 
+/// The canonical payload of a body-less request (stats, shutdown): an
+/// empty header set, i.e. exactly one blank line. parse returns false
+/// for anything else — the daemon answers kBadRequest rather than
+/// silently ignoring a malformed payload.
+[[nodiscard]] std::string format_empty_request();
+[[nodiscard]] bool parse_empty_request(const std::string& payload);
+
 // ---- replies ---------------------------------------------------------
 
 struct PlaceReply {
@@ -152,10 +175,16 @@ struct StatsReply {
   StatusCode status{StatusCode::kOk};
   double uptime_ms{0.0};
   std::uint64_t sessions{0};       ///< connections accepted so far
+  std::uint64_t active_sessions{0};  ///< sessions currently registered
   std::uint64_t served_place{0};
   std::uint64_t served_eco{0};
   std::uint64_t served_stats{0};
   std::uint64_t protocol_errors{0};
+  std::uint64_t internal_errors{0};  ///< kInternalError frames emitted
+  std::uint64_t shed_sessions{0};    ///< connections shed at the session cap
+  std::uint64_t shed_places{0};      ///< cold places shed at the in-flight cap
+  std::uint64_t timeouts{0};         ///< deadline evictions + budget expiries
+  std::uint64_t accept_retries{0};   ///< transient accept errors survived
   std::uint64_t cache_hits{0};
   std::uint64_t cache_misses{0};
   std::uint64_t cache_insertions{0};

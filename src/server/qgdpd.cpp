@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <exception>
@@ -55,6 +56,21 @@ namespace {
   return encode_frame(FrameType::kErrorReply, format_error_reply(rep));
 }
 
+/// Decrements the in-flight cold-place gauge on every exit path,
+/// including a throwing pipeline.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<std::uint64_t>* counter) : counter_(counter) {}
+  ~InflightGuard() {
+    if (counter_) counter_->fetch_sub(1);
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<std::uint64_t>* counter_;
+};
+
 }  // namespace
 
 /// Per-connection warmed state. The layout is authoritative as text
@@ -96,7 +112,7 @@ bool Qgdpd::start(std::string* error) {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return fail("bind");
   }
-  if (::listen(listen_fd_, 32) != 0) return fail("listen");
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     return fail("getsockname");
@@ -111,51 +127,154 @@ bool Qgdpd::start(std::string* error) {
   return true;
 }
 
+std::size_t Qgdpd::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
 void Qgdpd::accept_loop() {
+  // Replies sent from the accept thread (shed / draining) get the
+  // frame deadline but no idle deadline — they are single small sends.
+  detail::IoPolicy reply_policy;
+  reply_policy.frame_timeout_ms = opt_.frame_timeout_ms;
+  reply_policy.faults = opt_.faults;
+  int backoff_ms = 0;
   for (;;) {
+    reap_finished();
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed: shutting down
+      if (shutdown_.load()) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EBADF || errno == EINVAL) break;  // listener gone
+      // Transient resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM)
+      // and anything unexpected: back off with a capped doubling delay
+      // instead of killing the accept loop — the daemon must recover
+      // on its own once descriptors free up.
+      accept_retries_.fetch_add(1);
+      backoff_ms = backoff_ms == 0 ? 10 : std::min(backoff_ms * 2, 1000);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      continue;
     }
+    backoff_ms = 0;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    detail::prepare_socket(fd);
     if (shutdown_.load()) {
       (void)detail::send_frame(fd, FrameType::kErrorReply,
-                               format_error_reply({StatusCode::kShuttingDown, "draining"}));
+                               format_error_reply({StatusCode::kShuttingDown, "draining"}),
+                               reply_policy);
       ::close(fd);
       continue;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::size_t active;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      active = sessions_.size();
+    }
+    if (active >= opt_.max_sessions) {
+      // Shed, don't queue: one typed frame, then close. The accept
+      // thread never blocks on a session slot.
+      shed_sessions_.fetch_add(1);
+      (void)detail::send_frame(
+          fd, FrameType::kErrorReply,
+          format_error_reply({StatusCode::kOverloaded,
+                              "session cap (" + std::to_string(opt_.max_sessions) +
+                                  ") reached; retry with backoff"}),
+          reply_policy);
+      ::close(fd);
+      continue;
+    }
     sessions_accepted_.fetch_add(1);
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    session_fds_.push_back(fd);
-    session_threads_.emplace_back([this, fd] { serve_session(fd); });
+    {
+      // Insert-then-spawn under the lock: the session thread's own
+      // retire/finish calls serialize behind this critical section,
+      // so the registry entry (fd + thread handle) is fully formed
+      // before the session can tear it down.
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      const std::uint64_t id = next_session_id_++;
+      SessionEntry& entry = sessions_[id];
+      entry.fd = fd;
+      entry.thread = std::thread([this, id, fd] { serve_session(id, fd); });
+    }
   }
 }
 
-void Qgdpd::serve_session(int fd) {
+void Qgdpd::serve_session(std::uint64_t id, int fd) {
   Session session;
+  detail::IoPolicy policy;
+  policy.idle_timeout_ms = opt_.idle_timeout_ms;
+  policy.frame_timeout_ms = opt_.frame_timeout_ms;
+  policy.faults = opt_.faults;
   for (;;) {
-    bool bad_frame = false;
-    auto frame = detail::recv_frame(fd, &bad_frame);
-    if (!frame) {
-      if (bad_frame) {
+    detail::ReceivedFrame frame;
+    const detail::IoStatus st = detail::recv_frame(fd, &frame, policy);
+    if (st != detail::IoStatus::kOk) {
+      if (st == detail::IoStatus::kBadFrame) {
         protocol_errors_.fetch_add(1);
         (void)detail::send_frame(fd, FrameType::kErrorReply,
-                                 format_error_reply({StatusCode::kBadFrame, "bad frame"}));
+                                 format_error_reply({StatusCode::kBadFrame, "bad frame"}),
+                                 policy);
+      } else if (st == detail::IoStatus::kTimeout) {
+        // Idle eviction or a slowloris mid-frame stall: one typed
+        // frame (best effort — the peer may not be reading), then the
+        // session ends and its thread is reaped.
+        timeouts_.fetch_add(1);
+        (void)detail::send_frame(
+            fd, FrameType::kErrorReply,
+            format_error_reply({StatusCode::kTimeout, "deadline expired; closing session"}),
+            policy);
       }
       break;
     }
     bool shutdown = false;
-    const std::string reply = handle_frame(session, frame->type, frame->payload, &shutdown);
-    if (!detail::write_all(fd, reply.data(), reply.size())) break;
+    const std::string reply = handle_frame(session, frame.type, frame.payload, &shutdown);
+    if (detail::write_all(fd, reply.data(), reply.size(), policy) != detail::IoStatus::kOk) {
+      break;
+    }
     if (shutdown) {
       initiate_shutdown();
       break;
     }
     if (shutdown_.load()) break;
   }
+  // Unpublish the fd before closing it: once close() returns the
+  // kernel may hand the same descriptor number to a new connection,
+  // and stop() must never ::shutdown someone else's socket.
+  retire_fd(id);
   ::close(fd);
+  finish_session(id);
+}
+
+void Qgdpd::retire_fd(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(id);
+  if (it != sessions_.end()) it->second.fd = -1;
+}
+
+void Qgdpd::finish_session(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(id);
+  if (it != sessions_.end()) {
+    reaped_.push_back(std::move(it->second.thread));
+    sessions_.erase(it);
+  }
+  sessions_cv_.notify_all();
+}
+
+void Qgdpd::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    done.swap(reaped_);
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::string Qgdpd::internal_error_frame(const std::string& message) {
+  internal_errors_.fetch_add(1);
+  return error_frame(StatusCode::kInternalError, message);
 }
 
 std::string Qgdpd::handle_frame(Session& session, FrameType type, const std::string& payload,
@@ -168,8 +287,17 @@ std::string Qgdpd::handle_frame(Session& session, FrameType type, const std::str
       case FrameType::kEcoRequest:
         return handle_eco(session, payload);
       case FrameType::kStatsRequest:
+        if (!parse_empty_request(payload)) {
+          protocol_errors_.fetch_add(1);
+          return error_frame(StatusCode::kBadRequest, "stats request must carry an empty payload");
+        }
         return handle_stats();
       case FrameType::kShutdownRequest: {
+        if (!parse_empty_request(payload)) {
+          protocol_errors_.fetch_add(1);
+          return error_frame(StatusCode::kBadRequest,
+                             "shutdown request must carry an empty payload");
+        }
         *shutdown = true;
         // Shutdown acks with a final stats snapshot as its payload.
         const std::string stats = handle_stats();
@@ -180,7 +308,9 @@ std::string Qgdpd::handle_frame(Session& session, FrameType type, const std::str
         return error_frame(StatusCode::kBadRequest, "unexpected frame type");
     }
   } catch (const std::exception& e) {
-    return error_frame(StatusCode::kInternalError, e.what());
+    return internal_error_frame(e.what());
+  } catch (...) {
+    return internal_error_frame("non-exception failure in request handler");
   }
 }
 
@@ -205,6 +335,8 @@ std::string Qgdpd::handle_place(Session& session, const std::string& payload) {
     if (auto hit = cache_.get(rep.cache_key)) {
       // Warm path: answer from the cached bytes; the session adopts
       // the layout lazily (no parse unless an eco edit arrives).
+      // Warm hits are never shed — they cost microseconds, so the
+      // cold-place cap does not apply here.
       rep.cached = true;
       rep.blocks = qlay_count(*hit, "blocks");
       rep.layout_hash = hex64(fnv1a64(*hit));
@@ -225,6 +357,22 @@ std::string Qgdpd::handle_place(Session& session, const std::string& payload) {
                   << rep.cache_key << " in " << rep.place_ms << " ms\n";
       }
       return encode_frame(FrameType::kPlaceReply, format_place_reply(rep));
+    }
+  }
+
+  // Cold admission: bound the number of concurrent full-pipeline runs.
+  // Excess requests are shed with a typed frame on a live connection —
+  // never queued, so a cold burst degrades into fast kOverloaded
+  // replies instead of an unbounded pileup.
+  std::optional<InflightGuard> inflight;
+  if (opt_.max_inflight_places > 0) {
+    const std::uint64_t now_inflight = inflight_places_.fetch_add(1) + 1;
+    inflight.emplace(&inflight_places_);
+    if (now_inflight > opt_.max_inflight_places) {
+      shed_places_.fetch_add(1);
+      return error_frame(StatusCode::kOverloaded,
+                         "cold-place cap (" + std::to_string(opt_.max_inflight_places) +
+                             ") reached; retry with backoff");
     }
   }
 
@@ -262,6 +410,17 @@ std::string Qgdpd::handle_place(Session& session, const std::string& payload) {
     cache_.put(rep.cache_key, text);
     std::lock_guard<std::mutex> lock(spacing_mutex_);
     spacing_by_key_[rep.cache_key] = spacing;
+  }
+
+  // Wall-budget check sits after the cache fill on purpose: an
+  // over-budget place reports kTimeout, but the work is banked — the
+  // client's retry lands on the warm path.
+  if (opt_.place_budget_ms > 0 && ms_since(t0) > opt_.place_budget_ms) {
+    timeouts_.fetch_add(1);
+    return error_frame(StatusCode::kTimeout,
+                       "place exceeded its wall budget (" +
+                           std::to_string(opt_.place_budget_ms) +
+                           " ms); result banked in the layout cache");
   }
 
   // The session keeps the materialized netlist — a follow-up eco edit
@@ -348,6 +507,14 @@ std::string Qgdpd::handle_eco(Session& session, const std::string& payload) {
   write_layout(session.nl, qlay);
   session.layout_payload = qlay.str();
   rep.layout_hash = hex64(fnv1a64(session.layout_payload));
+  // An over-budget eco already landed (the session layout is the
+  // post-edit state), so the reply stays a typed eco reply — with
+  // status kTimeout so a latency-sensitive client knows the budget
+  // was blown, and the diagnostics/hash so it knows what it now has.
+  if (opt_.place_budget_ms > 0 && ms_since(t0) > opt_.place_budget_ms) {
+    timeouts_.fetch_add(1);
+    rep.status = StatusCode::kTimeout;
+  }
   if (req->want_layout) rep.layout = session.layout_payload;
   rep.eco_ms = ms_since(t0);
   if (opt_.verbose) {
@@ -362,10 +529,16 @@ std::string Qgdpd::handle_stats() {
   StatsReply rep;
   rep.uptime_ms = ms_since(started_);
   rep.sessions = sessions_accepted_.load();
+  rep.active_sessions = active_sessions();
   rep.served_place = served_place_.load();
   rep.served_eco = served_eco_.load();
   rep.served_stats = served_stats_.load();
   rep.protocol_errors = protocol_errors_.load();
+  rep.internal_errors = internal_errors_.load();
+  rep.shed_sessions = shed_sessions_.load();
+  rep.shed_places = shed_places_.load();
+  rep.timeouts = timeouts_.load();
+  rep.accept_retries = accept_retries_.load();
   const LayoutCacheStats cs = cache_.stats();
   rep.cache_hits = cs.hits;
   rep.cache_misses = cs.misses;
@@ -378,8 +551,8 @@ std::string Qgdpd::handle_stats() {
 
 void Qgdpd::initiate_shutdown() {
   if (shutdown_.exchange(true)) return;
-  // Closing the listener pops accept() out of its blocking call; the
-  // session loops re-check shutdown_ after their current request.
+  // Shutting down the listener pops accept() out of its blocking call;
+  // the session loops re-check shutdown_ after their current request.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
   shutdown_cv_.notify_all();
@@ -396,25 +569,23 @@ void Qgdpd::wait() {
 void Qgdpd::stop() {
   if (!running_.exchange(false)) return;
   initiate_shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Unblock sessions parked in recv; their loops exit and close fds.
+  // Unblock sessions parked in recv — only via fds still published in
+  // the registry (a retired fd may already belong to someone else) —
+  // then wait for every session to retire itself.
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+    std::unique_lock<std::mutex> lock(sessions_mutex_);
+    for (auto& [id, entry] : sessions_) {
+      (void)id;
+      if (entry.fd >= 0) ::shutdown(entry.fd, SHUT_RDWR);
+    }
+    sessions_cv_.wait(lock, [this] { return sessions_.empty(); });
   }
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    threads.swap(session_threads_);
-    session_fds_.clear();
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
+  reap_finished();
 }
 
 }  // namespace qgdp::server

@@ -21,10 +21,36 @@
 //   stats     daemon counters + cache hit/miss/occupancy.
 //   shutdown  reply, then drain: stop accepting, unblock sessions.
 //
+// The server core is built for sustained hostile traffic — it fails
+// typed and bounded rather than queueing or wedging:
+//
+//   admission   at most max_sessions concurrent sessions; a connection
+//               over the cap gets one kOverloaded error frame and is
+//               closed (shed, never queued). Cold (cache-miss) places
+//               are separately capped at max_inflight_places; excess
+//               requests get kOverloaded on a live connection.
+//   deadlines   recv/send are poll-driven with idle and per-frame
+//               timeouts (server/socket_io.h): a slowloris peer —
+//               half a header, or a reply it never drains — is
+//               evicted with a kTimeout frame and its thread reaped.
+//               An optional place wall budget (place_budget_ms)
+//               converts an over-budget cold place into kTimeout;
+//               the computed layout is still banked in the cache so
+//               the client's retry is warm.
+//   lifecycle   sessions live in a registry keyed by session id; a
+//               finished session retires its fd and moves its thread
+//               to a reap list the accept loop drains, so the
+//               registry never holds a stale fd (stop() can't
+//               ::shutdown a recycled descriptor) and thread count is
+//               bounded by live sessions, not total connections.
+//   accept      transient accept() failures (EMFILE/ENFILE/ENOBUFS,
+//               ECONNABORTED) are survived with capped backoff; the
+//               loop only exits at shutdown.
+//
 // The daemon is deterministic where the pipeline is: the same place
-// request always yields the byte-identical .qlay, which is what makes
-// the content-addressed cache sound (and is asserted by the CI
-// serving-smoke job).
+// request always yields the byte-identical .qlay — under injected
+// socket faults too (see server/fault_injector.h), which is what the
+// chaos harness (`bench_serving --chaos`) asserts.
 #pragma once
 
 #include <atomic>
@@ -37,6 +63,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "server/fault_injector.h"
 #include "server/layout_cache.h"
 #include "server/protocol.h"
 
@@ -48,6 +75,14 @@ struct QgdpdOptions {
   std::size_t cache_entries{64};  ///< layout-cache capacity
   std::size_t jobs{0};            ///< BatchRunner lanes per request (0 = pool)
   bool verbose{false};            ///< per-request log lines on stderr
+
+  // ---- robustness knobs ----------------------------------------------
+  std::size_t max_sessions{64};         ///< concurrent-session cap (shed above)
+  std::size_t max_inflight_places{8};   ///< concurrent cold-place cap (0 = unlimited)
+  int idle_timeout_ms{120'000};         ///< between-requests deadline (-1 = none)
+  int frame_timeout_ms{30'000};         ///< rest-of-frame / send deadline (-1 = none)
+  int place_budget_ms{0};               ///< per-place wall budget (0 = unlimited)
+  FaultInjector* faults{nullptr};       ///< chaos-harness hook (not owned)
 };
 
 class Qgdpd {
@@ -74,12 +109,28 @@ class Qgdpd {
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] LayoutCache& cache() { return cache_; }
   [[nodiscard]] const QgdpdOptions& options() const { return opt_; }
+  /// Sessions currently registered (live gauge, also in StatsReply).
+  [[nodiscard]] std::size_t active_sessions() const;
 
  private:
   struct Session;
+  /// Registry entry: the session's fd while it is live (-1 once the
+  /// session retired it, so stop() never ::shutdown()s a descriptor
+  /// number the kernel may have recycled) and its thread handle.
+  struct SessionEntry {
+    int fd{-1};
+    std::thread thread;
+  };
 
   void accept_loop();
-  void serve_session(int fd);
+  void serve_session(std::uint64_t id, int fd);
+  /// Unpublishes the fd (pre-close), then moves the thread handle to
+  /// the reap list and erases the registry entry.
+  void retire_fd(std::uint64_t id);
+  void finish_session(std::uint64_t id);
+  /// Joins every thread on the reap list (called from the accept loop
+  /// between accepts, and from stop()).
+  void reap_finished();
   /// Dispatches one request frame; returns the encoded reply frame and
   /// sets `*shutdown` when the request asked the daemon to drain.
   [[nodiscard]] std::string handle_frame(Session& session, FrameType type,
@@ -87,6 +138,7 @@ class Qgdpd {
   [[nodiscard]] std::string handle_place(Session& session, const std::string& payload);
   [[nodiscard]] std::string handle_eco(Session& session, const std::string& payload);
   [[nodiscard]] std::string handle_stats();
+  [[nodiscard]] std::string internal_error_frame(const std::string& message);
   /// Flags shutdown and closes the listener so accept() returns; the
   /// caller's session loop exits on its own. Joining happens in stop().
   void initiate_shutdown();
@@ -99,9 +151,11 @@ class Qgdpd {
   std::atomic<bool> shutdown_{false};
   std::thread accept_thread_;
 
-  std::mutex sessions_mutex_;
-  std::vector<std::thread> session_threads_;
-  std::vector<int> session_fds_;
+  mutable std::mutex sessions_mutex_;
+  std::condition_variable sessions_cv_;  ///< signalled when a session retires
+  std::uint64_t next_session_id_{1};
+  std::unordered_map<std::uint64_t, SessionEntry> sessions_;
+  std::vector<std::thread> reaped_;  ///< finished threads awaiting join
 
   std::mutex shutdown_mutex_;
   std::condition_variable shutdown_cv_;
@@ -117,6 +171,12 @@ class Qgdpd {
   std::atomic<std::uint64_t> served_eco_{0};
   std::atomic<std::uint64_t> served_stats_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> internal_errors_{0};
+  std::atomic<std::uint64_t> shed_sessions_{0};
+  std::atomic<std::uint64_t> shed_places_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> accept_retries_{0};
+  std::atomic<std::uint64_t> inflight_places_{0};
 };
 
 }  // namespace qgdp::server

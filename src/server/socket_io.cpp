@@ -1,64 +1,190 @@
 #include "server/socket_io.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <chrono>
+#include <thread>
 
 namespace qgdp::server::detail {
 
-bool read_exact(int fd, void* buf, std::size_t n) {
-  auto* p = static_cast<char*>(buf);
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::recv(fd, p + got, n - got, 0);
-    if (r > 0) {
-      got += static_cast<std::size_t>(r);
-    } else if (r == 0) {
-      return false;  // peer closed
-    } else if (errno != EINTR) {
-      return false;
-    }
-  }
-  return true;
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A deadline as a time point; Clock::time_point::max() = none.
+[[nodiscard]] Clock::time_point deadline_after(int timeout_ms) {
+  if (timeout_ms < 0) return Clock::time_point::max();
+  return Clock::now() + std::chrono::milliseconds(timeout_ms);
 }
 
-bool write_all(int fd, const void* buf, std::size_t n) {
+/// Polls fd for `events` until ready or the deadline. kOk also covers
+/// POLLERR/POLLHUP — the follow-up syscall reports the real error.
+[[nodiscard]] IoStatus poll_until(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline != Clock::time_point::max()) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+      if (left <= 0) return IoStatus::kTimeout;
+      timeout_ms = static_cast<int>(std::min<long long>(left, 60'000));
+    }
+    pollfd pfd{fd, events, 0};
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r > 0) return IoStatus::kOk;
+    if (r == 0) {
+      if (deadline == Clock::time_point::max()) continue;
+      if (Clock::now() >= deadline) return IoStatus::kTimeout;
+      continue;  // clamped slice expired, budget remains
+    }
+    if (errno != EINTR) return IoStatus::kError;
+  }
+}
+
+/// One injector consultation before an I/O step. Returns the action
+/// and applies kDelay in place (it costs budget, nothing else).
+[[nodiscard]] FaultInjector::Action draw_fault(const IoPolicy& policy, bool is_send) {
+  if (!policy.faults) return FaultInjector::Action::kNone;
+  const auto action = policy.faults->next(is_send);
+  if (action == FaultInjector::Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(policy.faults->delay_ms()));
+  }
+  return action;
+}
+
+/// Reads up to `n` bytes into buf, bounded by `deadline`. Returns kOk
+/// with `*got > 0`, kEof on an orderly peer close, or an error/timeout
+/// status. The caller decides whether kEof is clean (between frames)
+/// or a torn frame.
+[[nodiscard]] IoStatus read_some(int fd, void* buf, std::size_t n, Clock::time_point deadline,
+                                 const IoPolicy& policy, std::size_t* got) {
+  *got = 0;
+  for (;;) {
+    const auto action = draw_fault(policy, /*is_send=*/false);
+    if (action == FaultInjector::Action::kDropRecv) return IoStatus::kError;
+    const std::size_t want = action == FaultInjector::Action::kShortIo ? 1 : n;
+    const ssize_t r = ::recv(fd, buf, want, 0);
+    if (r > 0) {
+      *got = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (r == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const IoStatus s = poll_until(fd, POLLIN, deadline);
+      if (s != IoStatus::kOk) return s;
+      continue;
+    }
+    return IoStatus::kError;
+  }
+}
+
+/// Reads exactly `n` bytes under `deadline`; a peer close or injected
+/// drop mid-buffer is kError (torn frame), not kEof.
+[[nodiscard]] IoStatus read_exact(int fd, void* buf, std::size_t n, Clock::time_point deadline,
+                                  const IoPolicy& policy) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t total = 0;
+  while (total < n) {
+    std::size_t got = 0;
+    const IoStatus s = read_some(fd, p + total, n - total, deadline, policy, &got);
+    if (s == IoStatus::kEof) return IoStatus::kError;
+    if (s != IoStatus::kOk) return s;
+    total += got;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace
+
+const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kEof: return "eof";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kBadFrame: return "bad_frame";
+    case IoStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+void prepare_socket(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+IoStatus write_all(int fd, const void* buf, std::size_t n, const IoPolicy& policy) {
+  const auto deadline = deadline_after(policy.frame_timeout_ms);
   const auto* p = static_cast<const char*>(buf);
   std::size_t sent = 0;
   while (sent < n) {
-    const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    const auto action = draw_fault(policy, /*is_send=*/true);
+    if (action == FaultInjector::Action::kTornSend) {
+      // Push out half of what's left, then fail the write: the peer
+      // sees a torn frame and its frame deadline (or mid-frame EOF
+      // once we close) takes it from there.
+      std::size_t torn = (n - sent) / 2;
+      while (torn > 0) {
+        const ssize_t r = ::send(fd, p + sent, torn, MSG_NOSIGNAL);
+        if (r <= 0) break;
+        sent += static_cast<std::size_t>(r);
+        torn -= static_cast<std::size_t>(r);
+      }
+      return IoStatus::kError;
+    }
+    const std::size_t want = action == FaultInjector::Action::kShortIo ? 1 : n - sent;
+    const ssize_t r = ::send(fd, p + sent, want, MSG_NOSIGNAL);
     if (r > 0) {
       sent += static_cast<std::size_t>(r);
-    } else if (r < 0 && errno == EINTR) {
       continue;
-    } else {
-      return false;
     }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const IoStatus s = poll_until(fd, POLLOUT, deadline);
+      if (s != IoStatus::kOk) return s;
+      continue;
+    }
+    return IoStatus::kError;
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-bool send_frame(int fd, FrameType type, const std::string& payload) {
+IoStatus send_frame(int fd, FrameType type, const std::string& payload, const IoPolicy& policy) {
   const std::string frame = encode_frame(type, payload);
-  return write_all(fd, frame.data(), frame.size());
+  return write_all(fd, frame.data(), frame.size(), policy);
 }
 
-std::optional<ReceivedFrame> recv_frame(int fd, bool* bad_frame) {
-  if (bad_frame) *bad_frame = false;
+IoStatus recv_frame(int fd, ReceivedFrame* out, const IoPolicy& policy) {
   unsigned char header[kFrameHeaderSize];
-  if (!read_exact(fd, header, kFrameHeaderSize)) return std::nullopt;
+
+  // First byte under the idle deadline: a clean EOF here is the peer
+  // ending the session between frames.
+  std::size_t got = 0;
+  {
+    const auto idle_deadline = deadline_after(policy.idle_timeout_ms);
+    const IoStatus s = read_some(fd, header, kFrameHeaderSize, idle_deadline, policy, &got);
+    if (s != IoStatus::kOk) return s;
+  }
+
+  // A frame has started: everything else must land within the frame
+  // deadline — a half-sent header parked forever is the slowloris
+  // shape this deadline exists for.
+  const auto deadline = deadline_after(policy.frame_timeout_ms);
+  if (got < kFrameHeaderSize) {
+    const IoStatus s = read_exact(fd, header + got, kFrameHeaderSize - got, deadline, policy);
+    if (s != IoStatus::kOk) return s;
+  }
   const auto h = decode_frame_header(header);
-  if (!h) {
-    if (bad_frame) *bad_frame = true;
-    return std::nullopt;
+  if (!h) return IoStatus::kBadFrame;
+  out->type = h->type;
+  out->payload.resize(h->length);
+  if (h->length > 0) {
+    const IoStatus s = read_exact(fd, out->payload.data(), out->payload.size(), deadline, policy);
+    if (s != IoStatus::kOk) return s;
   }
-  ReceivedFrame frame;
-  frame.type = h->type;
-  frame.payload.resize(h->length);
-  if (h->length > 0 && !read_exact(fd, frame.payload.data(), frame.payload.size())) {
-    return std::nullopt;
-  }
-  return frame;
+  return IoStatus::kOk;
 }
 
 }  // namespace qgdp::server::detail

@@ -1,35 +1,76 @@
-// Blocking socket I/O for framed qgdpd messages — the only code in
-// src/server that touches file descriptors. Both the daemon and the
-// client are loops around send_frame/recv_frame; the codec itself
+// Socket I/O for framed qgdpd messages — the only code in src/server
+// that touches file descriptors. Both the daemon and the client are
+// loops around send_frame/recv_frame; the codec itself
 // (server/protocol.h) never sees a socket.
+//
+// Every operation is deadline-bounded and poll-driven: fds are put in
+// non-blocking mode (prepare_socket) and each send/recv step polls
+// with the remaining budget, so a stalled peer releases the calling
+// thread with IoStatus::kTimeout instead of parking it forever. Two
+// deadlines cover the two failure shapes:
+//
+//   idle_timeout_ms   how long recv_frame waits for the FIRST byte of
+//                     a frame — the gap between requests. Expiry with
+//                     nothing read is a quiet session being evicted.
+//   frame_timeout_ms  budget for the REST of a frame once its first
+//                     byte arrived (and for draining a whole send).
+//                     Expiry mid-frame is a slowloris peer: a client
+//                     that sent half a header and stalled, or one
+//                     that stopped reading its reply.
+//
+// A FaultInjector installed in the policy is consulted before every
+// I/O step (see server/fault_injector.h) — the chaos harness injects
+// short reads/writes, stalls, torn sends, and dropped receives here,
+// below the framing layer, so recovery is exercised end to end.
 #pragma once
 
 #include <cstddef>
-#include <optional>
 #include <string>
 
+#include "server/fault_injector.h"
 #include "server/protocol.h"
 
 namespace qgdp::server::detail {
 
-/// Reads exactly `n` bytes; false on EOF or error.
-[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t n);
+enum class IoStatus {
+  kOk = 0,
+  kEof,       ///< peer closed cleanly between frames (nothing consumed)
+  kTimeout,   ///< idle or frame deadline expired
+  kBadFrame,  ///< header failed decode_frame_header (recv_frame only)
+  kError,     ///< I/O error, peer vanished mid-frame, or injected drop
+};
 
-/// Writes all `n` bytes (MSG_NOSIGNAL — a closed peer is a false
-/// return, not a SIGPIPE); false on error.
-[[nodiscard]] bool write_all(int fd, const void* buf, std::size_t n);
+[[nodiscard]] const char* to_string(IoStatus s);
 
-/// Encodes and writes one frame.
-[[nodiscard]] bool send_frame(int fd, FrameType type, const std::string& payload);
+struct IoPolicy {
+  int idle_timeout_ms{-1};   ///< first byte of a frame; -1 = no deadline
+  int frame_timeout_ms{-1};  ///< rest of a frame / whole send; -1 = none
+  FaultInjector* faults{nullptr};
+};
+
+/// Switches the fd to non-blocking mode (required for the deadline
+/// loops; a blocking fd still works but can defeat send deadlines).
+void prepare_socket(int fd);
+
+/// Writes all `n` bytes under the policy's frame deadline
+/// (MSG_NOSIGNAL — a closed peer is kError, not a SIGPIPE).
+[[nodiscard]] IoStatus write_all(int fd, const void* buf, std::size_t n,
+                                 const IoPolicy& policy = {});
+
+/// Encodes and writes one frame under the frame deadline.
+[[nodiscard]] IoStatus send_frame(int fd, FrameType type, const std::string& payload,
+                                  const IoPolicy& policy = {});
 
 struct ReceivedFrame {
   FrameType type{FrameType::kErrorReply};
   std::string payload;
 };
 
-/// Reads one frame. nullopt on clean EOF, I/O error, or malformed
-/// header; `*bad_frame` distinguishes the malformed-header case so the
-/// daemon can answer kBadFrame before closing.
-[[nodiscard]] std::optional<ReceivedFrame> recv_frame(int fd, bool* bad_frame = nullptr);
+/// Reads one frame: the first byte under the idle deadline, the rest
+/// under the frame deadline. kOk fills `*out`; every other status
+/// leaves the stream unusable (the caller should close) except
+/// kBadFrame, where the 8 header bytes were consumed but the
+/// connection is still byte-aligned enough to send an error reply.
+[[nodiscard]] IoStatus recv_frame(int fd, ReceivedFrame* out, const IoPolicy& policy = {});
 
 }  // namespace qgdp::server::detail

@@ -2,12 +2,22 @@
 // and the qgdpd daemon end to end over loopback TCP — cold/warm place
 // byte-identity through the content-addressed cache, ECO edits matching
 // a local IncrementalLegalizer run bit for bit, protocol error paths,
-// and the stats/shutdown lifecycle.
+// the stats/shutdown lifecycle, and the hostile-client matrix: idle and
+// slowloris eviction, malformed payloads, mid-reply disconnects,
+// connect/close churn, and overload shedding at both admission caps.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/incremental.h"
@@ -151,24 +161,156 @@ TEST(Protocol, RepliesRoundTripWithBody) {
   EXPECT_EQ(r->message, "no such device");
 }
 
+TEST(Protocol, EmptyRequestCodecAndRetryClassification) {
+  EXPECT_EQ(format_empty_request(), "\n");
+  EXPECT_TRUE(parse_empty_request(format_empty_request()));
+  EXPECT_FALSE(parse_empty_request(""));
+  EXPECT_FALSE(parse_empty_request("key value\n\n"));
+  EXPECT_FALSE(parse_empty_request("\n\n"));
+
+  EXPECT_EQ(to_string(StatusCode::kOverloaded), "overloaded");
+  EXPECT_EQ(to_string(StatusCode::kTimeout), "timeout");
+  EXPECT_TRUE(is_retryable(StatusCode::kOverloaded));
+  EXPECT_TRUE(is_retryable(StatusCode::kTimeout));
+  EXPECT_TRUE(is_retryable(StatusCode::kShuttingDown));
+  EXPECT_FALSE(is_retryable(StatusCode::kOk));
+  EXPECT_FALSE(is_retryable(StatusCode::kBadRequest));
+  EXPECT_FALSE(is_retryable(StatusCode::kUnknownTopology));
+  EXPECT_FALSE(is_retryable(StatusCode::kSolverInfeasible));
+  EXPECT_FALSE(is_retryable(StatusCode::kInternalError));
+}
+
+TEST(Client, RetryBackoffIsDeterministicJitteredAndCapped) {
+  RetryPolicy policy;
+  policy.backoff_base_ms = 10;
+  policy.backoff_max_ms = 200;
+  policy.jitter_seed = 7;
+  int prev_cap = 0;
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    const int cap = std::min(10 << (attempt - 1), 200);
+    const int d = retry_backoff_ms(policy, attempt);
+    // Jitter stays inside [cap/2, cap] and the schedule is pure.
+    EXPECT_GE(d, cap / 2) << attempt;
+    EXPECT_LE(d, cap) << attempt;
+    EXPECT_EQ(d, retry_backoff_ms(policy, attempt)) << attempt;
+    EXPECT_GE(cap, prev_cap);
+    prev_cap = cap;
+  }
+  RetryPolicy other = policy;
+  other.jitter_seed = 8;
+  bool differs = false;
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    differs |= retry_backoff_ms(policy, attempt) != retry_backoff_ms(other, attempt);
+  }
+  EXPECT_TRUE(differs);  // the seed actually reaches the jitter
+}
+
 // ---- daemon end to end ----------------------------------------------
 
 class QgdpdTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    QgdpdOptions opt;
-    opt.port = 0;  // ephemeral
+  void SetUp() override { restart(QgdpdOptions{}); }
+  void TearDown() override { daemon_->stop(); }
+
+  /// (Re)starts the daemon with `opt` on a fresh ephemeral port.
+  void restart(QgdpdOptions opt) {
+    if (daemon_) daemon_->stop();
+    opt.port = 0;
     daemon_ = std::make_unique<Qgdpd>(opt);
     std::string error;
     ASSERT_TRUE(daemon_->start(&error)) << error;
   }
-  void TearDown() override { daemon_->stop(); }
 
   [[nodiscard]] QgdpdClient connect() {
     QgdpdClient client;
     std::string error;
     EXPECT_TRUE(client.connect("127.0.0.1", daemon_->port(), &error)) << error;
     return client;
+  }
+
+  /// Raw TCP connection speaking bytes, not the client API — the
+  /// hostile-client tests need to send garbage and half-frames. A 5 s
+  /// receive timeout keeps a misbehaving daemon from hanging the test.
+  [[nodiscard]] int raw_connect(int rcvbuf = 0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    if (rcvbuf > 0) ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    timeval tv{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(daemon_->port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    return fd;
+  }
+
+  static bool raw_send(int fd, const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t r = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (r <= 0) return false;
+      sent += static_cast<std::size_t>(r);
+    }
+    return true;
+  }
+
+  struct RawFrame {
+    FrameType type{FrameType::kErrorReply};
+    std::string payload;
+  };
+
+  /// Blocking read of one complete frame; nullopt on EOF/timeout/bad
+  /// header.
+  static std::optional<RawFrame> raw_read_frame(int fd) {
+    unsigned char header[kFrameHeaderSize];
+    std::size_t got = 0;
+    while (got < kFrameHeaderSize) {
+      const ssize_t r = ::recv(fd, header + got, kFrameHeaderSize - got, 0);
+      if (r <= 0) return std::nullopt;
+      got += static_cast<std::size_t>(r);
+    }
+    const auto h = decode_frame_header(header);
+    if (!h) return std::nullopt;
+    RawFrame frame;
+    frame.type = h->type;
+    frame.payload.resize(h->length);
+    std::size_t body = 0;
+    while (body < frame.payload.size()) {
+      const ssize_t r = ::recv(fd, frame.payload.data() + body, frame.payload.size() - body, 0);
+      if (r <= 0) return std::nullopt;
+      body += static_cast<std::size_t>(r);
+    }
+    return frame;
+  }
+
+  /// True when the next read is an orderly EOF.
+  static bool raw_at_eof(int fd) {
+    char c;
+    return ::recv(fd, &c, 1, 0) == 0;
+  }
+
+  /// Reads one error frame and returns its status (kInternalError as a
+  /// sentinel when no parseable error frame arrived).
+  static StatusCode raw_error_status(int fd) {
+    const auto frame = raw_read_frame(fd);
+    if (!frame || frame->type != FrameType::kErrorReply) return StatusCode::kInternalError;
+    const auto rep = parse_error_reply(frame->payload);
+    return rep ? rep->status : StatusCode::kInternalError;
+  }
+
+  /// Polls until the session registry drains to `n` (daemon threads
+  /// unwind asynchronously after a peer hangs up).
+  void wait_active_sessions(std::size_t n, int deadline_ms = 5000) {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (daemon_->active_sessions() != n) {
+      const auto ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      ASSERT_LT(ms, deadline_ms) << "sessions stuck at " << daemon_->active_sessions();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
   }
 
   std::unique_ptr<Qgdpd> daemon_;
@@ -370,6 +512,265 @@ TEST_F(QgdpdTest, StatsAndShutdownLifecycle) {
   EXPECT_GE(final_stats->served_place, 2u);
   daemon_->wait();  // drains promptly once shutdown was requested
   EXPECT_FALSE(daemon_->running());
+}
+
+// ---- hostile-client matrix ------------------------------------------
+
+TEST_F(QgdpdTest, IdleSessionIsEvictedWithTimeout) {
+  QgdpdOptions opt;
+  opt.idle_timeout_ms = 150;
+  opt.frame_timeout_ms = 150;
+  restart(opt);
+
+  // Connect and send nothing: the idle deadline must evict us with a
+  // typed kTimeout frame followed by an orderly close.
+  const int fd = raw_connect();
+  EXPECT_EQ(raw_error_status(fd), StatusCode::kTimeout);
+  EXPECT_TRUE(raw_at_eof(fd));
+  ::close(fd);
+  wait_active_sessions(0);
+}
+
+TEST_F(QgdpdTest, SlowlorisHalfHeaderIsEvictedWithTimeout) {
+  QgdpdOptions opt;
+  opt.idle_timeout_ms = 2'000;
+  opt.frame_timeout_ms = 150;
+  restart(opt);
+
+  // Send three bytes of a valid header, then stall. The frame deadline
+  // (not the longer idle deadline) must fire: once a frame starts, the
+  // rest has 150 ms to arrive.
+  const std::string good = encode_frame(FrameType::kStatsRequest, format_empty_request());
+  const int fd = raw_connect();
+  ASSERT_TRUE(raw_send(fd, good.substr(0, 3)));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(raw_error_status(fd), StatusCode::kTimeout);
+  EXPECT_TRUE(raw_at_eof(fd));
+  const auto waited =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(waited, 1'500.0);  // frame deadline, not idle deadline
+  ::close(fd);
+  wait_active_sessions(0);
+
+  // The eviction is visible in the daemon's counters.
+  QgdpdClient client = connect();
+  std::string error;
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_GE(stats->timeouts, 1u);
+  EXPECT_EQ(stats->internal_errors, 0u);
+}
+
+TEST_F(QgdpdTest, MalformedPayloadsAreTypedAndBadMagicCloses) {
+  const int fd = raw_connect();
+
+  // A stats request carrying a payload is kBadRequest — and the
+  // connection survives to serve the corrected retry.
+  ASSERT_TRUE(raw_send(fd, encode_frame(FrameType::kStatsRequest, "verbose 1\n\n")));
+  EXPECT_EQ(raw_error_status(fd), StatusCode::kBadRequest);
+  ASSERT_TRUE(raw_send(fd, encode_frame(FrameType::kStatsRequest, format_empty_request())));
+  const auto stats = raw_read_frame(fd);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->type, FrameType::kStatsReply);
+  const auto parsed = parse_stats_reply(stats->payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->protocol_errors, 1u);
+
+  // A reply frame type sent as a request is kBadRequest too.
+  ASSERT_TRUE(raw_send(fd, encode_frame(FrameType::kPlaceReply, "status 0\n\n")));
+  EXPECT_EQ(raw_error_status(fd), StatusCode::kBadRequest);
+
+  // Garbage magic is unrecoverable: one kBadFrame frame, then close.
+  ASSERT_TRUE(raw_send(fd, std::string(kFrameHeaderSize, 'X')));
+  EXPECT_EQ(raw_error_status(fd), StatusCode::kBadFrame);
+  EXPECT_TRUE(raw_at_eof(fd));
+  ::close(fd);
+  wait_active_sessions(0);
+}
+
+TEST_F(QgdpdTest, MidReplyDisconnectLeavesDaemonServiceable) {
+  // Prefill the cache so the raw client's request answers immediately
+  // with a large (~1117-qubit .qlay) reply.
+  QgdpdClient warm = connect();
+  std::string error;
+  PlaceRequest place;
+  place.topology = "heavyhex-23x39";
+  place.want_layout = false;
+  ASSERT_TRUE(warm.place(place, &error).has_value()) << error;
+
+  // A tiny receive buffer forces the server to block mid-reply; we
+  // hang up without reading a byte of it.
+  place.want_layout = true;
+  const int fd = raw_connect(/*rcvbuf=*/2048);
+  ASSERT_TRUE(raw_send(fd, encode_frame(FrameType::kPlaceRequest, format_place_request(place))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ::close(fd);
+
+  // The write failure must kill only that session — the daemon keeps
+  // serving, records no internal errors, and reaps the thread.
+  const auto stats = warm.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->internal_errors, 0u);
+  wait_active_sessions(1);  // only `warm` remains
+}
+
+TEST_F(QgdpdTest, ConnectCloseChurnDoesNotLeakFdsOrSessions) {
+  auto count_fds = [] {
+    int n = 0;
+    DIR* dir = ::opendir("/proc/self/fd");
+    if (!dir) return -1;
+    while (::readdir(dir) != nullptr) ++n;
+    ::closedir(dir);
+    return n;
+  };
+
+  // A client that rides out transient kOverloaded sheds: a churn burst
+  // can transiently fill the registry while the accept loop drains the
+  // kernel backlog of already-closed connections behind it.
+  ClientOptions copt;
+  copt.retry.max_attempts = 20;
+  copt.retry.backoff_base_ms = 10;
+  copt.retry.backoff_max_ms = 100;
+
+  // Warm-up churn so lazily-created fds exist, then drain (the accept
+  // queue is FIFO — once a later connection is served, the churn ahead
+  // of it has been accepted) before taking the fd baseline.
+  for (int i = 0; i < 10; ++i) ::close(raw_connect());
+  {
+    QgdpdClient drain{copt};
+    std::string error;
+    ASSERT_TRUE(drain.connect("127.0.0.1", daemon_->port(), &error)) << error;
+    ASSERT_TRUE(drain.stats(&error).has_value()) << error;
+  }
+  wait_active_sessions(0);
+  const int before = count_fds();
+  ASSERT_GT(before, 0);
+
+  for (int i = 0; i < 500; ++i) {
+    const int fd = raw_connect();
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+  }
+
+  // The daemon still serves; the retry policy absorbs any shed while
+  // the backlog drains.
+  QgdpdClient client{copt};
+  std::string error;
+  ASSERT_TRUE(client.connect("127.0.0.1", daemon_->port(), &error)) << error;
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  // Every churn connection was accounted — accepted or shed, never lost.
+  EXPECT_GE(stats->sessions + stats->shed_sessions, 510u);
+  EXPECT_EQ(stats->internal_errors, 0u);
+
+  wait_active_sessions(1);  // only `client` remains
+  const int after = count_fds();
+  EXPECT_LE(after, before + 8) << "fd leak across connect/close churn";
+}
+
+TEST_F(QgdpdTest, SessionCapShedsWithOverloadedAndRecovers) {
+  QgdpdOptions opt;
+  opt.max_sessions = 2;
+  restart(opt);
+
+  // Fill the cap with two registered sessions (a completed roundtrip
+  // guarantees registration).
+  QgdpdClient a = connect();
+  QgdpdClient b = connect();
+  std::string error;
+  ASSERT_TRUE(a.stats(&error).has_value()) << error;
+  ASSERT_TRUE(b.stats(&error).has_value()) << error;
+
+  // The third connection is shed at accept: one kOverloaded frame,
+  // then close — reading without sending sees it cleanly.
+  const int fd = raw_connect();
+  EXPECT_EQ(raw_error_status(fd), StatusCode::kOverloaded);
+  EXPECT_TRUE(raw_at_eof(fd));
+  ::close(fd);
+
+  const auto stats = a.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->shed_sessions, 1u);
+  EXPECT_EQ(stats->active_sessions, 2u);
+
+  // Freeing a slot restores service for new connections.
+  b.close();
+  wait_active_sessions(1);
+  QgdpdClient c = connect();
+  EXPECT_TRUE(c.stats(&error).has_value()) << error;
+}
+
+TEST_F(QgdpdTest, ColdPlaceCapShedsAndRetryPolicySucceeds) {
+  QgdpdOptions opt;
+  opt.max_inflight_places = 1;
+  restart(opt);
+
+  PlaceRequest cold;
+  cold.topology = "heavyhex-23x39";  // ~hundreds of ms cold: a wide race-free window
+  cold.use_cache = false;
+  cold.want_layout = false;
+
+  // A holds the single cold-place slot; B's cold place must shed.
+  QgdpdClient a = connect();
+  std::thread holder([&] {
+    std::string err;
+    const auto rep = a.place(cold, &err);
+    EXPECT_TRUE(rep.has_value()) << err;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  QgdpdClient b = connect();
+  std::string error;
+  EXPECT_FALSE(b.place(cold, &error).has_value());
+  EXPECT_EQ(b.last_status(), StatusCode::kOverloaded);
+  EXPECT_NE(error.find("overloaded"), std::string::npos) << error;
+  holder.join();
+
+  // The shed request's connection stayed open, and a client with a
+  // retry policy rides out the cap without surfacing the shed at all.
+  const auto stats = b.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->shed_places, 1u);
+
+  ClientOptions copt;
+  copt.retry.max_attempts = 5;
+  copt.retry.backoff_base_ms = 20;
+  QgdpdClient c{copt};
+  ASSERT_TRUE(c.connect("127.0.0.1", daemon_->port(), &error)) << error;
+  PlaceRequest cached = cold;
+  cached.use_cache = true;
+  const auto rep = c.place(cached, &error);
+  ASSERT_TRUE(rep.has_value()) << error;
+  EXPECT_EQ(rep->status, StatusCode::kOk);
+}
+
+TEST_F(QgdpdTest, PlaceBudgetTimesOutButBanksTheLayout) {
+  QgdpdOptions opt;
+  opt.place_budget_ms = 1;  // no cold pipeline run fits 1 ms
+  restart(opt);
+
+  PlaceRequest place;
+  place.topology = "heavyhex-11x19";
+  place.want_layout = true;
+
+  // The cold place blows the budget: typed kTimeout, but the layout
+  // was banked in the cache first.
+  QgdpdClient client = connect();
+  std::string error;
+  EXPECT_FALSE(client.place(place, &error).has_value());
+  EXPECT_EQ(client.last_status(), StatusCode::kTimeout);
+  EXPECT_TRUE(is_retryable(client.last_status()));
+
+  // The retry is warm — a cache hit skips the pipeline and the budget.
+  const auto warm = client.place(place, &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  EXPECT_EQ(warm->status, StatusCode::kOk);
+  EXPECT_TRUE(warm->cached);
+
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->timeouts, 1u);
+  EXPECT_EQ(stats->cache_hits, 1u);
 }
 
 }  // namespace
