@@ -41,17 +41,29 @@
 //             extra connects shed with kOverloaded (exact count), and
 //             concurrent cold places over max_inflight_places shed
 //             per request (client-observed count == daemon counter).
+//
+// `--persist` prepends a crash-safety phase on forked daemon children
+// sharing one --cache-dir: populate the durable cache, SIGKILL the
+// daemon (including once mid-flush, with the writer artificially
+// slowed so the kill lands between the temp write and the rename),
+// inject corrupt/truncated/stale files, then restart over the same
+// directory and require the warm hit to be byte-identical, every bad
+// file quarantined and counted, and a final clean shutdown with exit
+// code 0.
 #include <algorithm>
 #include <arpa/inet.h>
 #include <chrono>
 #include <cstring>
+#include <dirent.h>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sstream>
 #include <string>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -520,6 +532,196 @@ ChaosReport run_chaos(const std::string& host, const PlaceRequest& place,
   return report;
 }
 
+// ---- persistence harness ---------------------------------------------
+
+struct PersistReport {
+  std::uint64_t entries_loaded{0};
+  std::uint64_t corrupt_quarantined{0};
+  int tmp_leftover{0};        ///< interrupted writes left by the mid-flush kill
+  double warm_restart_ms{0.0};  ///< warm hit latency on the restarted daemon
+  bool byte_identical{false};
+  bool clean_shutdown{false};   ///< final daemon exited 0 on protocol shutdown
+};
+
+int count_suffix(const std::string& dir, const std::string& suffix) {
+  int n = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return -1;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      ++n;
+    }
+  }
+  ::closedir(d);
+  return n;
+}
+
+/// Forks a daemon child serving over `cache_dir`; the parent gets the
+/// bound port through a pipe. The child blocks in daemon.wait() — a
+/// protocol shutdown exits it with 0, a SIGKILL models a crash. Must
+/// be called while the parent is still single-threaded (fork).
+pid_t spawn_cached_daemon(const std::string& host, const std::string& cache_dir,
+                          int write_delay_ms, std::uint16_t* port) {
+  int fds[2];
+  if (::pipe(fds) != 0) die("persist: pipe failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) die("persist: fork failed");
+  if (pid == 0) {
+    ::close(fds[0]);
+    QgdpdOptions opt;
+    opt.host = host;
+    opt.cache_dir = cache_dir;
+    opt.cache_write_delay_ms = write_delay_ms;
+    Qgdpd child(opt);
+    std::string error;
+    if (!child.start(&error)) {
+      const std::uint16_t zero = 0;
+      (void)!::write(fds[1], &zero, sizeof zero);
+      ::_exit(3);
+    }
+    const std::uint16_t p = child.port();
+    if (::write(fds[1], &p, sizeof p) != sizeof p) ::_exit(3);
+    ::close(fds[1]);
+    child.wait();
+    child.stop();
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  if (::read(fds[0], port, sizeof *port) != sizeof *port || *port == 0) {
+    die("persist: child daemon failed to start");
+  }
+  ::close(fds[0]);
+  return pid;
+}
+
+PersistReport run_persist(const std::string& host, const PlaceRequest& place, bool quick) {
+  char tmpl[] = "/tmp/qgdp_bench_persist_XXXXXX";
+  char* made = ::mkdtemp(tmpl);
+  if (!made) die("persist: mkdtemp failed");
+  const std::string dir = made;
+  PersistReport report;
+
+  // Phase 1: populate the durable tier, then crash the daemon. The
+  // stats poll guarantees the background writer finished before the
+  // SIGKILL — this phase proves a completed write survives a crash.
+  std::string cold_layout;
+  std::string cache_key;
+  {
+    std::uint16_t port = 0;
+    const pid_t pid = spawn_cached_daemon(host, dir, 0, &port);
+    QgdpdClient client = connect_or_die(host, port);
+    std::string error;
+    const auto rep = client.place(place, &error);
+    if (!rep || rep->status != StatusCode::kOk || rep->layout.empty()) {
+      die("persist: populate place failed: " + error);
+    }
+    cold_layout = rep->layout;
+    cache_key = rep->cache_key;
+    const auto t0 = Clock::now();
+    for (;;) {
+      const auto st = client.stats(&error);
+      if (!st) die("persist: stats failed: " + error);
+      if (st->entries_flushed >= 1) break;
+      if (ms_since(t0) > 10'000.0) die("persist: entry never flushed to disk");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  if (count_suffix(dir, ".qlc") < 1) die("persist: no durable entry after kill -9");
+
+  // Phase 2: crash mid-flush. The writer is slowed so the SIGKILL
+  // lands between the temp-file write and the atomic rename — the
+  // interrupted write must surface as a stray .tmp, never as a
+  // half-written .qlc that a restart could mistake for an entry.
+  {
+    std::uint16_t port = 0;
+    const pid_t pid = spawn_cached_daemon(host, dir, quick ? 300 : 500, &port);
+    QgdpdClient client = connect_or_die(host, port);
+    std::string error;
+    PlaceRequest other = place;
+    other.seed = place.seed + 1;  // a second entry, not yet durable
+    const auto rep = client.place(other, &error);
+    if (!rep || rep->status != StatusCode::kOk) {
+      die("persist: mid-write place failed: " + error);
+    }
+    ::kill(pid, SIGKILL);  // the writer is asleep inside the delayed flush
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  const int n_good = count_suffix(dir, ".qlc");
+  report.tmp_leftover = count_suffix(dir, ".tmp");
+
+  // Phase 3: sabotage the directory with the three corruption classes
+  // a real disk can produce: garbage bytes, a truncated entry, and a
+  // stale format version.
+  {
+    std::string good_bytes;
+    {
+      std::ifstream f(dir + "/" + cache_key + ".qlc", std::ios::binary);
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      good_bytes = ss.str();
+    }
+    std::ofstream(dir + "/00000000deadbeef.qlc", std::ios::binary)
+        << "not a cache entry at all\n";
+    std::ofstream(dir + "/1111111111111111.qlc", std::ios::binary)
+        << good_bytes.substr(0, good_bytes.size() / 3);
+    std::string stale = good_bytes;
+    if (stale.size() > 7) stale.replace(0, 7, "qgdpc 9");
+    std::ofstream(dir + "/2222222222222222.qlc", std::ios::binary) << stale;
+  }
+
+  // Phase 4: restart over the same directory. Recovery must load every
+  // intact entry, quarantine exactly the injected corruption plus the
+  // interrupted write, serve the warm hit byte-identically, and then
+  // shut down cleanly with exit code 0.
+  {
+    std::uint16_t port = 0;
+    const pid_t pid = spawn_cached_daemon(host, dir, 0, &port);
+    QgdpdClient client = connect_or_die(host, port);
+    std::string error;
+    const auto st = client.stats(&error);
+    if (!st) die("persist: restart stats failed: " + error);
+    report.entries_loaded = st->entries_loaded;
+    report.corrupt_quarantined = st->corrupt_quarantined;
+    if (st->entries_loaded != static_cast<std::uint64_t>(n_good)) {
+      die("persist: loaded " + std::to_string(st->entries_loaded) + " entries, expected " +
+          std::to_string(n_good));
+    }
+    const std::uint64_t expect_quarantined =
+        3 + static_cast<std::uint64_t>(report.tmp_leftover);
+    if (st->corrupt_quarantined != expect_quarantined) {
+      die("persist: quarantined " + std::to_string(st->corrupt_quarantined) + ", expected " +
+          std::to_string(expect_quarantined));
+    }
+    const auto t0 = Clock::now();
+    const auto warm = client.place(place, &error);
+    report.warm_restart_ms = ms_since(t0);
+    if (!warm || warm->status != StatusCode::kOk) die("persist: warm place failed: " + error);
+    if (!warm->cached) die("persist: restarted daemon missed its own durable cache");
+    if (warm->cache_key != cache_key || warm->layout != cold_layout) {
+      die("persist: warm hit not byte-identical across kill -9 + restart");
+    }
+    report.byte_identical = true;
+    if (!client.shutdown_server(&error)) die("persist: shutdown failed: " + error);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    report.clean_shutdown = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!report.clean_shutdown) die("persist: daemon did not exit 0 on clean shutdown");
+  }
+  if (std::system(("rm -rf " + dir).c_str()) != 0) {
+    std::cerr << "bench_serving: warning: could not remove " << dir << "\n";
+  }
+  std::cerr << "bench_serving: persist ok (" << report.entries_loaded << " loaded, "
+            << report.corrupt_quarantined << " quarantined, warm restart "
+            << report.warm_restart_ms << " ms)\n";
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -537,6 +739,7 @@ int main(int argc, char** argv) {
   int mixed_ecos_per_thread = 25;
   bool quick = false;
   bool chaos = false;
+  bool persist = false;
   std::uint64_t fault_seed = 42;
 
   for (int i = 1; i < argc; ++i) {
@@ -561,6 +764,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--chaos") {
       chaos = true;
+    } else if (arg == "--persist") {
+      persist = true;
     } else if (arg == "--fault-seed") {
       fault_seed = std::stoull(value());
     } else {
@@ -578,6 +783,19 @@ int main(int argc, char** argv) {
   const auto spec = qgdp::topology_by_name(topology);
   if (!spec) die("unknown topology " + topology);
   const int qubit_count = spec->qubit_count;
+
+  // ---- crash-safety phase: fork/SIGKILL/restart over a shared
+  // --cache-dir. Runs first, while this process is still
+  // single-threaded — fork() from a threaded parent is off the table.
+  PersistReport persist_report;
+  if (persist) {
+    PlaceRequest preq;
+    preq.topology = topology;
+    preq.flow = flow;
+    preq.seed = seed;
+    preq.want_layout = true;
+    persist_report = run_persist(host, preq, quick);
+  }
 
   // Self-host unless --port points at an external daemon.
   std::unique_ptr<Qgdpd> daemon;
@@ -800,6 +1018,16 @@ int main(int argc, char** argv) {
         << ", \"shed_rate\": " << chaos_report.shed_rate
         << ", \"timeouts\": " << chaos_report.timeouts
         << ", \"internal_errors\": 0, \"determinism\": \"byte-identical under faults\"},\n";
+  }
+  if (persist) {
+    out << "  \"persist\": {\"entries_loaded\": " << persist_report.entries_loaded
+        << ", \"corrupt_quarantined\": " << persist_report.corrupt_quarantined
+        << ", \"tmp_leftover\": " << persist_report.tmp_leftover
+        << ", \"warm_restart_ms\": " << persist_report.warm_restart_ms
+        << ", \"byte_identical_across_kill9\": "
+        << (persist_report.byte_identical ? "true" : "false")
+        << ", \"clean_shutdown_exit0\": "
+        << (persist_report.clean_shutdown ? "true" : "false") << ", \"kill9_phases\": 2},\n";
   }
   out << "  \"warm_speedup_p50\": " << warm_speedup << ",\n"
       << "  \"meets_20x_warm_target\": " << (warm_speedup >= 20.0 ? "true" : "false") << "\n"

@@ -20,12 +20,17 @@
 // `eco` first issues a place for --topology on the same connection
 // (warm if the daemon has served it before — sessions own their
 // layout), then applies the move batch to that session's layout.
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "server/client.h"
@@ -47,6 +52,10 @@ daemon:
   --cache N         layout-cache capacity in entries (default 64)
   --jobs N          BatchRunner lanes per request (default: pool size)
   --verbose         per-request log lines on stderr
+  --cache-dir PATH  durable cache directory: valid entries are loaded at
+                    boot (corrupt files quarantined, never fatal), every
+                    cache fill is persisted atomically in the background,
+                    and SIGINT/SIGTERM/shutdown flush before exiting
   --max-sessions N      concurrent-session cap; excess connections are
                         shed with kOverloaded (default 64)
   --max-inflight N      concurrent cold-place cap, 0 = unlimited (default 8)
@@ -119,25 +128,59 @@ void print_stats(const StatsReply& s) {
             << "shed_places " << s.shed_places << "\n"
             << "timeouts " << s.timeouts << "\n"
             << "accept_retries " << s.accept_retries << "\n"
+            << "validation_rejects " << s.validation_rejects << "\n"
             << "cache_hits " << s.cache_hits << "\n"
             << "cache_misses " << s.cache_misses << "\n"
             << "cache_insertions " << s.cache_insertions << "\n"
             << "cache_evictions " << s.cache_evictions << "\n"
             << "cache_entries " << s.cache_entries << "\n"
-            << "cache_bytes " << s.cache_bytes << "\n";
+            << "cache_bytes " << s.cache_bytes << "\n"
+            << "entries_loaded " << s.entries_loaded << "\n"
+            << "entries_flushed " << s.entries_flushed << "\n"
+            << "corrupt_quarantined " << s.corrupt_quarantined << "\n";
 }
 
 int run_serve(const CommonArgs& common, QgdpdOptions opt) {
   opt.host = common.host;
   opt.port = common.port;
+
+  // SIGINT/SIGTERM drain the daemon exactly like a protocol shutdown:
+  // sessions finish, the cache store flushes, exit 0. The signals are
+  // blocked in every thread and consumed by one dedicated sigwait
+  // thread — no async-signal-safety gymnastics in a handler.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
   qgdp::server::Qgdpd daemon(opt);
   std::string error;
   if (!daemon.start(&error)) {
     std::cerr << "qgdpd_tool: " << error << "\n";
     return 1;
   }
+  std::atomic<bool> signalled{false};
+  std::atomic<bool> poked{false};  // woken by main after a protocol shutdown
+  std::thread sig_thread([&] {
+    int sig = 0;
+    if (sigwait(&sigs, &sig) != 0) return;
+    if (poked.load()) return;  // daemon already drained via protocol
+    signalled.store(true);
+    std::cerr << "qgdpd: caught " << (sig == SIGINT ? "SIGINT" : "SIGTERM")
+              << ", draining\n";
+    daemon.stop();
+  });
   std::cout << "qgdpd listening on " << opt.host << ':' << daemon.port() << std::endl;
   daemon.wait();
+  // A protocol shutdown leaves the sigwait thread parked; poke it with
+  // the (blocked) SIGTERM so it wakes and joins. If a real signal won
+  // the race, stop() has already run and the poke is harmless.
+  if (!signalled.load()) {
+    poked.store(true);
+    pthread_kill(sig_thread.native_handle(), SIGTERM);
+  }
+  sig_thread.join();
   std::cout << "qgdpd drained\n";
   return 0;
 }
@@ -241,6 +284,12 @@ int main(int argc, char** argv) {
       common.port = static_cast<std::uint16_t>(numeric_value(65535));
     } else if (arg == "--cache") {
       serve_opt.cache_entries = numeric_value(1u << 20);
+    } else if (arg == "--cache-dir") {
+      serve_opt.cache_dir = value();
+    } else if (arg == "--cache-write-delay-ms") {
+      // Undocumented crash-test knob: stretches the atomic-write window
+      // so a kill -9 deterministically lands mid-flush.
+      serve_opt.cache_write_delay_ms = static_cast<int>(numeric_value(60'000));
     } else if (arg == "--jobs") {
       serve_opt.jobs = numeric_value(1024);
     } else if (arg == "--verbose") {

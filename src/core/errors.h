@@ -1,0 +1,31 @@
+// Typed pipeline errors. Every external input boundary (protocol
+// requests, topology/netlist construction, serialization reads, the
+// GlobalPlacer divergence watchdog) rejects bad input with one of
+// these instead of asserting or emitting garbage downstream. They
+// derive from std::runtime_error so existing catch sites — the
+// daemon's handle_place/handle_eco wrappers and the serialization
+// tests — keep working unchanged, while new code can switch on kind().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qgdp {
+
+class PipelineError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kInvalidInput,       // degenerate fabric, non-finite coordinate/frequency, ...
+    kNumericDivergence,  // solver produced NaN/Inf mid-flight (watchdog)
+  };
+
+  PipelineError(Kind kind, const std::string& what)
+      : std::runtime_error("qgdp pipeline: " + what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+}  // namespace qgdp

@@ -1,5 +1,6 @@
 #include "io/serialization.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -9,8 +10,31 @@ namespace qgdp {
 
 namespace {
 
+// Bound on any count field (qubits/couplings/edges/blocks) a file may
+// declare. Far above every real device, far below what would let a
+// hostile count line drive a multi-gigabyte allocation before the
+// per-item lines are even read.
+constexpr long long kMaxSerializedItems = 10'000'000;
+
 [[noreturn]] void parse_error(const std::string& what) {
   throw std::runtime_error("qgdp serialization: " + what);
+}
+
+/// Every numeric extraction is checked: the pre-hardening reader left
+/// stream failures silent, so a garbage or "nan" token fell through as
+/// zero. A failed extraction is now a typed parse error.
+void require_fields(const std::istream& ss, const std::string& line) {
+  if (ss.fail()) parse_error("malformed line '" + line + "'");
+}
+
+/// Doubles read from disk must be finite — NaN/Inf would propagate
+/// into the frequency-aware objectives and corrupt them silently.
+void require_finite(double v, const std::string& line) {
+  if (!std::isfinite(v)) parse_error("non-finite value in line '" + line + "'");
+}
+
+void require_count(long long n, const std::string& line) {
+  if (n < 0 || n > kMaxSerializedItems) parse_error("absurd count in line '" + line + "'");
 }
 
 std::ifstream open_in(const std::string& path) {
@@ -70,7 +94,11 @@ DeviceSpec read_device(std::istream& is) {
   std::string line;
   if (!next_line(is, line)) parse_error("empty device stream");
   int version = 0;
-  expect(line, "qdev") >> version;
+  {
+    auto ss = expect(line, "qdev");
+    ss >> version;
+    require_fields(ss, line);
+  }
   if (version != 1) parse_error("unsupported qdev version");
 
   if (!next_line(is, line)) parse_error("missing name");
@@ -79,25 +107,43 @@ DeviceSpec read_device(std::istream& is) {
     std::getline(ss >> std::ws, spec.name);
   }
   if (!next_line(is, line)) parse_error("missing qubits");
-  expect(line, "qubits") >> spec.qubit_count;
+  {
+    auto ss = expect(line, "qubits");
+    long long n = 0;
+    ss >> n;
+    require_fields(ss, line);
+    require_count(n, line);
+    spec.qubit_count = static_cast<int>(n);
+  }
   if (spec.qubit_count <= 0) parse_error("qubit count must be positive");
   spec.coords.assign(static_cast<std::size_t>(spec.qubit_count), Point{});
   for (int i = 0; i < spec.qubit_count; ++i) {
     if (!next_line(is, line)) parse_error("missing coord line");
     int q = 0;
     Point c;
-    expect(line, "coord") >> q >> c.x >> c.y;
+    auto ss = expect(line, "coord");
+    ss >> q >> c.x >> c.y;
+    require_fields(ss, line);
+    require_finite(c.x, line);
+    require_finite(c.y, line);
     if (q < 0 || q >= spec.qubit_count) parse_error("coord qubit id out of range");
     spec.coords[static_cast<std::size_t>(q)] = c;
   }
   if (!next_line(is, line)) parse_error("missing couplings");
-  std::size_t m = 0;
-  expect(line, "couplings") >> m;
-  for (std::size_t i = 0; i < m; ++i) {
+  long long m = 0;
+  {
+    auto ss = expect(line, "couplings");
+    ss >> m;
+    require_fields(ss, line);
+    require_count(m, line);
+  }
+  for (long long i = 0; i < m; ++i) {
     if (!next_line(is, line)) parse_error("missing coupling line");
     int a = 0;
     int b = 0;
-    expect(line, "c") >> a >> b;
+    auto ss = expect(line, "c");
+    ss >> a >> b;
+    require_fields(ss, line);
     if (a < 0 || a >= spec.qubit_count || b < 0 || b >= spec.qubit_count || a == b) {
       parse_error("bad coupling " + std::to_string(a) + "-" + std::to_string(b));
     }
@@ -146,7 +192,11 @@ QuantumNetlist read_layout(std::istream& is) {
   std::string line;
   if (!next_line(is, line)) parse_error("empty layout stream");
   int version = 0;
-  expect(line, "qlay") >> version;
+  {
+    auto ss = expect(line, "qlay");
+    ss >> version;
+    require_fields(ss, line);
+  }
   if (version != 1) parse_error("unsupported qlay version");
 
   if (!next_line(is, line)) parse_error("missing name");
@@ -159,28 +209,52 @@ QuantumNetlist read_layout(std::istream& is) {
   if (!next_line(is, line)) parse_error("missing die");
   {
     Rect die;
-    expect(line, "die") >> die.lo.x >> die.lo.y >> die.hi.x >> die.hi.y;
+    auto ss = expect(line, "die");
+    ss >> die.lo.x >> die.lo.y >> die.hi.x >> die.hi.y;
+    require_fields(ss, line);
+    require_finite(die.lo.x, line);
+    require_finite(die.lo.y, line);
+    require_finite(die.hi.x, line);
+    require_finite(die.hi.y, line);
     nl.set_die(die);
   }
-  std::size_t nq = 0;
+  long long nq = 0;
   if (!next_line(is, line)) parse_error("missing qubits");
-  expect(line, "qubits") >> nq;
-  for (std::size_t i = 0; i < nq; ++i) {
+  {
+    auto ss = expect(line, "qubits");
+    ss >> nq;
+    require_fields(ss, line);
+    require_count(nq, line);
+  }
+  for (long long i = 0; i < nq; ++i) {
     if (!next_line(is, line)) parse_error("missing qubit line");
     int id = 0;
     Point pos;
     double w = 0;
     double h = 0;
     double f = 0;
-    expect(line, "q") >> id >> pos.x >> pos.y >> w >> h >> f;
+    auto ss = expect(line, "q");
+    ss >> id >> pos.x >> pos.y >> w >> h >> f;
+    require_fields(ss, line);
+    require_finite(pos.x, line);
+    require_finite(pos.y, line);
+    require_finite(w, line);
+    require_finite(h, line);
+    require_finite(f, line);
     const int got = nl.add_qubit(pos, w, h, f);
     if (got != id) parse_error("qubit ids must be dense and ordered");
   }
-  std::size_t ne = 0;
+  long long ne = 0;
   if (!next_line(is, line)) parse_error("missing edges");
-  expect(line, "edges") >> ne;
+  {
+    auto ss = expect(line, "edges");
+    ss >> ne;
+    require_fields(ss, line);
+    require_count(ne, line);
+  }
   std::vector<int> block_counts;
-  for (std::size_t i = 0; i < ne; ++i) {
+  long long total_blocks = 0;
+  for (long long i = 0; i < ne; ++i) {
     if (!next_line(is, line)) parse_error("missing edge line");
     int id = 0;
     int q0 = 0;
@@ -188,26 +262,52 @@ QuantumNetlist read_layout(std::istream& is) {
     double f = 0;
     double len = 0;
     double pad = 0;
-    int nblocks = 0;
-    expect(line, "e") >> id >> q0 >> q1 >> f >> len >> pad >> nblocks;
+    long long nblocks = 0;
+    auto ss = expect(line, "e");
+    ss >> id >> q0 >> q1 >> f >> len >> pad >> nblocks;
+    require_fields(ss, line);
+    require_finite(f, line);
+    require_finite(len, line);
+    require_finite(pad, line);
+    // add_edge indexes the incidence lists by q0/q1 — bounds must hold
+    // here, before the call, for a hostile file to stay a parse error.
+    if (q0 < 0 || q1 < 0 || static_cast<long long>(q0) >= nq ||
+        static_cast<long long>(q1) >= nq || q0 == q1) {
+      parse_error("edge endpoints out of range in line '" + line + "'");
+    }
+    require_count(nblocks, line);
+    total_blocks += nblocks;
+    if (total_blocks > kMaxSerializedItems) parse_error("absurd total block count");
     const int got = nl.add_edge(q0, q1, f, len, pad);
     if (got != id) parse_error("edge ids must be dense and ordered");
-    block_counts.push_back(nblocks);
+    block_counts.push_back(static_cast<int>(nblocks));
   }
-  for (std::size_t e = 0; e < ne; ++e) {
-    nl.partition_edge(static_cast<int>(e), block_counts[e]);
+  for (long long e = 0; e < ne; ++e) {
+    nl.partition_edge(static_cast<int>(e), block_counts[static_cast<std::size_t>(e)]);
   }
-  std::size_t nb = 0;
+  long long nb = 0;
   if (!next_line(is, line)) parse_error("missing blocks");
-  expect(line, "blocks") >> nb;
-  if (nb != nl.block_count()) parse_error("block count mismatch vs edge partitioning");
-  for (std::size_t i = 0; i < nb; ++i) {
+  {
+    auto ss = expect(line, "blocks");
+    ss >> nb;
+    require_fields(ss, line);
+    require_count(nb, line);
+  }
+  if (static_cast<std::size_t>(nb) != nl.block_count()) {
+    parse_error("block count mismatch vs edge partitioning");
+  }
+  for (long long i = 0; i < nb; ++i) {
     if (!next_line(is, line)) parse_error("missing block line");
     int id = 0;
     int edge = 0;
     Point pos;
     double size = 0;
-    expect(line, "b") >> id >> edge >> pos.x >> pos.y >> size;
+    auto ss = expect(line, "b");
+    ss >> id >> edge >> pos.x >> pos.y >> size;
+    require_fields(ss, line);
+    require_finite(pos.x, line);
+    require_finite(pos.y, line);
+    require_finite(size, line);
     if (id < 0 || static_cast<std::size_t>(id) >= nl.block_count()) {
       parse_error("block id out of range");
     }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/errors.h"
 #include "netlist/frequency_planner.h"
 
 namespace qgdp {
@@ -12,6 +13,43 @@ QuantumNetlist build_netlist(const DeviceSpec& spec, const BuilderParams& p) {
   if (spec.qubit_count <= 0) throw std::invalid_argument("build_netlist: empty device");
   if (static_cast<int>(spec.coords.size()) != spec.qubit_count) {
     throw std::invalid_argument("build_netlist: coords/qubit_count mismatch");
+  }
+  // A degenerate fabric or non-finite plan parameter would flow into
+  // the frequency-aware objectives and corrupt them silently (the
+  // failure surfaces as garbage positions, not as an error). Reject
+  // typed, up front.
+  for (const Point c : spec.coords) {
+    if (!std::isfinite(c.x) || !std::isfinite(c.y)) {
+      throw PipelineError(PipelineError::Kind::kInvalidInput,
+                          "build_netlist: non-finite schematic coordinate");
+    }
+  }
+  for (const auto& [a, b] : spec.couplings) {
+    if (a < 0 || b < 0 || a >= spec.qubit_count || b >= spec.qubit_count || a == b) {
+      throw PipelineError(PipelineError::Kind::kInvalidInput,
+                          "build_netlist: coupling endpoint out of range");
+    }
+  }
+  if (!std::isfinite(p.qubit_size) || p.qubit_size <= 0.0) {
+    throw PipelineError(PipelineError::Kind::kInvalidInput,
+                        "build_netlist: qubit_size must be finite and positive");
+  }
+  if (!std::isfinite(p.target_utilization) || p.target_utilization <= 0.0 ||
+      p.target_utilization > 1.0) {
+    throw PipelineError(PipelineError::Kind::kInvalidInput,
+                        "build_netlist: target_utilization must be in (0, 1]");
+  }
+  if (!std::isfinite(p.length_coeff) || p.length_coeff <= 0.0 || !std::isfinite(p.padding) ||
+      p.padding < 0.0) {
+    throw PipelineError(PipelineError::Kind::kInvalidInput,
+                        "build_netlist: non-finite wire plan parameters");
+  }
+  if (!std::isfinite(p.qubit_freq_base) || !std::isfinite(p.qubit_freq_step) ||
+      !std::isfinite(p.qubit_freq_jitter) || !std::isfinite(p.res_freq_lo) ||
+      !std::isfinite(p.res_freq_hi) || p.res_freq_lo <= 0.0 ||
+      p.res_freq_hi < p.res_freq_lo) {
+    throw PipelineError(PipelineError::Kind::kInvalidInput,
+                        "build_netlist: non-finite or inverted frequency plan");
   }
   QuantumNetlist nl;
   nl.set_name(spec.name);

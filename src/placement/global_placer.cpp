@@ -5,6 +5,7 @@
 #include <cmath>
 #include <random>
 
+#include "core/errors.h"
 #include "geometry/spatial_hash.h"
 #include "placement/multilevel.h"
 #include "placement/repulsion_kernel.h"
@@ -17,6 +18,44 @@ namespace {
 double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Input gate for the solver: a non-finite seed position, size, or
+/// frequency — or a degenerate die — would not crash the force loops,
+/// it would silently saturate them and converge to garbage. Typed
+/// reject instead, before any force is computed.
+void validate_placement_inputs(const QuantumNetlist& nl) {
+  const Rect die = nl.die();
+  if (!std::isfinite(die.lo.x) || !std::isfinite(die.lo.y) || !std::isfinite(die.hi.x) ||
+      !std::isfinite(die.hi.y)) {
+    throw PipelineError(PipelineError::Kind::kInvalidInput, "GlobalPlacer: non-finite die");
+  }
+  if (nl.component_count() > 0 && (die.width() <= 0.0 || die.height() <= 0.0)) {
+    throw PipelineError(PipelineError::Kind::kInvalidInput,
+                        "GlobalPlacer: degenerate die for a non-empty netlist");
+  }
+  for (const auto& q : nl.qubits()) {
+    if (!std::isfinite(q.pos.x) || !std::isfinite(q.pos.y) || !std::isfinite(q.width) ||
+        !std::isfinite(q.height) || !std::isfinite(q.frequency)) {
+      throw PipelineError(PipelineError::Kind::kInvalidInput,
+                          "GlobalPlacer: non-finite qubit state (id " + std::to_string(q.id) +
+                              ")");
+    }
+  }
+  for (const auto& b : nl.blocks()) {
+    if (!std::isfinite(b.pos.x) || !std::isfinite(b.pos.y) || !std::isfinite(b.size)) {
+      throw PipelineError(PipelineError::Kind::kInvalidInput,
+                          "GlobalPlacer: non-finite block state (id " + std::to_string(b.id) +
+                              ")");
+    }
+  }
+  for (const auto& e : nl.edges()) {
+    if (!std::isfinite(e.frequency)) {
+      throw PipelineError(PipelineError::Kind::kInvalidInput,
+                          "GlobalPlacer: non-finite edge frequency (id " +
+                              std::to_string(e.id) + ")");
+    }
+  }
 }
 
 /// Fixed reduction granularity of the integration pass: chunk
@@ -199,6 +238,16 @@ int run_level(PlacementLevel& level, const GlobalPlacerOptions& opt, const Rect&
     for (std::size_t c = 0; c < chunks; ++c) movement += part_sum[c];
     stats.integrate_ms += ms_since(t0);
 
+    // Divergence watchdog: `movement` folds every per-body step norm,
+    // so a single NaN/Inf anywhere in the force state poisons it
+    // within one iteration. Abort typed instead of letting a poisoned
+    // solve run to completion and emit garbage positions.
+    if (!std::isfinite(movement)) {
+      throw PipelineError(PipelineError::Kind::kNumericDivergence,
+                          "GlobalPlacer: non-finite movement at iteration " +
+                              std::to_string(it));
+    }
+
     step *= sched.decay;
     if (movement / static_cast<double>(n) < 1e-4) {  // settled: early exit
       ++it;
@@ -333,6 +382,11 @@ GlobalPlacerStats GlobalPlacer::place_flat_baseline(QuantumNetlist& nl) const {
       movement += fn;
     }
     step *= opt_.step_decay;
+    if (!std::isfinite(movement)) {
+      throw PipelineError(PipelineError::Kind::kNumericDivergence,
+                          "GlobalPlacer: non-finite movement at iteration " +
+                              std::to_string(it));
+    }
     if (movement / static_cast<double>(bodies.size()) < 1e-4) break;
   }
 
@@ -347,6 +401,7 @@ GlobalPlacerStats GlobalPlacer::place_flat_baseline(QuantumNetlist& nl) const {
 }
 
 GlobalPlacerStats GlobalPlacer::place(QuantumNetlist& nl) const {
+  validate_placement_inputs(nl);
   if (opt_.flat_baseline) return place_flat_baseline(nl);
 
   GlobalPlacerStats stats;

@@ -1,0 +1,311 @@
+#include "server/cache_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "server/protocol.h"
+
+namespace qgdp {
+
+namespace {
+
+constexpr const char* kMagicLine = "qgdpc 1";
+// An entry payload is a .qlay text; anything past this is not a layout
+// we ever wrote, so treat it as corruption instead of allocating for it.
+constexpr std::size_t kMaxPayloadBytes = 256u << 20;
+
+bool valid_key(const std::string& key) {
+  if (key.size() != 16) return false;
+  for (char c : key) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Strips `prefix` off `line` into `*rest`; false if absent.
+bool consume_prefix(const std::string& line, const char* prefix, std::string* rest) {
+  const std::size_t n = std::strlen(prefix);
+  if (line.size() < n || line.compare(0, n, prefix) != 0) return false;
+  rest->assign(line, n, line.size() - n);
+  return true;
+}
+
+}  // namespace
+
+CacheStore::CacheStore(CacheStoreOptions opt) : opt_(std::move(opt)) {}
+
+CacheStore::~CacheStore() { stop(); }
+
+bool CacheStore::open(std::string* error) {
+  if (::mkdir(opt_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (error) *error = "cannot create cache dir " + opt_.dir + ": " + std::strerror(errno);
+    return false;
+  }
+  struct stat st{};
+  if (::stat(opt_.dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    if (error) *error = "cache dir " + opt_.dir + " is not a directory";
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (opened_) return true;
+    opened_ = true;
+  }
+  writer_ = std::thread([this] { writer_main(); });
+  return true;
+}
+
+std::string CacheStore::entry_file_name(const std::string& key) { return key + ".qlc"; }
+
+std::string CacheStore::encode_entry(const CacheStoreEntry& entry) const {
+  std::ostringstream out;
+  out << kMagicLine << "\n";
+  out << "key " << entry.key << "\n";
+  out << "fingerprint " << opt_.fingerprint << "\n";
+  out << "spacing " << std::setprecision(17) << entry.spacing << "\n";
+  out << "length " << entry.payload.size() << "\n";
+  out << "checksum " << server::hex64(server::fnv1a64(entry.payload)) << "\n";
+  out << "\n";
+  out << entry.payload;
+  return out.str();
+}
+
+bool CacheStore::decode_entry(const std::string& bytes, const std::string& expect_key,
+                              CacheStoreEntry* out) const {
+  std::size_t pos = 0;
+  auto next_line = [&](std::string* line) {
+    if (pos >= bytes.size()) return false;
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    line->assign(bytes, pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+
+  std::string line;
+  std::string value;
+  if (!next_line(&line) || line != kMagicLine) return false;
+
+  if (!next_line(&line) || !consume_prefix(line, "key ", &value)) return false;
+  if (!valid_key(value) || value != expect_key) return false;
+  const std::string key = value;
+
+  if (!next_line(&line) || !consume_prefix(line, "fingerprint ", &value)) return false;
+  if (value != opt_.fingerprint) return false;
+
+  if (!next_line(&line) || !consume_prefix(line, "spacing ", &value)) return false;
+  double spacing = 0.0;
+  {
+    std::istringstream ss(value);
+    ss >> spacing;
+    // spacing 0 is legal (classic flows carry no quantum spacing rule);
+    // negative or non-finite spacing is corruption.
+    if (ss.fail() || !std::isfinite(spacing) || spacing < 0.0) return false;
+  }
+
+  if (!next_line(&line) || !consume_prefix(line, "length ", &value)) return false;
+  unsigned long long length = 0;
+  {
+    std::istringstream ss(value);
+    ss >> length;
+    if (ss.fail() || length > kMaxPayloadBytes) return false;
+  }
+
+  if (!next_line(&line) || !consume_prefix(line, "checksum ", &value)) return false;
+  const std::string checksum = value;
+
+  if (!next_line(&line) || !line.empty()) return false;  // blank separator
+
+  if (bytes.size() - pos != length) return false;  // truncated or padded
+  std::string payload = bytes.substr(pos);
+  if (server::hex64(server::fnv1a64(payload)) != checksum) return false;
+
+  out->key = key;
+  out->spacing = spacing;
+  out->payload = std::move(payload);
+  return true;
+}
+
+void CacheStore::quarantine(const std::string& name) {
+  const std::string from = opt_.dir + "/" + name;
+  const std::string to = from + ".corrupt";
+  if (::rename(from.c_str(), to.c_str()) != 0) ::unlink(from.c_str());
+  ++corrupt_quarantined_;
+}
+
+std::vector<CacheStoreEntry> CacheStore::load() {
+  std::vector<std::string> names;
+  if (DIR* d = ::opendir(opt_.dir.c_str())) {
+    while (const dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(d);
+  }
+  std::sort(names.begin(), names.end());
+
+  std::vector<CacheStoreEntry> out;
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const auto& name : names) {
+    if (ends_with(name, ".tmp")) {
+      // Interrupted atomic write: the rename never happened, so the
+      // final file (if any) is still intact. Count and discard.
+      ::unlink((opt_.dir + "/" + name).c_str());
+      ++corrupt_quarantined_;
+      continue;
+    }
+    if (!ends_with(name, ".qlc")) continue;  // quarantined or foreign files
+
+    const std::string key = name.substr(0, name.size() - 4);
+    std::string bytes;
+    {
+      std::ifstream in(opt_.dir + "/" + name, std::ios::binary);
+      if (!in) {
+        quarantine(name);
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      bytes = buf.str();
+    }
+    CacheStoreEntry entry;
+    if (!valid_key(key) || !decode_entry(bytes, key, &entry)) {
+      quarantine(name);
+      continue;
+    }
+    ++entries_loaded_;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void CacheStore::enqueue(CacheStoreEntry entry) {
+  if (!valid_key(entry.key)) return;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!opened_ || stopping_) return;
+    for (const auto& queued : queue_) {
+      if (queued.key == entry.key) return;  // content-addressed: same bytes
+    }
+    queue_.push_back(std::move(entry));
+  }
+  cv_.notify_one();
+}
+
+void CacheStore::flush() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && !writing_; });
+}
+
+void CacheStore::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stopping_) {
+      // Already stopping/stopped; fall through to join below.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+CacheStoreStats CacheStore::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  CacheStoreStats s;
+  s.entries_loaded = entries_loaded_;
+  s.entries_flushed = entries_flushed_;
+  s.corrupt_quarantined = corrupt_quarantined_;
+  s.write_errors = write_errors_;
+  s.pending = queue_.size() + (writing_ ? 1 : 0);
+  return s;
+}
+
+void CacheStore::writer_main() {
+  for (;;) {
+    CacheStoreEntry entry;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with a drained queue: flush contract satisfied.
+        idle_cv_.notify_all();
+        return;
+      }
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+      writing_ = true;
+    }
+    const bool ok = write_entry_file(entry);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      writing_ = false;
+      if (ok) {
+        ++entries_flushed_;
+      } else {
+        ++write_errors_;
+      }
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+bool CacheStore::write_entry_file(const CacheStoreEntry& entry) {
+  const std::string bytes = encode_entry(entry);
+  const std::string final_path = opt_.dir + "/" + entry_file_name(entry.key);
+  const std::string tmp_path = final_path + ".tmp";
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (opt_.fsync) ::fsync(fd);
+  ::close(fd);
+
+  if (opt_.write_delay_ms > 0) {
+    // Deterministic window for the crash-safety bench: a SIGKILL that
+    // lands here leaves only the .tmp file, exercising the
+    // interrupted-write recovery path on the next startup.
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt_.write_delay_ms));
+  }
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  if (opt_.fsync) {
+    const int dfd = ::open(opt_.dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return true;
+}
+
+}  // namespace qgdp

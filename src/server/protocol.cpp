@@ -319,12 +319,16 @@ std::string format_stats_reply(const StatsReply& rep) {
       .add("shed_places", rep.shed_places)
       .add("timeouts", rep.timeouts)
       .add("accept_retries", rep.accept_retries)
+      .add("validation_rejects", rep.validation_rejects)
       .add("cache_hits", rep.cache_hits)
       .add("cache_misses", rep.cache_misses)
       .add("cache_insertions", rep.cache_insertions)
       .add("cache_evictions", rep.cache_evictions)
       .add("cache_entries", rep.cache_entries)
-      .add("cache_bytes", rep.cache_bytes);
+      .add("cache_bytes", rep.cache_bytes)
+      .add("entries_loaded", rep.entries_loaded)
+      .add("entries_flushed", rep.entries_flushed)
+      .add("corrupt_quarantined", rep.corrupt_quarantined);
   return kv.finish();
 }
 
@@ -346,12 +350,16 @@ std::optional<StatsReply> parse_stats_reply(const std::string& payload) {
   p.get_num("shed_places", rep.shed_places);
   p.get_num("timeouts", rep.timeouts);
   p.get_num("accept_retries", rep.accept_retries);
+  p.get_num("validation_rejects", rep.validation_rejects);
   p.get_num("cache_hits", rep.cache_hits);
   p.get_num("cache_misses", rep.cache_misses);
   p.get_num("cache_insertions", rep.cache_insertions);
   p.get_num("cache_evictions", rep.cache_evictions);
   p.get_num("cache_entries", rep.cache_entries);
   p.get_num("cache_bytes", rep.cache_bytes);
+  p.get_num("entries_loaded", rep.entries_loaded);
+  p.get_num("entries_flushed", rep.entries_flushed);
+  p.get_num("corrupt_quarantined", rep.corrupt_quarantined);
   return rep;
 }
 

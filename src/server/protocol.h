@@ -185,12 +185,17 @@ struct StatsReply {
   std::uint64_t shed_places{0};      ///< cold places shed at the in-flight cap
   std::uint64_t timeouts{0};         ///< deadline evictions + budget expiries
   std::uint64_t accept_retries{0};   ///< transient accept errors survived
+  std::uint64_t validation_rejects{0};  ///< requests rejected by validate_*()
   std::uint64_t cache_hits{0};
   std::uint64_t cache_misses{0};
   std::uint64_t cache_insertions{0};
   std::uint64_t cache_evictions{0};
   std::size_t cache_entries{0};
   std::size_t cache_bytes{0};
+  // Durable tier (zero when the daemon runs without --cache-dir).
+  std::uint64_t entries_loaded{0};       ///< disk entries accepted at startup
+  std::uint64_t entries_flushed{0};      ///< entries durably written to disk
+  std::uint64_t corrupt_quarantined{0};  ///< bad files quarantined, never fatal
 };
 
 struct ErrorReply {

@@ -18,6 +18,7 @@
 #include "io/serialization.h"
 #include "runtime/batch_runner.h"
 #include "server/socket_io.h"
+#include "server/validation.h"
 
 namespace qgdp::server {
 
@@ -91,6 +92,33 @@ Qgdpd::Qgdpd(QgdpdOptions opt) : opt_(std::move(opt)), cache_(opt_.cache_entries
 Qgdpd::~Qgdpd() { stop(); }
 
 bool Qgdpd::start(std::string* error) {
+  // Durable tier first: a daemon that cannot persist where it was told
+  // to should fail loudly at startup, not silently degrade. Corrupt
+  // *entries* on the other hand are quarantined, never fatal.
+  if (!opt_.cache_dir.empty()) {
+    CacheStoreOptions sopt;
+    sopt.dir = opt_.cache_dir;
+    sopt.write_delay_ms = opt_.cache_write_delay_ms;
+    store_ = std::make_unique<CacheStore>(std::move(sopt));
+    std::string store_error;
+    if (!store_->open(&store_error)) {
+      if (error) *error = store_error;
+      store_.reset();
+      return false;
+    }
+    for (CacheStoreEntry& e : store_->load()) {
+      {
+        std::lock_guard<std::mutex> lock(spacing_mutex_);
+        spacing_by_key_[e.key] = e.spacing;
+      }
+      cache_.put(e.key, std::move(e.payload));
+    }
+    if (opt_.verbose) {
+      const CacheStoreStats ss = store_->stats();
+      std::cerr << "qgdpd: cache dir " << opt_.cache_dir << ": " << ss.entries_loaded
+                << " entries loaded, " << ss.corrupt_quarantined << " quarantined\n";
+    }
+  }
   auto fail = [&](const std::string& what) {
     if (error) *error = what + ": " + std::strerror(errno);
     if (listen_fd_ >= 0) {
@@ -322,6 +350,10 @@ std::string Qgdpd::handle_place(Session& session, const std::string& payload) {
     protocol_errors_.fetch_add(1);
     return error_frame(StatusCode::kBadRequest, "unparseable place request");
   }
+  if (const ValidationResult vr = validate_place_request(*req); !vr.ok()) {
+    validation_rejects_.fetch_add(1);
+    return error_frame(vr.status, vr.message);
+  }
   const auto kind = flow_by_name(req->flow);
   if (!kind) return error_frame(StatusCode::kUnknownFlow, req->flow);
   const auto spec = topology_by_name(req->topology);
@@ -408,8 +440,13 @@ std::string Qgdpd::handle_place(Session& session, const std::string& payload) {
   const double spacing = quantum_flow(*kind) ? res.stats.qubit.spacing_used : 0.0;
   if (req->use_cache) {
     cache_.put(rep.cache_key, text);
-    std::lock_guard<std::mutex> lock(spacing_mutex_);
-    spacing_by_key_[rep.cache_key] = spacing;
+    {
+      std::lock_guard<std::mutex> lock(spacing_mutex_);
+      spacing_by_key_[rep.cache_key] = spacing;
+    }
+    // Durable tier: queue an atomic background write — the reply never
+    // waits on disk; stop() flushes what is still pending.
+    if (store_) store_->enqueue({rep.cache_key, spacing, text});
   }
 
   // Wall-budget check sits after the cache fill on purpose: an
@@ -449,8 +486,29 @@ std::string Qgdpd::handle_eco(Session& session, const std::string& payload) {
     protocol_errors_.fetch_add(1);
     return error_frame(StatusCode::kBadRequest, "unparseable eco request");
   }
+  // Semantic validation before any session state is touched: NaN/Inf
+  // targets and duplicate qubits are rejected here, and out-of-fabric
+  // targets are rejected against the die parsed straight from the
+  // layout text — a warm session stays parse-free even for a reject.
+  if (const ValidationResult vr = validate_eco_request(*req); !vr.ok()) {
+    validation_rejects_.fetch_add(1);
+    return error_frame(vr.status, vr.message);
+  }
   if (!session.has_layout) {
     return error_frame(StatusCode::kNoLayout, "eco before place on this session");
+  }
+  {
+    const std::optional<Rect> die = session.materialized
+                                        ? std::optional<Rect>(session.nl.die())
+                                        : qlay_die(session.layout_payload);
+    if (die) {
+      const ValidationResult vr =
+          validate_eco_targets_in_fabric(*req, *die, EcoOptions{}.search_radius);
+      if (!vr.ok()) {
+        validation_rejects_.fetch_add(1);
+        return error_frame(vr.status, vr.message);
+      }
+    }
   }
   if (!session.materialized) {
     std::istringstream is(session.layout_payload);
@@ -463,6 +521,7 @@ std::string Qgdpd::handle_eco(Session& session, const std::string& payload) {
   moves.reserve(req->moves.size());
   for (const EcoMove& m : req->moves) {
     if (m.qubit < 0 || static_cast<std::size_t>(m.qubit) >= session.nl.qubit_count()) {
+      validation_rejects_.fetch_add(1);
       return error_frame(StatusCode::kBadRequest,
                          "qubit " + std::to_string(m.qubit) + " out of range");
     }
@@ -539,6 +598,13 @@ std::string Qgdpd::handle_stats() {
   rep.shed_places = shed_places_.load();
   rep.timeouts = timeouts_.load();
   rep.accept_retries = accept_retries_.load();
+  rep.validation_rejects = validation_rejects_.load();
+  if (store_) {
+    const CacheStoreStats ss = store_->stats();
+    rep.entries_loaded = ss.entries_loaded;
+    rep.entries_flushed = ss.entries_flushed;
+    rep.corrupt_quarantined = ss.corrupt_quarantined;
+  }
   const LayoutCacheStats cs = cache_.stats();
   rep.cache_hits = cs.hits;
   rep.cache_misses = cs.misses;
@@ -586,6 +652,9 @@ void Qgdpd::stop() {
     sessions_cv_.wait(lock, [this] { return sessions_.empty(); });
   }
   reap_finished();
+  // Sessions are drained, so every cache fill has been enqueued; drain
+  // the writer so a clean shutdown leaves a fully durable cache dir.
+  if (store_) store_->stop();
 }
 
 }  // namespace qgdp::server

@@ -57,12 +57,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "server/cache_store.h"
 #include "server/fault_injector.h"
 #include "server/layout_cache.h"
 #include "server/protocol.h"
@@ -75,6 +77,15 @@ struct QgdpdOptions {
   std::size_t cache_entries{64};  ///< layout-cache capacity
   std::size_t jobs{0};            ///< BatchRunner lanes per request (0 = pool)
   bool verbose{false};            ///< per-request log lines on stderr
+
+  // ---- durability ----------------------------------------------------
+  /// Durable cache directory (server/cache_store.h). Empty = in-memory
+  /// only. At startup every valid entry in the directory is loaded
+  /// back into the layout cache (corrupt files are quarantined, never
+  /// fatal); every cache fill is persisted atomically in the
+  /// background; stop() flushes pending writes before returning.
+  std::string cache_dir;
+  int cache_write_delay_ms{0};  ///< crash-test knob, see CacheStoreOptions
 
   // ---- robustness knobs ----------------------------------------------
   std::size_t max_sessions{64};         ///< concurrent-session cap (shed above)
@@ -108,6 +119,8 @@ class Qgdpd {
   /// Bound port (resolves ephemeral port 0 after start()).
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] LayoutCache& cache() { return cache_; }
+  /// Durable tier, or nullptr when running without cache_dir.
+  [[nodiscard]] CacheStore* store() { return store_.get(); }
   [[nodiscard]] const QgdpdOptions& options() const { return opt_; }
   /// Sessions currently registered (live gauge, also in StatsReply).
   [[nodiscard]] std::size_t active_sessions() const;
@@ -145,6 +158,7 @@ class Qgdpd {
 
   QgdpdOptions opt_;
   LayoutCache cache_;
+  std::unique_ptr<CacheStore> store_;  ///< durable tier (null = in-memory only)
   std::uint16_t port_{0};
   int listen_fd_{-1};
   std::atomic<bool> running_{false};
@@ -176,6 +190,7 @@ class Qgdpd {
   std::atomic<std::uint64_t> shed_places_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> accept_retries_{0};
+  std::atomic<std::uint64_t> validation_rejects_{0};
   std::atomic<std::uint64_t> inflight_places_{0};
 };
 

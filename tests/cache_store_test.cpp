@@ -1,0 +1,245 @@
+// Unit tests for the durable cache tier (server/cache_store.h): the
+// versioned on-disk format, atomic background writes, and the
+// quarantine-never-crash recovery scan.
+#include "server/cache_store.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace qgdp {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/qgdp_cache_store_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    // Best-effort recursive cleanup (flat directory).
+    for (const auto& name : list()) ::unlink((dir_ + "/" + name).c_str());
+    ::rmdir(dir_.c_str());
+  }
+  [[nodiscard]] const std::string& path() const { return dir_; }
+
+  [[nodiscard]] std::vector<std::string> list() const {
+    std::vector<std::string> names;
+    if (FILE* p = ::popen(("ls -A " + dir_).c_str(), "r")) {
+      char buf[512];
+      while (::fgets(buf, sizeof buf, p)) {
+        std::string name(buf);
+        while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) name.pop_back();
+        if (!name.empty()) names.push_back(name);
+      }
+      ::pclose(p);
+    }
+    return names;
+  }
+
+  void write_file(const std::string& name, const std::string& bytes) const {
+    std::ofstream f(dir_ + "/" + name, std::ios::binary);
+    f << bytes;
+  }
+
+  [[nodiscard]] std::string read_file(const std::string& name) const {
+    std::ifstream f(dir_ + "/" + name, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  }
+
+ private:
+  std::string dir_;
+};
+
+CacheStoreOptions options_for(const TempDir& dir) {
+  CacheStoreOptions opt;
+  opt.dir = dir.path();
+  opt.fsync = false;  // keep the unit tests fast; the format is identical
+  return opt;
+}
+
+const std::string kKey = "00c0ffee00c0ffee";
+const std::string kPayload = "qlay 1\nname t\ndie 0 0 4 4\nqubits 0\nedges 0\nblocks 0\n";
+
+TEST(CacheStoreTest, RoundTripsAnEntryThroughDisk) {
+  TempDir dir;
+  {
+    CacheStore store(options_for(dir));
+    std::string error;
+    ASSERT_TRUE(store.open(&error)) << error;
+    store.enqueue({kKey, 1.25, kPayload});
+    store.flush();
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.entries_flushed, 1u);
+    EXPECT_EQ(stats.write_errors, 0u);
+    EXPECT_EQ(stats.pending, 0u);
+  }
+  CacheStore reopened(options_for(dir));
+  std::string error;
+  ASSERT_TRUE(reopened.open(&error)) << error;
+  const auto entries = reopened.load();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, kKey);
+  EXPECT_EQ(entries[0].spacing, 1.25);
+  EXPECT_EQ(entries[0].payload, kPayload);  // byte-identical
+  EXPECT_EQ(reopened.stats().entries_loaded, 1u);
+  EXPECT_EQ(reopened.stats().corrupt_quarantined, 0u);
+}
+
+TEST(CacheStoreTest, WriteIsAtomicNoTempLeftBehind) {
+  TempDir dir;
+  CacheStore store(options_for(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+  store.enqueue({kKey, 1.0, kPayload});
+  store.flush();
+  const auto names = dir.list();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], kKey + ".qlc");
+}
+
+TEST(CacheStoreTest, EncodeDecodeRoundTripAndChecksum) {
+  TempDir dir;
+  CacheStore store(options_for(dir));
+  const CacheStoreEntry entry{kKey, 0.0, kPayload};  // spacing 0 is legal
+  const std::string bytes = store.encode_entry(entry);
+  CacheStoreEntry out;
+  ASSERT_TRUE(store.decode_entry(bytes, kKey, &out));
+  EXPECT_EQ(out.payload, kPayload);
+  EXPECT_EQ(out.spacing, 0.0);
+  // Any single corrupted byte must fail the checksum or header parse.
+  for (std::size_t i = 0; i < bytes.size(); i += 7) {
+    std::string mutated = bytes;
+    mutated[i] ^= 0x20;
+    CacheStoreEntry sink;
+    EXPECT_FALSE(store.decode_entry(mutated, kKey, &sink)) << "byte " << i;
+  }
+}
+
+TEST(CacheStoreTest, QuarantinesEveryCorruptionClass) {
+  TempDir dir;
+  std::string good_bytes;
+  {
+    CacheStore store(options_for(dir));
+    std::string error;
+    ASSERT_TRUE(store.open(&error)) << error;
+    store.enqueue({kKey, 2.0, kPayload});
+    store.flush();
+    good_bytes = dir.read_file(kKey + ".qlc");
+  }
+  // Five defect classes beside the one good entry:
+  dir.write_file("1111111111111111.qlc", "complete garbage, not even a header\n");
+  dir.write_file("2222222222222222.qlc",
+                 good_bytes.substr(0, good_bytes.size() / 2));  // truncated
+  std::string stale = good_bytes;
+  stale.replace(0, 7, "qgdpc 9");  // stale format version
+  dir.write_file("3333333333333333.qlc", stale);
+  dir.write_file("4444444444444444.qlc", good_bytes);  // key/filename mismatch
+  dir.write_file("5555555555555555.qlc.tmp", "interrupted write");
+
+  CacheStore reopened(options_for(dir));
+  std::string error;
+  ASSERT_TRUE(reopened.open(&error)) << error;
+  const auto entries = reopened.load();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, kKey);
+  EXPECT_EQ(entries[0].payload, kPayload);
+  const auto stats = reopened.stats();
+  EXPECT_EQ(stats.entries_loaded, 1u);
+  EXPECT_EQ(stats.corrupt_quarantined, 5u);
+
+  // Quarantine renames (or removes) — nothing is ever loaded from a
+  // .corrupt file, and a second scan does not double-count.
+  std::set<std::string> names;
+  for (const auto& n : dir.list()) names.insert(n);
+  EXPECT_TRUE(names.count(kKey + ".qlc"));
+  EXPECT_TRUE(names.count("1111111111111111.qlc.corrupt"));
+  EXPECT_TRUE(names.count("2222222222222222.qlc.corrupt"));
+  EXPECT_TRUE(names.count("3333333333333333.qlc.corrupt"));
+  EXPECT_TRUE(names.count("4444444444444444.qlc.corrupt"));
+  EXPECT_FALSE(names.count("5555555555555555.qlc.tmp"));  // tmp removed
+
+  CacheStore rescan(options_for(dir));
+  ASSERT_TRUE(rescan.open(&error)) << error;
+  EXPECT_EQ(rescan.load().size(), 1u);
+  EXPECT_EQ(rescan.stats().corrupt_quarantined, 0u);
+}
+
+TEST(CacheStoreTest, StaleFingerprintIsQuarantined) {
+  TempDir dir;
+  {
+    CacheStoreOptions opt = options_for(dir);
+    opt.fingerprint = "qlay=0;key=0";  // an older schema
+    CacheStore store(opt);
+    std::string error;
+    ASSERT_TRUE(store.open(&error)) << error;
+    store.enqueue({kKey, 1.0, kPayload});
+    store.flush();
+  }
+  CacheStore current(options_for(dir));
+  std::string error;
+  ASSERT_TRUE(current.open(&error)) << error;
+  EXPECT_TRUE(current.load().empty());
+  EXPECT_EQ(current.stats().corrupt_quarantined, 1u);
+}
+
+TEST(CacheStoreTest, CoalescesSameKeyAndSurvivesConcurrentEnqueues) {
+  TempDir dir;
+  CacheStore store(options_for(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 16; ++i) {
+        const std::string key = server::hex64(static_cast<std::uint64_t>(i % 8 + 1));
+        store.enqueue({key, 1.0, kPayload});
+        (void)t;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  store.flush();
+  // 8 distinct keys → exactly 8 files, regardless of enqueue pressure.
+  EXPECT_EQ(dir.list().size(), 8u);
+  EXPECT_GE(store.stats().entries_flushed, 8u);
+  EXPECT_EQ(store.stats().write_errors, 0u);
+}
+
+TEST(CacheStoreTest, RejectsUnusableDirectory) {
+  CacheStoreOptions opt;
+  opt.dir = "/proc/definitely/not/creatable";
+  CacheStore store(opt);
+  std::string error;
+  EXPECT_FALSE(store.open(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CacheStoreTest, StopDrainsPendingWrites) {
+  TempDir dir;
+  CacheStoreOptions opt = options_for(dir);
+  opt.write_delay_ms = 20;  // make the writes slow enough to still be queued
+  CacheStore store(opt);
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+  for (int i = 0; i < 4; ++i) {
+    store.enqueue({server::hex64(static_cast<std::uint64_t>(i + 1)), 1.0, kPayload});
+  }
+  store.stop();  // must flush everything queued, not drop it
+  EXPECT_EQ(store.stats().entries_flushed, 4u);
+  EXPECT_EQ(dir.list().size(), 4u);
+}
+
+}  // namespace
+}  // namespace qgdp

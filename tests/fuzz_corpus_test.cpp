@@ -1,0 +1,443 @@
+// Deterministic corpus-replay fuzzing for every input boundary: the
+// framed wire protocol (against a live daemon and at the parser level),
+// the durable cache's on-disk entries, and the .qlay/.qdev text
+// formats. No libFuzzer — a seeded splitmix64 mutator replays committed
+// corpus seeds through a few thousand mutations per boundary, and the
+// only acceptance is "typed rejection or success, never a crash, hang,
+// or internal_error". CI runs this under ASan/UBSan with two fixed
+// seeds (see .github/workflows/ci.yml); QGDP_FUZZ_SEED / QGDP_FUZZ_ITERS
+// override the schedule locally, and QGDP_UPDATE_FUZZ_CORPUS=1
+// regenerates the committed seeds in tests/fuzz_corpus/.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/serialization.h"
+#include "netlist/netlist_builder.h"
+#include "netlist/topologies.h"
+#include "server/cache_store.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/qgdpd.h"
+
+#ifndef QGDP_FUZZ_CORPUS_DIR
+#define QGDP_FUZZ_CORPUS_DIR "tests/fuzz_corpus"
+#endif
+
+namespace qgdp {
+namespace {
+
+using namespace qgdp::server;
+
+// ---- deterministic mutation engine ----------------------------------
+
+// splitmix64: tiny, well-distributed, and fully deterministic — the
+// whole schedule is reproducible from the printed seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) { return n ? next() % n : 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Applies 1–8 structural mutations: bit flips, byte smashes,
+/// truncation, growth, chunk duplication, and digit/sign tweaks (the
+/// corpus is mostly line-oriented text, so numeric edits reach deep
+/// parser states that raw bit noise rarely finds).
+std::string mutate(std::string bytes, Rng& rng) {
+  const std::size_t rounds = 1 + rng.below(8);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    switch (rng.below(8)) {
+      case 0:  // flip one bit
+        if (!bytes.empty()) bytes[rng.below(bytes.size())] ^= char(1u << rng.below(8));
+        break;
+      case 1:  // smash one byte
+        if (!bytes.empty())
+          bytes[rng.below(bytes.size())] = static_cast<char>(rng.next() & 0xFF);
+        break;
+      case 2:  // truncate
+        bytes.resize(rng.below(bytes.size() + 1));
+        break;
+      case 3: {  // insert a small run
+        const char fill[] = {0, '\n', ' ', '9', '-', static_cast<char>(0xFF)};
+        bytes.insert(rng.below(bytes.size() + 1), 1 + rng.below(16),
+                     fill[rng.below(sizeof fill)]);
+        break;
+      }
+      case 4: {  // duplicate a chunk somewhere else
+        if (bytes.size() > 2) {
+          const std::size_t at = rng.below(bytes.size() - 1);
+          const std::size_t len = 1 + rng.below(std::min<std::size_t>(64, bytes.size() - at));
+          bytes.insert(rng.below(bytes.size() + 1), bytes.substr(at, len));
+        }
+        break;
+      }
+      case 5: {  // numeric havoc: overwrite a digit with an extreme token
+        const char* tokens[] = {"nan",   "inf",          "-inf",  "1e308",
+                                "-1e308", "99999999999", "-1",    "0"};
+        const std::size_t at = rng.below(bytes.size() + 1);
+        bytes.insert(at, tokens[rng.below(sizeof tokens / sizeof *tokens)]);
+        break;
+      }
+      case 6:  // swap two bytes
+        if (bytes.size() > 1)
+          std::swap(bytes[rng.below(bytes.size())], bytes[rng.below(bytes.size())]);
+        break;
+      case 7:  // delete a chunk
+        if (!bytes.empty()) {
+          const std::size_t at = rng.below(bytes.size());
+          bytes.erase(at, 1 + rng.below(std::min<std::size_t>(32, bytes.size() - at)));
+        }
+        break;
+    }
+  }
+  return bytes;
+}
+
+// ---- corpus ----------------------------------------------------------
+
+struct CorpusFile {
+  std::string name;
+  std::string bytes;
+};
+
+std::string small_layout_text() {
+  QuantumNetlist nl = build_netlist(make_grid_device());
+  std::ostringstream os;
+  write_layout(nl, os);
+  return os.str();
+}
+
+std::string small_device_text() {
+  std::ostringstream os;
+  write_device(make_grid_device(), os);
+  return os.str();
+}
+
+/// The canonical seeds. Committed under tests/fuzz_corpus/ (regenerate
+/// with QGDP_UPDATE_FUZZ_CORPUS=1); the committed copies are what CI
+/// replays, this function is their source of truth.
+std::vector<CorpusFile> builtin_corpus() {
+  std::vector<CorpusFile> corpus;
+  PlaceRequest place;
+  place.topology = "Grid";
+  place.want_layout = true;
+  corpus.push_back({"place_grid.frame",
+                    encode_frame(FrameType::kPlaceRequest, format_place_request(place))});
+  PlaceRequest heavy;
+  heavy.topology = "heavyhex-23x39";
+  heavy.flow = "q-abacus";
+  heavy.seed = 7;
+  heavy.gp_levels = 2;
+  corpus.push_back({"place_heavyhex.frame",
+                    encode_frame(FrameType::kPlaceRequest, format_place_request(heavy))});
+  EcoRequest eco;
+  eco.want_layout = true;
+  eco.moves = {{0, 1.5, 2.5}, {3, -0.25, 4.0}};
+  corpus.push_back(
+      {"eco_two_moves.frame", encode_frame(FrameType::kEcoRequest, format_eco_request(eco))});
+  corpus.push_back(
+      {"stats.frame", encode_frame(FrameType::kStatsRequest, format_empty_request())});
+
+  CacheStoreOptions copt;
+  copt.dir = "/nonexistent";  // encode_entry never touches the directory
+  CacheStore store(copt);
+  corpus.push_back({"grid_entry.qlc",
+                    store.encode_entry({hex64(fnv1a64(small_layout_text())), 1.0,
+                                        small_layout_text()})});
+  corpus.push_back({"grid.qlay", small_layout_text()});
+  corpus.push_back({"grid.qdev", small_device_text()});
+  return corpus;
+}
+
+std::vector<CorpusFile> load_corpus() {
+  const auto corpus = builtin_corpus();
+  if (const char* update = std::getenv("QGDP_UPDATE_FUZZ_CORPUS");
+      update && *update == '1') {
+    ::mkdir(QGDP_FUZZ_CORPUS_DIR, 0755);
+    for (const auto& file : corpus) {
+      std::ofstream os(std::string(QGDP_FUZZ_CORPUS_DIR) + "/" + file.name,
+                       std::ios::binary);
+      os << file.bytes;
+    }
+  }
+  // Prefer the committed copies (CI replays exactly what is in-tree);
+  // fall back to the built-ins when a file is missing.
+  std::vector<CorpusFile> loaded;
+  for (const auto& file : corpus) {
+    std::ifstream is(std::string(QGDP_FUZZ_CORPUS_DIR) + "/" + file.name, std::ios::binary);
+    if (is.good()) {
+      std::ostringstream ss;
+      ss << is.rdbuf();
+      loaded.push_back({file.name, ss.str()});
+    } else {
+      loaded.push_back(file);
+    }
+  }
+  return loaded;
+}
+
+std::vector<CorpusFile> corpus_with_suffix(const std::string& suffix) {
+  std::vector<CorpusFile> out;
+  for (auto& file : load_corpus()) {
+    if (file.name.size() >= suffix.size() &&
+        file.name.compare(file.name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      out.push_back(std::move(file));
+    }
+  }
+  return out;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  if (const char* v = std::getenv(name); v && *v) {
+    return std::strtoull(v, nullptr, 0);
+  }
+  return fallback;
+}
+
+/// The two fixed replay seeds CI uses; QGDP_FUZZ_SEED narrows the run
+/// to one seed for reproduction.
+std::vector<std::uint64_t> replay_seeds() {
+  if (const char* v = std::getenv("QGDP_FUZZ_SEED"); v && *v) {
+    return {std::strtoull(v, nullptr, 0)};
+  }
+  return {0x5eed0001ULL, 0x5eed0002ULL};
+}
+
+// ---- protocol: live daemon -------------------------------------------
+
+/// Raw loopback connection with a receive deadline — the fuzz loop
+/// speaks bytes, not the client API, and must never block forever.
+int fuzz_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(FuzzCorpus, MutatedFramesNeverCrashOrWedgeTheDaemon) {
+  QgdpdOptions opt;
+  opt.port = 0;
+  opt.idle_timeout_ms = 2'000;
+  opt.frame_timeout_ms = 2'000;
+  Qgdpd daemon(opt);
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const auto frames = corpus_with_suffix(".frame");
+  ASSERT_FALSE(frames.empty());
+  // ≥2000 mutated frames total across the fixed seeds.
+  const std::uint64_t iters = env_u64("QGDP_FUZZ_ITERS", 1'000);
+
+  for (const std::uint64_t seed : replay_seeds()) {
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      std::string bytes = mutate(frames[rng.below(frames.size())].bytes, rng);
+      // A mutation that lands on a well-formed shutdown request would
+      // drain the daemon mid-run; redirect it to stats. Everything
+      // else — including reply types and garbage — goes through.
+      if (bytes.size() >= 4 &&
+          bytes[3] == static_cast<char>(FrameType::kShutdownRequest)) {
+        bytes[3] = static_cast<char>(FrameType::kStatsRequest);
+      }
+      const int fd = fuzz_connect(daemon.port());
+      ASSERT_GE(fd, 0) << "seed " << seed << " iter " << i;
+      std::size_t sent = 0;
+      while (sent < bytes.size()) {
+        const ssize_t r =
+            ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+        if (r <= 0) break;  // daemon already rejected and closed — fine
+        sent += static_cast<std::size_t>(r);
+      }
+      // Half-close so a truncated frame reads as EOF, not a stall.
+      ::shutdown(fd, SHUT_WR);
+      char sink[4096];
+      while (::recv(fd, sink, sizeof sink, 0) > 0) {
+      }
+      ::close(fd);
+    }
+  }
+
+  // The daemon must still serve a real request, with zero internal
+  // errors across the whole bombardment.
+  QgdpdClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", daemon.port(), &error)) << error;
+  PlaceRequest place;
+  place.topology = "Grid";
+  const auto rep = client.place(place, &error);
+  ASSERT_TRUE(rep.has_value()) << error;
+  EXPECT_EQ(rep->status, StatusCode::kOk);
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->internal_errors, 0u);
+  client.close();
+  daemon.stop();
+}
+
+// ---- protocol: parser level ------------------------------------------
+
+TEST(FuzzCorpus, MutatedPayloadsNeverCrashTheCodecs) {
+  const auto frames = corpus_with_suffix(".frame");
+  ASSERT_FALSE(frames.empty());
+  const std::uint64_t iters = env_u64("QGDP_FUZZ_ITERS", 4'000);
+  for (const std::uint64_t seed : replay_seeds()) {
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const std::string raw = frames[rng.below(frames.size())].bytes;
+      const std::string payload =
+          mutate(raw.size() > kFrameHeaderSize ? raw.substr(kFrameHeaderSize) : raw, rng);
+      // Every parser must reject or accept — nullopt/false is the only
+      // failure mode; throwing or crashing fails the test harness.
+      (void)parse_place_request(payload);
+      (void)parse_eco_request(payload);
+      (void)parse_empty_request(payload);
+      (void)parse_place_reply(payload);
+      (void)parse_eco_reply(payload);
+      (void)parse_stats_reply(payload);
+      (void)parse_error_reply(payload);
+      if (payload.size() >= kFrameHeaderSize) {
+        (void)decode_frame_header(
+            reinterpret_cast<const unsigned char*>(payload.data()));
+      }
+    }
+  }
+}
+
+// ---- durable cache entries -------------------------------------------
+
+TEST(FuzzCorpus, MutatedCacheFilesAreQuarantinedNeverFatal) {
+  const auto entries = corpus_with_suffix(".qlc");
+  ASSERT_FALSE(entries.empty());
+  const std::string good_key = hex64(fnv1a64(small_layout_text()));
+  const std::uint64_t iters = env_u64("QGDP_FUZZ_ITERS", 1'000);
+
+  char tmpl[] = "/tmp/qgdp_fuzz_store_XXXXXX";
+  const std::string dir = ::mkdtemp(tmpl);
+
+  for (const std::uint64_t seed : replay_seeds()) {
+    Rng rng(seed);
+    // Decode-level: mutated bytes either decode (returning some entry)
+    // or are rejected; never crash.
+    CacheStoreOptions copt;
+    copt.dir = dir;
+    copt.fsync = false;
+    std::uint64_t decoded = 0;
+    {
+      CacheStore probe(copt);
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        const std::string bytes = mutate(entries[rng.below(entries.size())].bytes, rng);
+        CacheStoreEntry out;
+        if (probe.decode_entry(bytes, good_key, &out)) ++decoded;
+      }
+    }
+
+    // Scan-level: one pristine entry amid a directory of mutated files.
+    // Every file is accounted (loaded + quarantined == files written),
+    // the pristine one survives byte-exact, and nothing is ever fatal.
+    constexpr std::uint64_t kBatch = 64;
+    {
+      CacheStore writer(copt);
+      std::string error;
+      ASSERT_TRUE(writer.open(&error)) << error;
+      writer.enqueue({good_key, 1.0, small_layout_text()});
+      writer.flush();
+    }
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      const std::string key = hex64(rng.next());
+      std::ofstream os(dir + "/" + key + ".qlc", std::ios::binary);
+      os << mutate(entries[rng.below(entries.size())].bytes, rng);
+    }
+    CacheStore store(copt);
+    std::string error;
+    ASSERT_TRUE(store.open(&error)) << error;
+    const auto loaded = store.load();
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.entries_loaded + stats.corrupt_quarantined, kBatch + 1)
+        << "seed " << seed;
+    EXPECT_EQ(loaded.size(), stats.entries_loaded);
+    // Any survivor under the pristine key must carry its exact bytes —
+    // the checksum makes "loaded but altered" impossible.
+    bool pristine_seen = false;
+    for (const auto& entry : loaded) {
+      if (entry.key == good_key) {
+        pristine_seen = true;
+        EXPECT_EQ(entry.payload, small_layout_text());
+        EXPECT_EQ(entry.spacing, 1.0);
+      }
+    }
+    EXPECT_TRUE(pristine_seen) << "seed " << seed;
+    // Reset the directory for the next seed (quarantined files keep
+    // their .corrupt suffix and would double-count otherwise).
+    ASSERT_EQ(std::system(("rm -f " + dir + "/*").c_str()), 0);
+    (void)decoded;
+  }
+  ::rmdir(dir.c_str());
+}
+
+// ---- serialized layouts and devices ----------------------------------
+
+TEST(FuzzCorpus, MutatedSerializedInputsThrowTypedErrorsNeverCrash) {
+  const auto layouts = corpus_with_suffix(".qlay");
+  const auto devices = corpus_with_suffix(".qdev");
+  ASSERT_FALSE(layouts.empty());
+  ASSERT_FALSE(devices.empty());
+  const std::uint64_t iters = env_u64("QGDP_FUZZ_ITERS", 2'000);
+  for (const std::uint64_t seed : replay_seeds()) {
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      {
+        std::istringstream is(mutate(layouts[rng.below(layouts.size())].bytes, rng));
+        try {
+          (void)read_layout(is);  // success is legal: some mutations are benign
+        } catch (const std::runtime_error&) {
+          // the typed rejection path — parse errors must surface here
+        } catch (...) {
+          FAIL() << "read_layout escaped std::runtime_error (seed " << seed
+                 << " iter " << i << ")";
+        }
+      }
+      {
+        std::istringstream is(mutate(devices[rng.below(devices.size())].bytes, rng));
+        try {
+          (void)read_device(is);
+        } catch (const std::runtime_error&) {
+        } catch (...) {
+          FAIL() << "read_device escaped std::runtime_error (seed " << seed
+                 << " iter " << i << ")";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qgdp

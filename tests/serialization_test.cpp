@@ -96,6 +96,86 @@ TEST(LayoutSerialization, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(LayoutSerialization, ExtremeMagnitudesRoundTripExactly) {
+  // setprecision(17) must carry denormal and near-overflow doubles
+  // through the text format bit for bit.
+  const double denormal = 5e-324;                     // smallest positive double
+  const double tiny = 2.2250738585072014e-308;        // smallest normal
+  const double huge = 1e308;
+  QuantumNetlist nl;
+  nl.set_name("extremes");
+  nl.set_die(Rect{-huge, -huge, huge, huge});
+  nl.add_qubit(Point{denormal, -denormal}, tiny, huge, 1.0 / 3.0);
+  nl.add_qubit(Point{huge, -huge}, 1.0, 1.0, denormal);
+  nl.add_edge(0, 1, tiny, huge, denormal);
+
+  std::stringstream ss;
+  write_layout(nl, ss);
+  const QuantumNetlist back = read_layout(ss);
+  EXPECT_EQ(back.die(), nl.die());
+  EXPECT_EQ(back.qubit(0).pos.x, denormal);
+  EXPECT_EQ(back.qubit(0).pos.y, -denormal);
+  EXPECT_EQ(back.qubit(0).width, tiny);
+  EXPECT_EQ(back.qubit(0).height, huge);
+  EXPECT_EQ(back.qubit(0).frequency, 1.0 / 3.0);
+  EXPECT_EQ(back.qubit(1).frequency, denormal);
+  EXPECT_EQ(back.edge(0).frequency, tiny);
+  EXPECT_EQ(back.edge(0).wire_length, huge);
+  EXPECT_EQ(back.edge(0).padding, denormal);
+}
+
+TEST(LayoutSerialization, EmptyNetlistRoundTrips) {
+  QuantumNetlist nl;  // zero qubits, edges, blocks
+  std::stringstream ss;
+  write_layout(nl, ss);
+  const QuantumNetlist back = read_layout(ss);
+  EXPECT_EQ(back.qubit_count(), 0u);
+  EXPECT_EQ(back.edge_count(), 0u);
+  EXPECT_EQ(back.block_count(), 0u);
+}
+
+TEST(LayoutSerialization, RejectsNonFiniteTokensWithTypedError) {
+  // NaN/Inf must surface as parse errors (runtime_error), never as a
+  // silent zero or a crash — whether in the die line or a qubit line.
+  const std::string header = "qlay 1\nname t\n";
+  std::stringstream nan_die(header + "die 0 0 nan 8\nqubits 0\nedges 0\nblocks 0\n");
+  EXPECT_THROW(read_layout(nan_die), std::runtime_error);
+  std::stringstream inf_qubit(header +
+                              "die 0 0 8 8\nqubits 1\nq 0 inf 0 1 1 5\nedges 0\nblocks 0\n");
+  EXPECT_THROW(read_layout(inf_qubit), std::runtime_error);
+  std::stringstream neg_inf(header +
+                            "die 0 0 8 8\nqubits 1\nq 0 0 -inf 1 1 5\nedges 0\nblocks 0\n");
+  EXPECT_THROW(read_layout(neg_inf), std::runtime_error);
+}
+
+TEST(LayoutSerialization, RejectsHostileCountsAndEndpoints) {
+  const std::string header = "qlay 1\nname t\ndie 0 0 8 8\n";
+  // An absurd count line must be rejected before any allocation loop.
+  std::stringstream absurd(header + "qubits 99999999999999\n");
+  EXPECT_THROW(read_layout(absurd), std::runtime_error);
+  std::stringstream negative(header + "qubits -3\n");
+  EXPECT_THROW(read_layout(negative), std::runtime_error);
+  // Edge endpoints outside the declared qubit range are a parse error,
+  // not an out-of-bounds write into the incidence lists.
+  std::stringstream bad_edge(header +
+                             "qubits 1\nq 0 1 1 1 1 5\nedges 1\ne 0 0 7 5 1 0 0\nblocks 0\n");
+  EXPECT_THROW(read_layout(bad_edge), std::runtime_error);
+  // A negative per-edge block count must not reach partition_edge.
+  std::stringstream neg_blocks(header +
+                               "qubits 2\nq 0 1 1 1 1 5\nq 1 3 3 1 1 5\n"
+                               "edges 1\ne 0 0 1 5 1 0 -2\nblocks 0\n");
+  EXPECT_THROW(read_layout(neg_blocks), std::runtime_error);
+}
+
+TEST(DeviceSerialization, RejectsDegenerateAndNonFiniteDevices) {
+  std::stringstream zero_qubits("qdev 1\nname x\nqubits 0\ncouplings 0\n");
+  EXPECT_THROW(read_device(zero_qubits), std::runtime_error);
+  std::stringstream nan_coord("qdev 1\nname x\nqubits 1\ncoord 0 nan 0\ncouplings 0\n");
+  EXPECT_THROW(read_device(nan_coord), std::runtime_error);
+  std::stringstream absurd("qdev 1\nname x\nqubits 88888888888888888\n");
+  EXPECT_THROW(read_device(absurd), std::runtime_error);
+}
+
 TEST(LayoutSerialization, RejectsCorruptStream) {
   QuantumNetlist nl = build_netlist(make_grid_device());
   std::stringstream ss;

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -455,7 +456,7 @@ TEST_F(QgdpdTest, RequestErrorsAreTyped) {
   EXPECT_GE(stats->served_place, 2u);
 }
 
-TEST_F(QgdpdTest, OverConstrainedEcoIsSolverInfeasible) {
+TEST_F(QgdpdTest, OutOfFabricEcoRejectedBeforeSolve) {
   QgdpdClient client = connect();
   std::string error;
   PlaceRequest place;
@@ -465,15 +466,18 @@ TEST_F(QgdpdTest, OverConstrainedEcoIsSolverInfeasible) {
   ASSERT_TRUE(placed.has_value()) << error;
   const std::string before = placed->layout;
 
-  // A target far outside the die has no legal spot within the search
-  // radius: the batch is over-constrained and must come back as the
-  // typed solver_infeasible error frame, NOT as a served layout from
-  // a failed solve.
+  // A target far outside the fabric is rejected by the validation
+  // layer as bad_request — before the solver (or even the session's
+  // lazy netlist materialization) is touched — and counted in
+  // validation_rejects.
   EcoRequest impossible;
   impossible.want_layout = true;
   impossible.moves = {{0, 1e6, 1e6}};
   EXPECT_FALSE(client.eco(impossible, &error).has_value());
-  EXPECT_NE(error.find("solver_infeasible"), std::string::npos) << error;
+  EXPECT_NE(error.find("bad_request"), std::string::npos) << error;
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->validation_rejects, 1u);
 
   // The session layout is untouched and the connection still serves:
   // a normal follow-up eco on the same session must succeed.
@@ -742,6 +746,82 @@ TEST_F(QgdpdTest, ColdPlaceCapShedsAndRetryPolicySucceeds) {
   const auto rep = c.place(cached, &error);
   ASSERT_TRUE(rep.has_value()) << error;
   EXPECT_EQ(rep->status, StatusCode::kOk);
+}
+
+// ---- durable cache tier ---------------------------------------------
+
+TEST_F(QgdpdTest, WarmRestartServesByteIdenticalFromDisk) {
+  char tmpl[] = "/tmp/qgdp_persist_XXXXXX";
+  const std::string cache_dir = ::mkdtemp(tmpl);
+
+  QgdpdOptions opt;
+  opt.cache_dir = cache_dir;
+  restart(opt);
+
+  PlaceRequest req;
+  req.topology = "Grid";
+  req.want_layout = true;
+
+  QgdpdClient cold_client = connect();
+  std::string error;
+  const auto cold = cold_client.place(req, &error);
+  ASSERT_TRUE(cold.has_value()) << error;
+  EXPECT_FALSE(cold->cached);
+  const std::string cold_layout = cold->layout;
+  const std::string cache_key = cold->cache_key;
+  cold_client.close();
+
+  // Stop flushes the store; the entry must be durable on disk now.
+  daemon_->stop();
+  {
+    std::ifstream f(cache_dir + "/" + cache_key + ".qlc");
+    ASSERT_TRUE(f.good()) << "durable entry missing after stop()";
+  }
+
+  // Sabotage the directory: a garbage entry and an interrupted write.
+  {
+    std::ofstream g(cache_dir + "/1111111111111111.qlc");
+    g << "not a cache entry\n";
+    std::ofstream t(cache_dir + "/2222222222222222.qlc.tmp");
+    t << "interrupted";
+  }
+
+  // A fresh daemon over the same directory loads the good entry,
+  // quarantines the rest, and serves the warm hit byte-identically.
+  restart(opt);
+  QgdpdClient warm_client = connect();
+  const auto stats = warm_client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->entries_loaded, 1u);
+  EXPECT_EQ(stats->corrupt_quarantined, 2u);
+  EXPECT_EQ(stats->cache_entries, 1u);
+
+  const auto warm = warm_client.place(req, &error);
+  ASSERT_TRUE(warm.has_value()) << error;
+  EXPECT_TRUE(warm->cached);
+  EXPECT_EQ(warm->cache_key, cache_key);
+  EXPECT_EQ(warm->layout, cold_layout);  // byte-identical across restart
+
+  // The persisted spacing makes warm sessions eco-capable: the edit
+  // must match a local run against the restored layout.
+  std::istringstream is(cold_layout);
+  QuantumNetlist nl = read_layout(is);
+  const Point p0 = nl.qubit(0).pos;
+  EcoRequest eco;
+  eco.want_layout = true;
+  eco.moves = {{0, p0.x + 1.0, p0.y + 1.0}};
+  const auto served = warm_client.eco(eco, &error);
+  ASSERT_TRUE(served.has_value()) << error;
+  EXPECT_TRUE(served->success);
+  EXPECT_EQ(served->window_violations, 0);
+
+  warm_client.close();
+  daemon_->stop();
+  for (const std::string name :
+       {cache_key + ".qlc", std::string("1111111111111111.qlc.corrupt")}) {
+    ::unlink((cache_dir + "/" + name).c_str());
+  }
+  ::rmdir(cache_dir.c_str());
 }
 
 TEST_F(QgdpdTest, PlaceBudgetTimesOutButBanksTheLayout) {
