@@ -42,6 +42,17 @@
 //             concurrent cold places over max_inflight_places shed
 //             per request (client-observed count == daemon counter).
 //
+// `--chaos` also runs the isolation harness: a dedicated daemon with
+// --isolation=fork whose worker children are crashed, OOMed, and hung
+// by the injector (~25% of worker draws) under a concurrent 4-session
+// cold-place + eco workload. Every failure must surface typed (13
+// worker_crashed / 14 resource_exhausted), successful cold places
+// must stay byte-identical to the local pipeline, injected hangs must
+// be beaten by hedged backups, and the daemon must end with zero
+// internal errors and zero restarts → the `isolation` JSON section.
+// `--isolation {none|fork}` independently selects the execution tier
+// of the main latency daemon.
+//
 // `--persist` prepends a crash-safety phase on forked daemon children
 // sharing one --cache-dir: populate the durable cache, SIGKILL the
 // daemon (including once mid-flush, with the writer artificially
@@ -532,6 +543,265 @@ ChaosReport run_chaos(const std::string& host, const PlaceRequest& place,
   return report;
 }
 
+// ---- isolation harness -----------------------------------------------
+
+struct IsolationReport {
+  std::uint64_t cold_attempts{0};
+  std::uint64_t cold_ok{0};
+  std::uint64_t eco_attempts{0};
+  std::uint64_t eco_ok{0};
+  std::uint64_t typed_worker_crashed{0};      ///< client-observed code 13
+  std::uint64_t typed_resource_exhausted{0};  ///< client-observed code 14
+  std::uint64_t faults_injected{0};
+  std::uint64_t injected_crash{0};
+  std::uint64_t injected_oom{0};
+  std::uint64_t injected_hang{0};
+  double fault_rate{0.0};  ///< injected faults / worker-routed requests
+  double wall_ms{0.0};
+  std::uint64_t fault_seed{0};
+  StatsReply stats;  ///< final daemon counters, worker tier included
+};
+
+/// Chaos on the fork-isolated worker tier: a dedicated daemon with
+/// --isolation=fork and a seeded injector crashing, OOMing, and
+/// hanging worker children under a concurrent 4-session workload of
+/// cold places and ecos. Every failed request must come back typed
+/// (13 worker_crashed / 14 resource_exhausted) — never untyped, never
+/// a daemon death — every successful cold place must stay
+/// byte-identical to the local (daemon-free) pipeline, the daemon
+/// must end with zero internal errors and zero restarts, and an
+/// injected hang must be beaten by a hedged backup.
+IsolationReport run_isolation(const std::string& host, const PlaceRequest& place,
+                              const std::vector<QubitPos>& home, int eco_moves,
+                              std::uint64_t fault_seed, bool quick) {
+  const int workload_sessions = 4;
+  const int rounds = quick ? 5 : 20;
+
+  FaultConfig fcfg;
+  fcfg.seed = fault_seed;
+  fcfg.crash_child_permille = 100;  // 25% of worker draws carry a fault
+  fcfg.oom_child_permille = 80;
+  fcfg.hang_child_permille = 70;
+  FaultInjector faults(fcfg);
+  faults.arm(false);  // clean pre-phase first
+
+  QgdpdOptions dopt;
+  dopt.host = host;
+  dopt.isolation = Isolation::kFork;
+  dopt.worker_max_rss_mb = 512;
+  dopt.worker_wall_ms = quick ? 10'000 : 20'000;
+  dopt.max_sessions = 8;
+  dopt.max_inflight_places = workload_sessions;
+  dopt.faults = &faults;
+  Qgdpd daemon(dopt);
+  std::string error;
+  if (!daemon.start(&error)) die("isolation daemon start: " + error);
+  const std::uint16_t port = daemon.port();
+
+  ClientOptions copt;
+  copt.connect_timeout_ms = 2'000;
+  copt.reply_timeout_ms = 120'000;
+  copt.frame_timeout_ms = 30'000;
+
+  const std::string reference = local_pipeline_qlay(place);
+  const std::string reference_hash = hex64(fnv1a64(reference));
+
+  // Pre-phase, faults disarmed: the isolated path must be
+  // byte-identical to the local pipeline, and the cold completions
+  // seed the hedge EWMA bucket so an injected hang can be hedged.
+  {
+    QgdpdClient client{copt};
+    if (!client.connect(host, port, &error)) die("isolation connect: " + error);
+    PlaceRequest cold = place;
+    cold.use_cache = false;
+    for (int r = 0; r < 4; ++r) {
+      const auto rep = client.place(cold, &error);
+      if (!rep || rep->status != StatusCode::kOk) {
+        die("isolation pre-phase cold place failed: " + error);
+      }
+      if (rep->layout_hash != reference_hash ||
+          (!rep->layout.empty() && rep->layout != reference)) {
+        die("isolation: forked layout is not byte-identical to the local pipeline");
+      }
+    }
+    const auto fill = client.place(place, &error);  // miss: populates the cache
+    if (!fill || fill->status != StatusCode::kOk || fill->layout_hash != reference_hash) {
+      die("isolation pre-phase cache fill failed: " + error);
+    }
+    const auto warm = client.place(place, &error);
+    if (!warm || !warm->cached || warm->layout_hash != reference_hash) {
+      die("isolation pre-phase warm hit failed: " + error);
+    }
+    const auto st = client.stats(&error);
+    if (!st) die("isolation pre-phase stats failed: " + error);
+    if (st->worker_crashes + st->worker_oom_kills + st->worker_timeouts != 0) {
+      die("isolation pre-phase: spurious worker failures on the clean path");
+    }
+  }
+
+  IsolationReport report;
+  report.fault_seed = fault_seed;
+
+  // Fault storm: no-retry clients so every typed worker failure is
+  // observed raw instead of being absorbed by the retry policy.
+  struct Tally {
+    std::uint64_t cold_attempts{0};
+    std::uint64_t cold_ok{0};
+    std::uint64_t eco_attempts{0};
+    std::uint64_t eco_ok{0};
+    std::uint64_t crashed{0};
+    std::uint64_t exhausted{0};
+    bool failed{false};
+    std::string why;
+  };
+  {
+    faults.arm(true);
+    std::vector<Tally> tallies(static_cast<std::size_t>(workload_sessions));
+    std::vector<std::thread> threads;
+    const auto wall0 = Clock::now();
+    for (int t = 0; t < workload_sessions; ++t) {
+      threads.emplace_back([&, t] {
+        Tally& tally = tallies[static_cast<std::size_t>(t)];
+        auto fail = [&](const std::string& why) {
+          tally.failed = true;
+          tally.why = why;
+        };
+        ClientOptions o = copt;
+        o.retry.max_attempts = 1;
+        QgdpdClient client{o};
+        std::string err;
+        if (!client.connect(host, port, &err)) return fail("connect: " + err);
+        PlaceRequest cold = place;
+        cold.use_cache = false;
+        auto reconnect_if_needed = [&] {
+          return client.connected() || client.connect(host, port, &err);
+        };
+        for (int r = 0; r < rounds; ++r) {
+          ++tally.cold_attempts;
+          const auto rep = client.place(cold, &err);
+          bool placed = false;
+          if (rep && rep->status == StatusCode::kOk) {
+            placed = true;
+            ++tally.cold_ok;
+            // Byte-identity through the fault storm: a reply that won
+            // against crashing siblings still carries the reference.
+            if (rep->layout_hash != reference_hash) {
+              return fail("cold layout diverged under worker faults");
+            }
+          } else if (client.last_status() == StatusCode::kWorkerCrashed) {
+            ++tally.crashed;
+          } else if (client.last_status() == StatusCode::kResourceExhausted) {
+            ++tally.exhausted;
+          } else {
+            return fail("untyped cold-place failure: " + err);
+          }
+          if (!reconnect_if_needed()) return fail("reconnect: " + err);
+          if (placed && r % 2 == 0) {
+            for (int phase = 0; phase < 2; ++phase) {  // push, then pull back
+              ++tally.eco_attempts;
+              const auto erep = client.eco(eco_round(phase, home, eco_moves, 1.0 + t), &err);
+              if (erep && erep->status == StatusCode::kOk) {
+                ++tally.eco_ok;
+              } else if (client.last_status() == StatusCode::kWorkerCrashed) {
+                ++tally.crashed;
+              } else if (client.last_status() == StatusCode::kResourceExhausted) {
+                ++tally.exhausted;
+              } else {
+                return fail("untyped eco failure: " + err);
+              }
+              if (!reconnect_if_needed()) return fail("reconnect: " + err);
+            }
+          }
+          if (r % 4 == 3) (void)client.stats(&err);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    report.wall_ms = ms_since(wall0);
+    faults.arm(false);
+    for (const Tally& tally : tallies) {
+      if (tally.failed) die("isolation workload: " + tally.why);
+      report.cold_attempts += tally.cold_attempts;
+      report.cold_ok += tally.cold_ok;
+      report.eco_attempts += tally.eco_attempts;
+      report.eco_ok += tally.eco_ok;
+      report.typed_worker_crashed += tally.crashed;
+      report.typed_resource_exhausted += tally.exhausted;
+    }
+  }
+
+  // Crashed children must never wedge sessions or leak admission.
+  {
+    const auto t0 = Clock::now();
+    while (daemon.active_sessions() != 0) {
+      if (ms_since(t0) > 5'000.0) die("isolation: sessions not reaped after the fault storm");
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  // Post-phase: the same daemon — never restarted — must still serve a
+  // clean cold place byte-identically.
+  {
+    QgdpdClient client{copt};
+    if (!client.connect(host, port, &error)) die("isolation post connect: " + error);
+    PlaceRequest cold = place;
+    cold.use_cache = false;
+    const auto rep = client.place(cold, &error);
+    if (!rep || rep->status != StatusCode::kOk || rep->layout_hash != reference_hash) {
+      die("isolation: daemon not serviceable after the fault storm: " + error);
+    }
+    const auto st = client.stats(&error);
+    if (!st) die("isolation post stats failed: " + error);
+    report.stats = *st;
+  }
+  report.faults_injected = faults.injected_total();
+  report.injected_crash = faults.injected(FaultInjector::Action::kCrashChild);
+  report.injected_oom = faults.injected(FaultInjector::Action::kOomChild);
+  report.injected_hang = faults.injected(FaultInjector::Action::kHangChild);
+
+  const StatsReply& st = report.stats;
+  if (st.internal_errors != 0) die("isolation: daemon recorded internal errors");
+  if (st.protocol_errors != 0) die("isolation: daemon recorded protocol errors");
+  // The supervisor's classification and the client-observed typed
+  // failures must agree to the unit: with retries off, every 13/14
+  // the daemon counted was seen by exactly one client call.
+  if (st.worker_crashes != report.typed_worker_crashed) {
+    die("isolation: worker_crashes " + std::to_string(st.worker_crashes) +
+        " != client-observed 13s " + std::to_string(report.typed_worker_crashed));
+  }
+  if (st.worker_oom_kills + st.worker_timeouts != report.typed_resource_exhausted) {
+    die("isolation: oom+timeout " +
+        std::to_string(st.worker_oom_kills + st.worker_timeouts) +
+        " != client-observed 14s " + std::to_string(report.typed_resource_exhausted));
+  }
+  if (st.workers_recycled !=
+      st.worker_crashes + st.worker_oom_kills + st.worker_timeouts) {
+    die("isolation: recycled slots disagree with classified failures");
+  }
+  const std::uint64_t worker_runs = report.cold_attempts + report.eco_attempts;
+  report.fault_rate = worker_runs > 0
+                          ? static_cast<double>(report.faults_injected) /
+                                static_cast<double>(worker_runs)
+                          : 0.0;
+  if (report.fault_rate < 0.10) {
+    die("isolation: injected fault rate " + std::to_string(report.fault_rate) +
+        " below the 10% bar");
+  }
+  // An injected hang never blocks the request: past the bucket's p99
+  // estimate a fault-free backup launches and wins.
+  if (report.injected_hang >= 1 && st.hedges_launched == 0) {
+    die("isolation: a child hang was injected but no hedge launched");
+  }
+
+  daemon.stop();
+  std::cerr << "bench_serving: isolation ok (" << report.cold_ok << "/" << report.cold_attempts
+            << " cold, " << report.eco_ok << "/" << report.eco_attempts << " eco, "
+            << report.faults_injected << " faults -> " << report.typed_worker_crashed
+            << "x13 + " << report.typed_resource_exhausted << "x14, "
+            << st.hedge_wins << " hedge wins)\n";
+  return report;
+}
+
 // ---- persistence harness ---------------------------------------------
 
 struct PersistReport {
@@ -740,6 +1010,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool chaos = false;
   bool persist = false;
+  std::string isolation_mode = "none";  ///< main daemon's execution tier
   std::uint64_t fault_seed = 42;
 
   for (int i = 1; i < argc; ++i) {
@@ -766,6 +1037,11 @@ int main(int argc, char** argv) {
       chaos = true;
     } else if (arg == "--persist") {
       persist = true;
+    } else if (arg == "--isolation") {
+      isolation_mode = value();
+      if (isolation_mode != "none" && isolation_mode != "fork") {
+        die("invalid --isolation '" + isolation_mode + "' (none | fork)");
+      }
     } else if (arg == "--fault-seed") {
       fault_seed = std::stoull(value());
     } else {
@@ -802,6 +1078,7 @@ int main(int argc, char** argv) {
   if (port == 0) {
     QgdpdOptions opt;
     opt.host = host;
+    if (isolation_mode == "fork") opt.isolation = Isolation::kFork;
     daemon = std::make_unique<Qgdpd>(opt);
     std::string error;
     if (!daemon->start(&error)) die("daemon start: " + error);
@@ -956,9 +1233,12 @@ int main(int argc, char** argv) {
   // in), so its counters and sheds never pollute the latency numbers
   // above.
   ChaosReport chaos_report;
+  IsolationReport isolation_report;
   if (chaos) {
     chaos_report = run_chaos(host, place, home, eco_moves, fault_seed, quick);
     std::cerr << "bench_serving: chaos done\n";
+    isolation_report = run_isolation(host, place, home, eco_moves, fault_seed, quick);
+    std::cerr << "bench_serving: isolation done\n";
   }
 
   const LatencyStats cold = summarize(cold_ms);
@@ -1018,6 +1298,29 @@ int main(int argc, char** argv) {
         << ", \"shed_rate\": " << chaos_report.shed_rate
         << ", \"timeouts\": " << chaos_report.timeouts
         << ", \"internal_errors\": 0, \"determinism\": \"byte-identical under faults\"},\n";
+    const IsolationReport& iso = isolation_report;
+    out << "  \"isolation\": {\"mode\": \"fork\", \"fault_seed\": " << iso.fault_seed
+        << ", \"workload_sessions\": 4"
+        << ", \"faults_injected\": " << iso.faults_injected
+        << ", \"injected_crash\": " << iso.injected_crash
+        << ", \"injected_oom\": " << iso.injected_oom
+        << ", \"injected_hang\": " << iso.injected_hang
+        << ", \"fault_rate\": " << iso.fault_rate
+        << ", \"cold_attempts\": " << iso.cold_attempts
+        << ", \"cold_ok\": " << iso.cold_ok
+        << ", \"eco_attempts\": " << iso.eco_attempts
+        << ", \"eco_ok\": " << iso.eco_ok
+        << ", \"typed_worker_crashed\": " << iso.typed_worker_crashed
+        << ", \"typed_resource_exhausted\": " << iso.typed_resource_exhausted
+        << ", \"worker_crashes\": " << iso.stats.worker_crashes
+        << ", \"worker_oom_kills\": " << iso.stats.worker_oom_kills
+        << ", \"worker_timeouts\": " << iso.stats.worker_timeouts
+        << ", \"hedges_launched\": " << iso.stats.hedges_launched
+        << ", \"hedge_wins\": " << iso.stats.hedge_wins
+        << ", \"workers_recycled\": " << iso.stats.workers_recycled
+        << ", \"internal_errors\": 0, \"restarts\": 0"
+        << ", \"wall_ms\": " << iso.wall_ms
+        << ", \"determinism\": \"cold layouts byte-identical under worker faults\"},\n";
   }
   if (persist) {
     out << "  \"persist\": {\"entries_loaded\": " << persist_report.entries_loaded

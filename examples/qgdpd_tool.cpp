@@ -62,6 +62,17 @@ daemon:
   --idle-timeout-ms N   between-requests eviction deadline (default 120000)
   --frame-timeout-ms N  mid-frame / send deadline (default 30000)
   --place-budget-ms N   per-place wall budget, 0 = unlimited (default 0)
+  --isolation MODE      none (in-process, default) | fork: run every cold
+                        place and eco edit in a sandboxed forked worker —
+                        a crash/OOM/hang becomes a typed 13/14 reply, the
+                        daemon keeps serving
+  --worker-max-rss-mb N fork mode: RLIMIT_AS growth cap per worker in MB,
+                        0 = none (default 0)
+  --worker-cpu-s N      fork mode: RLIMIT_CPU cap per worker in seconds,
+                        0 = none (default 0)
+  --worker-wall-ms N    fork mode: supervisor wall deadline per worker;
+                        a hung child is SIGKILLed (default 30000)
+  --no-hedging          fork mode: disable p99-EWMA hedged execution
 
 client subcommands (first argument; all take --host/--port and
   --retries N  retry attempts for transient overloaded/timeout (default 3)):
@@ -137,7 +148,13 @@ void print_stats(const StatsReply& s) {
             << "cache_bytes " << s.cache_bytes << "\n"
             << "entries_loaded " << s.entries_loaded << "\n"
             << "entries_flushed " << s.entries_flushed << "\n"
-            << "corrupt_quarantined " << s.corrupt_quarantined << "\n";
+            << "corrupt_quarantined " << s.corrupt_quarantined << "\n"
+            << "worker_crashes " << s.worker_crashes << "\n"
+            << "worker_oom_kills " << s.worker_oom_kills << "\n"
+            << "worker_timeouts " << s.worker_timeouts << "\n"
+            << "hedges_launched " << s.hedges_launched << "\n"
+            << "hedge_wins " << s.hedge_wins << "\n"
+            << "workers_recycled " << s.workers_recycled << "\n";
 }
 
 int run_serve(const CommonArgs& common, QgdpdOptions opt) {
@@ -241,6 +258,9 @@ int run_eco(const CommonArgs& common, PlaceRequest place, EcoRequest eco,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A peer (or worker pipe) closing mid-send must surface as EPIPE on
+  // the write, never as a process-killing SIGPIPE.
+  signal(SIGPIPE, SIG_IGN);
   CommonArgs common;
   PlaceRequest place;
   EcoRequest eco;
@@ -304,6 +324,24 @@ int main(int argc, char** argv) {
       serve_opt.frame_timeout_ms = static_cast<int>(numeric_value(86'400'000));
     } else if (arg == "--place-budget-ms") {
       serve_opt.place_budget_ms = static_cast<int>(numeric_value(86'400'000));
+    } else if (arg == "--isolation") {
+      const std::string mode = value();
+      if (mode == "none") {
+        serve_opt.isolation = Isolation::kNone;
+      } else if (mode == "fork") {
+        serve_opt.isolation = Isolation::kFork;
+      } else {
+        std::cerr << "invalid --isolation '" << mode << "' (none | fork)\n";
+        return 1;
+      }
+    } else if (arg == "--worker-max-rss-mb") {
+      serve_opt.worker_max_rss_mb = numeric_value(1u << 20);
+    } else if (arg == "--worker-cpu-s") {
+      serve_opt.worker_cpu_s = static_cast<int>(numeric_value(86'400));
+    } else if (arg == "--worker-wall-ms") {
+      serve_opt.worker_wall_ms = static_cast<int>(numeric_value(86'400'000));
+    } else if (arg == "--no-hedging") {
+      serve_opt.worker_hedging = false;
     } else if (arg == "--retries") {
       common.retries = static_cast<int>(numeric_value(100));
     } else if (arg == "--topology") {

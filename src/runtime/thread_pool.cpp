@@ -5,7 +5,24 @@
 
 namespace qgdp {
 
+namespace {
+
+// Relaxed is enough: the flag is set once, before any worker-process
+// parallelism starts, and only ever read afterwards.
+std::atomic<bool> g_serial_execution{false};
+
+}  // namespace
+
+void set_serial_execution(bool serial) noexcept {
+  g_serial_execution.store(serial, std::memory_order_relaxed);
+}
+
+bool serial_execution() noexcept {
+  return g_serial_execution.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
+  if (serial_execution()) return;  // forked worker: no threads, ever
   if (threads == 0) threads = default_concurrency();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {

@@ -6,6 +6,7 @@
 // similar-sized, so static chunking wins over stealing overhead).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -17,6 +18,19 @@
 
 namespace qgdp {
 
+/// Process-wide serial-execution override. A forked child of a
+/// multi-threaded parent inherits only the forking thread: the shared
+/// pool's workers are gone and its mutex may have been held at fork
+/// time, so any pool interaction could deadlock — and spawning new
+/// threads after a multi-threaded fork is forbidden under TSan. Worker
+/// processes call set_serial_execution(true) immediately after fork;
+/// from then on every parallel_for runs inline on the caller and
+/// ThreadPool::shared() is constructed without spawning threads. The
+/// chunking determinism contract guarantees serial results are
+/// bit-identical to any jobs count.
+void set_serial_execution(bool serial) noexcept;
+[[nodiscard]] bool serial_execution() noexcept;
+
 /// Fixed pool of worker threads consuming a FIFO task queue.
 ///
 /// The pool never resizes after construction. The calling thread is
@@ -24,7 +38,9 @@ namespace qgdp {
 /// queue, so nested parallel sections cannot deadlock.
 class ThreadPool {
  public:
-  /// `threads` = 0 picks hardware_concurrency (at least 1).
+  /// `threads` = 0 picks hardware_concurrency (at least 1). Under the
+  /// serial-execution override the pool is built empty (no threads);
+  /// parallel_for never submits to an empty pool.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -74,6 +90,7 @@ template <typename Body>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t jobs,
                   Body&& body) {
   if (begin >= end) return;
+  if (serial_execution()) jobs = 1;
   if (jobs == 0) jobs = pool.size();
   if (jobs <= 1 || end - begin == 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
@@ -83,9 +100,15 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, std::siz
   detail::parallel_for_impl(pool, begin, end, jobs, fn);
 }
 
-/// Convenience overload on the shared pool.
+/// Convenience overload on the shared pool. Checks the serial
+/// override before resolving shared() so a forked worker never lazily
+/// constructs (or touches) the process-wide pool.
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, std::size_t jobs, Body&& body) {
+  if (serial_execution() || begin >= end || end - begin == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   parallel_for(ThreadPool::shared(), begin, end, jobs, std::forward<Body>(body));
 }
 

@@ -25,6 +25,9 @@ FaultInjector::Action FaultInjector::next(bool is_send) {
     lo += width;
     return hit;
   };
+  // The stacked range order is fixed across next() and next_worker()
+  // so both share one (seed, op index) -> draw mapping; each entry
+  // point masks the classes that do not apply to it.
   if (in_range(cfg_.short_io_permille)) {
     a = Action::kShortIo;
   } else if (in_range(cfg_.delay_permille)) {
@@ -33,6 +36,34 @@ FaultInjector::Action FaultInjector::next(bool is_send) {
     a = is_send ? Action::kTornSend : Action::kNone;
   } else if (in_range(cfg_.drop_recv_permille)) {
     a = is_send ? Action::kNone : Action::kDropRecv;
+  }
+  counts_[static_cast<std::size_t>(a)].fetch_add(1, std::memory_order_relaxed);
+  return a;
+}
+
+FaultInjector::Action FaultInjector::next_worker() {
+  if (!armed_.load(std::memory_order_relaxed)) return Action::kNone;
+  const std::uint64_t k = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t r = static_cast<std::uint32_t>(mix(cfg_.seed, k) % 1000);
+  Action a = Action::kNone;
+  std::uint32_t lo = 0;
+  auto in_range = [&](std::uint32_t width) {
+    const bool hit = r >= lo && r < lo + width;
+    lo += width;
+    return hit;
+  };
+  // I/O classes occupy the front of the stacked range and are masked
+  // to kNone on a worker draw.
+  lo += cfg_.short_io_permille + cfg_.delay_permille + cfg_.torn_send_permille +
+        cfg_.drop_recv_permille;
+  if (r < lo) {
+    a = Action::kNone;
+  } else if (in_range(cfg_.crash_child_permille)) {
+    a = Action::kCrashChild;
+  } else if (in_range(cfg_.oom_child_permille)) {
+    a = Action::kOomChild;
+  } else if (in_range(cfg_.hang_child_permille)) {
+    a = Action::kHangChild;
   }
   counts_[static_cast<std::size_t>(a)].fetch_add(1, std::memory_order_relaxed);
   return a;
@@ -53,6 +84,9 @@ const char* to_string(FaultInjector::Action a) {
     case FaultInjector::Action::kDelay: return "delay";
     case FaultInjector::Action::kTornSend: return "torn_send";
     case FaultInjector::Action::kDropRecv: return "drop_recv";
+    case FaultInjector::Action::kCrashChild: return "crash_child";
+    case FaultInjector::Action::kOomChild: return "oom_child";
+    case FaultInjector::Action::kHangChild: return "hang_child";
   }
   return "unknown";
 }

@@ -21,6 +21,15 @@
 //              frame deadline, both retryable)
 //   kDropRecv  fail the read outright, as if the peer vanished
 //
+// Worker fault classes (drawn via next_worker(), one draw per cold
+// pipeline run, same op counter — the schedule stays a pure function
+// of (seed, op index) across I/O and worker draws):
+//   kCrashChild  the forked worker raises SIGSEGV mid-run
+//   kOomChild    the worker allocates until RLIMIT_AS kills the
+//                allocation (surfaces as resource_exhausted)
+//   kHangChild   the worker sleeps past the supervisor's wall
+//                deadline (SIGKILL, surfaces as resource_exhausted)
+//
 // The injector is armed/disarmed atomically so a bench can soak under
 // faults and then run an exact-counters verification phase on the
 // same daemon with the schedule suspended.
@@ -40,13 +49,26 @@ struct FaultConfig {
   std::uint32_t delay_permille{0};
   std::uint32_t torn_send_permille{0};  ///< applies to send steps only
   std::uint32_t drop_recv_permille{0};  ///< applies to recv steps only
+  /// Worker fault classes; applied by next_worker() draws only.
+  std::uint32_t crash_child_permille{0};
+  std::uint32_t oom_child_permille{0};
+  std::uint32_t hang_child_permille{0};
   int delay_ms{2};  ///< length of one injected kDelay stall
 };
 
 class FaultInjector {
  public:
-  enum class Action : std::uint8_t { kNone = 0, kShortIo, kDelay, kTornSend, kDropRecv };
-  static constexpr std::size_t kActionCount = 5;
+  enum class Action : std::uint8_t {
+    kNone = 0,
+    kShortIo,
+    kDelay,
+    kTornSend,
+    kDropRecv,
+    kCrashChild,
+    kOomChild,
+    kHangChild,
+  };
+  static constexpr std::size_t kActionCount = 8;
 
   FaultInjector() = default;
   explicit FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {}
@@ -65,6 +87,14 @@ class FaultInjector {
   /// the draw itself is direction-independent, so the schedule does
   /// not depend on the send/recv mix.
   [[nodiscard]] Action next(bool is_send);
+
+  /// Draws the action for the next cold worker run. Advances the same
+  /// op counter as next() — one deterministic schedule covers both —
+  /// but masks the I/O classes to kNone, as next() masks the worker
+  /// classes. The supervisor draws *before* forking and passes the
+  /// directive to the child in the request, so a child never touches
+  /// the injector (its copy of the counter would silently diverge).
+  [[nodiscard]] Action next_worker();
 
   /// Total steps drawn while armed.
   [[nodiscard]] std::uint64_t ops() const { return op_counter_.load(std::memory_order_relaxed); }

@@ -119,6 +119,8 @@ std::string to_string(StatusCode code) {
     case StatusCode::kSolverInfeasible: return "solver_infeasible";
     case StatusCode::kOverloaded: return "overloaded";
     case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kWorkerCrashed: return "worker_crashed";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }
@@ -128,6 +130,8 @@ bool is_retryable(StatusCode code) {
     case StatusCode::kOverloaded:
     case StatusCode::kTimeout:
     case StatusCode::kShuttingDown:
+    case StatusCode::kWorkerCrashed:
+    case StatusCode::kResourceExhausted:
       return true;
     default:
       return false;
@@ -328,7 +332,13 @@ std::string format_stats_reply(const StatsReply& rep) {
       .add("cache_bytes", rep.cache_bytes)
       .add("entries_loaded", rep.entries_loaded)
       .add("entries_flushed", rep.entries_flushed)
-      .add("corrupt_quarantined", rep.corrupt_quarantined);
+      .add("corrupt_quarantined", rep.corrupt_quarantined)
+      .add("worker_crashes", rep.worker_crashes)
+      .add("worker_oom_kills", rep.worker_oom_kills)
+      .add("worker_timeouts", rep.worker_timeouts)
+      .add("hedges_launched", rep.hedges_launched)
+      .add("hedge_wins", rep.hedge_wins)
+      .add("workers_recycled", rep.workers_recycled);
   return kv.finish();
 }
 
@@ -360,6 +370,12 @@ std::optional<StatsReply> parse_stats_reply(const std::string& payload) {
   p.get_num("entries_loaded", rep.entries_loaded);
   p.get_num("entries_flushed", rep.entries_flushed);
   p.get_num("corrupt_quarantined", rep.corrupt_quarantined);
+  p.get_num("worker_crashes", rep.worker_crashes);
+  p.get_num("worker_oom_kills", rep.worker_oom_kills);
+  p.get_num("worker_timeouts", rep.worker_timeouts);
+  p.get_num("hedges_launched", rep.hedges_launched);
+  p.get_num("hedge_wins", rep.hedge_wins);
+  p.get_num("workers_recycled", rep.workers_recycled);
   return rep;
 }
 

@@ -77,14 +77,26 @@ enum class StatusCode : int {
   /// exceeded the per-request wall budget (the result was still
   /// banked in the layout cache, so a retry is warm). Retryable.
   kTimeout = 12,
+  /// A fork-isolated worker died abnormally (signal, nonzero exit, or
+  /// a garbled reply) before producing a result. The daemon itself is
+  /// unharmed — the blast radius is this one request — and the
+  /// crashed slot has been recycled, so a retry runs on a fresh
+  /// worker. Retryable.
+  kWorkerCrashed = 13,
+  /// A fork-isolated worker hit its resource governor: RLIMIT_AS
+  /// (allocation failure at the RSS cap), RLIMIT_CPU (SIGXCPU /
+  /// SIGKILL), or the supervisor's wall deadline (hang → SIGKILL).
+  /// Retryable — a smaller request or a less-loaded replica may fit.
+  kResourceExhausted = 14,
 };
 
 [[nodiscard]] std::string to_string(StatusCode code);
 
 /// The client retry contract: true for transient conditions a
 /// well-behaved client should retry with backoff (kOverloaded,
-/// kTimeout, kShuttingDown — another replica may be healthy); false
-/// for request or state errors a retry cannot fix.
+/// kTimeout, kShuttingDown, kWorkerCrashed, kResourceExhausted —
+/// another replica or a fresh worker may be healthy); false for
+/// request or state errors a retry cannot fix.
 [[nodiscard]] bool is_retryable(StatusCode code);
 
 // ---- framing ---------------------------------------------------------
@@ -196,6 +208,13 @@ struct StatsReply {
   std::uint64_t entries_loaded{0};       ///< disk entries accepted at startup
   std::uint64_t entries_flushed{0};      ///< entries durably written to disk
   std::uint64_t corrupt_quarantined{0};  ///< bad files quarantined, never fatal
+  // Worker tier (zero when the daemon runs with --isolation=none).
+  std::uint64_t worker_crashes{0};    ///< signal / nonzero-exit / garbled reply
+  std::uint64_t worker_oom_kills{0};  ///< RLIMIT_AS breaches (code 14)
+  std::uint64_t worker_timeouts{0};   ///< wall-deadline / RLIMIT_CPU kills
+  std::uint64_t hedges_launched{0};   ///< backup workers started past the hedge delay
+  std::uint64_t hedge_wins{0};        ///< requests where the backup finished first
+  std::uint64_t workers_recycled{0};  ///< crashed slots replaced with fresh ones
 };
 
 struct ErrorReply {

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <exception>
 #include <iostream>
@@ -92,6 +93,25 @@ Qgdpd::Qgdpd(QgdpdOptions opt) : opt_(std::move(opt)), cache_(opt_.cache_entries
 Qgdpd::~Qgdpd() { stop(); }
 
 bool Qgdpd::start(std::string* error) {
+  // A peer that half-closes mid-reply, or a worker child that dies
+  // while we write its request pipe, must surface as EPIPE on that
+  // write — never as a process-killing SIGPIPE. Socket sends already
+  // use MSG_NOSIGNAL; this covers the pipe writes (and any libc path
+  // without the flag).
+  std::signal(SIGPIPE, SIG_IGN);
+  if (opt_.isolation == Isolation::kFork) {
+    WorkerPoolOptions wopt;
+    // One slot per admitted cold place plus one for a hedge; without
+    // an in-flight cap, fall back to a small fixed fleet.
+    wopt.max_workers = opt_.max_inflight_places > 0 ? opt_.max_inflight_places + 1 : 9;
+    wopt.limits.max_rss_mb = opt_.worker_max_rss_mb;
+    wopt.limits.cpu_s = opt_.worker_cpu_s;
+    wopt.limits.wall_timeout_ms = opt_.worker_wall_ms;
+    wopt.hedging = opt_.worker_hedging;
+    wopt.faults = opt_.faults;
+    wopt.verbose = opt_.verbose;
+    workers_ = std::make_unique<WorkerPool>(wopt);
+  }
   // Durable tier first: a daemon that cannot persist where it was told
   // to should fail loudly at startup, not silently degrade. Corrupt
   // *entries* on the other hand are quarantined, never fatal.
@@ -408,36 +428,69 @@ std::string Qgdpd::handle_place(Session& session, const std::string& payload) {
     }
   }
 
-  // Cold path: one BatchRunner job. A single job runs inline on this
-  // session thread, so concurrent sessions place concurrently while
-  // sharing the process-wide pool for any intra-job parallelism.
-  BatchJob job;
-  job.spec = *spec;
-  job.kind = *kind;
-  job.gp_seed = req->seed;
-  job.gp_levels = req->gp_levels;
-  job.run_detailed = req->run_detailed;
-  BatchOptions bopt;
-  bopt.jobs = opt_.jobs;
-  std::vector<BatchResult> results;
-  try {
-    results = BatchRunner(bopt).run({job});
-  } catch (const std::exception& e) {
-    return error_frame(StatusCode::kPlacementFailed, e.what());
+  // Cold path. Both branches end with the same (text, spacing, reply
+  // stats) so the banking tail below is isolation-agnostic — and byte
+  // identity between them is pinned by the differential tests.
+  std::string text;
+  double spacing = 0.0;
+  std::optional<QuantumNetlist> placed;  ///< in-process only: live netlist
+  if (workers_) {
+    // Fork isolation: the run happens in a sandboxed child; its death
+    // becomes a typed 13/14 error frame on this live session, and the
+    // InflightGuard above decrements the cold-place gauge on every
+    // path — an isolated crash never leaks an admission slot.
+    WorkerResult w = workers_->run_place(*req, rep.cache_key, rep.qubits);
+    if (w.status != StatusCode::kOk) return error_frame(w.status, w.message);
+    if (w.reply_type == FrameType::kErrorReply) {
+      // The child ran to completion and reports a typed pipeline
+      // error (kPlacementFailed, ...): pass it through unchanged.
+      const auto err = parse_error_reply(w.reply_payload);
+      if (!err) return internal_error_frame("unparseable worker error reply");
+      return error_frame(err->status, err->message);
+    }
+    const auto wrep = parse_place_reply(w.reply_payload);
+    if (!wrep) return internal_error_frame("unparseable worker place reply");
+    text = std::move(w.layout);
+    spacing = w.spacing;
+    rep.blocks = wrep->blocks;
+    rep.layout_hash = wrep->layout_hash;
+    rep.gp_ms = wrep->gp_ms;
+    rep.qubit_ms = wrep->qubit_ms;
+    rep.resonator_ms = wrep->resonator_ms;
+    rep.dp_ms = wrep->dp_ms;
+  } else {
+    // In-process: one BatchRunner job. A single job runs inline on
+    // this session thread, so concurrent sessions place concurrently
+    // while sharing the process-wide pool for any intra-job
+    // parallelism.
+    BatchJob job;
+    job.spec = *spec;
+    job.kind = *kind;
+    job.gp_seed = req->seed;
+    job.gp_levels = req->gp_levels;
+    job.run_detailed = req->run_detailed;
+    BatchOptions bopt;
+    bopt.jobs = opt_.jobs;
+    std::vector<BatchResult> results;
+    try {
+      results = BatchRunner(bopt).run({job});
+    } catch (const std::exception& e) {
+      return error_frame(StatusCode::kPlacementFailed, e.what());
+    }
+    BatchResult& res = results.front();
+
+    std::ostringstream qlay;
+    write_layout(res.netlist, qlay);
+    text = qlay.str();
+    rep.blocks = res.netlist.block_count();
+    rep.layout_hash = hex64(fnv1a64(text));
+    rep.gp_ms = res.stats.gp_ms;
+    rep.qubit_ms = res.stats.qubit_ms;
+    rep.resonator_ms = res.stats.resonator_ms;
+    rep.dp_ms = res.stats.dp_ms;
+    spacing = quantum_flow(*kind) ? res.stats.qubit.spacing_used : 0.0;
+    placed = std::move(res.netlist);
   }
-  BatchResult& res = results.front();
-
-  std::ostringstream qlay;
-  write_layout(res.netlist, qlay);
-  std::string text = qlay.str();
-  rep.blocks = res.netlist.block_count();
-  rep.layout_hash = hex64(fnv1a64(text));
-  rep.gp_ms = res.stats.gp_ms;
-  rep.qubit_ms = res.stats.qubit_ms;
-  rep.resonator_ms = res.stats.resonator_ms;
-  rep.dp_ms = res.stats.dp_ms;
-
-  const double spacing = quantum_flow(*kind) ? res.stats.qubit.spacing_used : 0.0;
   if (req->use_cache) {
     cache_.put(rep.cache_key, text);
     {
@@ -460,11 +513,13 @@ std::string Qgdpd::handle_place(Session& session, const std::string& payload) {
                            " ms); result banked in the layout cache");
   }
 
-  // The session keeps the materialized netlist — a follow-up eco edit
-  // starts from the live state, not a reparse.
+  // The session keeps the materialized netlist when the place ran
+  // in-process — a follow-up eco edit starts from the live state, not
+  // a reparse. A fork-isolated place hands back text only; the session
+  // stays parse-free until an eco edit actually needs the netlist.
   session.has_layout = true;
-  session.materialized = true;
-  session.nl = std::move(res.netlist);
+  session.materialized = placed.has_value();
+  if (placed) session.nl = std::move(*placed);
   session.grid.reset();
   session.layout_payload = std::move(text);
   session.cache_key = rep.cache_key;
@@ -510,6 +565,45 @@ std::string Qgdpd::handle_eco(Session& session, const std::string& payload) {
       }
     }
   }
+  if (workers_) {
+    // Fork isolation: the edit runs in a sandboxed child against the
+    // warm layout text (shipped over the pipe as a checksummed .qlc
+    // entry); the session stays text-authoritative and parse-free.
+    WorkerResult w = workers_->run_eco(*req, session.layout_payload, session.spacing,
+                                       qlay_count(session.layout_payload, "qubits"));
+    if (w.status != StatusCode::kOk) return error_frame(w.status, w.message);
+    if (w.reply_type == FrameType::kErrorReply) {
+      const auto err = parse_error_reply(w.reply_payload);
+      if (!err) return internal_error_frame("unparseable worker error reply");
+      // Parity with the in-process path's counters: an out-of-range
+      // qubit is a validation reject whichever side detected it.
+      if (err->status == StatusCode::kBadRequest) validation_rejects_.fetch_add(1);
+      return error_frame(err->status, err->message);
+    }
+    const auto wrep = parse_eco_reply(w.reply_payload);
+    if (!wrep) return internal_error_frame("unparseable worker eco reply");
+    EcoReply rep = *wrep;
+    rep.layout.clear();  // the child's body is the .qlc entry, not a .qlay
+    if (!rep.success) {
+      rep.eco_ms = ms_since(t0);
+      return encode_frame(FrameType::kEcoReply, format_eco_reply(rep));
+    }
+    session.layout_payload = std::move(w.layout);
+    session.materialized = false;
+    session.grid.reset();
+    if (opt_.place_budget_ms > 0 && ms_since(t0) > opt_.place_budget_ms) {
+      timeouts_.fetch_add(1);
+      rep.status = StatusCode::kTimeout;
+    }
+    if (req->want_layout) rep.layout = session.layout_payload;
+    rep.eco_ms = ms_since(t0);
+    if (opt_.verbose) {
+      std::cerr << "qgdpd: eco " << req->moves.size() << " moves, " << rep.replaced_blocks
+                << " blocks replaced in " << rep.eco_ms << " ms (isolated)\n";
+    }
+    return encode_frame(FrameType::kEcoReply, format_eco_reply(rep));
+  }
+
   if (!session.materialized) {
     std::istringstream is(session.layout_payload);
     session.nl = read_layout(is);
@@ -604,6 +698,15 @@ std::string Qgdpd::handle_stats() {
     rep.entries_loaded = ss.entries_loaded;
     rep.entries_flushed = ss.entries_flushed;
     rep.corrupt_quarantined = ss.corrupt_quarantined;
+  }
+  if (workers_) {
+    const WorkerPoolCounters wc = workers_->counters();
+    rep.worker_crashes = wc.worker_crashes;
+    rep.worker_oom_kills = wc.worker_oom_kills;
+    rep.worker_timeouts = wc.worker_timeouts;
+    rep.hedges_launched = wc.hedges_launched;
+    rep.hedge_wins = wc.hedge_wins;
+    rep.workers_recycled = wc.workers_recycled;
   }
   const LayoutCacheStats cs = cache_.stats();
   rep.cache_hits = cs.hits;

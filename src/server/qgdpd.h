@@ -68,8 +68,15 @@
 #include "server/fault_injector.h"
 #include "server/layout_cache.h"
 #include "server/protocol.h"
+#include "server/worker_pool.h"
 
 namespace qgdp::server {
+
+/// Where cold places and eco edits execute.
+enum class Isolation {
+  kNone,  ///< in-process, on the session thread (the default)
+  kFork,  ///< in a sandboxed forked worker (server/worker_pool.h)
+};
 
 struct QgdpdOptions {
   std::string host{"127.0.0.1"};
@@ -94,6 +101,16 @@ struct QgdpdOptions {
   int frame_timeout_ms{30'000};         ///< rest-of-frame / send deadline (-1 = none)
   int place_budget_ms{0};               ///< per-place wall budget (0 = unlimited)
   FaultInjector* faults{nullptr};       ///< chaos-harness hook (not owned)
+
+  // ---- worker isolation ----------------------------------------------
+  /// kFork contains the blast radius of a crashing/OOMing/hanging
+  /// pipeline run to one request: the run happens in a forked child
+  /// under rlimits, and its death becomes a typed 13/14 reply.
+  Isolation isolation{Isolation::kNone};
+  std::size_t worker_max_rss_mb{0};  ///< RLIMIT_AS growth cap (0 = none)
+  int worker_cpu_s{0};               ///< RLIMIT_CPU cap (0 = none)
+  int worker_wall_ms{30'000};        ///< supervisor deadline per run (0 = none)
+  bool worker_hedging{true};         ///< p99-EWMA hedged execution
 };
 
 class Qgdpd {
@@ -121,6 +138,8 @@ class Qgdpd {
   [[nodiscard]] LayoutCache& cache() { return cache_; }
   /// Durable tier, or nullptr when running without cache_dir.
   [[nodiscard]] CacheStore* store() { return store_.get(); }
+  /// Worker tier, or nullptr when running with Isolation::kNone.
+  [[nodiscard]] WorkerPool* workers() { return workers_.get(); }
   [[nodiscard]] const QgdpdOptions& options() const { return opt_; }
   /// Sessions currently registered (live gauge, also in StatsReply).
   [[nodiscard]] std::size_t active_sessions() const;
@@ -158,7 +177,8 @@ class Qgdpd {
 
   QgdpdOptions opt_;
   LayoutCache cache_;
-  std::unique_ptr<CacheStore> store_;  ///< durable tier (null = in-memory only)
+  std::unique_ptr<CacheStore> store_;    ///< durable tier (null = in-memory only)
+  std::unique_ptr<WorkerPool> workers_;  ///< isolation tier (null = in-process)
   std::uint16_t port_{0};
   int listen_fd_{-1};
   std::atomic<bool> running_{false};

@@ -1,0 +1,926 @@
+#include "server/worker_pool.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <new>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "core/incremental.h"
+#include "io/serialization.h"
+#include "netlist/topologies.h"
+#include "runtime/batch_runner.h"
+#include "runtime/thread_pool.h"
+#include "server/cache_store.h"
+
+namespace qgdp::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Scans the header section (lines before the first blank line) for
+/// "key value"; empty string when absent. The worker-only headers
+/// (w_key, w_fault) ride in front of the regular protocol payload,
+/// whose parsers ignore unknown keys.
+[[nodiscard]] std::string header_value(const std::string& payload, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    if (eol == pos) break;  // blank line: headers end
+    const std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.size() > key.size() && line.compare(0, key.size(), key) == 0 &&
+        line[key.size()] == ' ') {
+      return line.substr(key.size() + 1);
+    }
+  }
+  return {};
+}
+
+/// Everything after the first blank line, verbatim.
+[[nodiscard]] std::string payload_body(const std::string& payload) {
+  const std::size_t pos = payload.find("\n\n");
+  return pos == std::string::npos ? std::string{} : payload.substr(pos + 2);
+}
+
+/// `.qlc` codec instance for the pipe hand-off. Never open()ed — only
+/// encode_entry/decode_entry are used, which are pure functions of the
+/// default fingerprint.
+[[nodiscard]] const CacheStore& pipe_codec() {
+  static CacheStore codec{CacheStoreOptions{}};
+  return codec;
+}
+
+// ---- child side ------------------------------------------------------
+
+/// Current VM size in bytes from /proc/self/statm; 0 on failure.
+[[nodiscard]] std::size_t current_vm_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long pages = 0;
+  const int got = std::fscanf(f, "%llu", &pages);
+  std::fclose(f);
+  if (got != 1) return 0;
+  return static_cast<std::size_t>(pages) * static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+}
+
+void apply_limits(const WorkerLimits& limits) {
+  // Never dump core: a crashing worker is an expected event, not a
+  // forensics request, and cores at placement sizes are huge.
+  rlimit core{0, 0};
+  ::setrlimit(RLIMIT_CORE, &core);
+  if (limits.max_rss_mb > 0) {
+    // RLIMIT_RSS is a no-op on Linux; cap the address space instead.
+    // The limit bounds *growth over the inherited image* — the fork
+    // already maps the parent's code, pool stacks, and (under ASan)
+    // the shadow region, so a raw cap would kill the child at mmap 0.
+    const std::size_t cap = limits.max_rss_mb << 20;
+    const std::size_t base = current_vm_bytes();
+    rlimit as{};
+    as.rlim_cur = as.rlim_max = static_cast<rlim_t>(base + cap);
+    ::setrlimit(RLIMIT_AS, &as);
+  }
+  if (limits.cpu_s > 0) {
+    // SIGXCPU (terminate) at the soft limit; hard SIGKILL one second
+    // later if the child somehow survives it.
+    rlimit cpu{};
+    cpu.rlim_cur = static_cast<rlim_t>(limits.cpu_s);
+    cpu.rlim_max = static_cast<rlim_t>(limits.cpu_s + 1);
+    ::setrlimit(RLIMIT_CPU, &cpu);
+  }
+}
+
+/// Closes every descriptor the child inherited except its own pipe
+/// ends and the std streams, so a sibling worker's pipes never stay
+/// open here (that would delay the parent's EOF-based crash detection
+/// of the sibling until this child also exits).
+void close_inherited_fds(int keep_a, int keep_b) {
+  long max_fd = ::sysconf(_SC_OPEN_MAX);
+  if (max_fd <= 0 || max_fd > 65536) max_fd = 65536;
+  for (int fd = 3; fd < static_cast<int>(max_fd); ++fd) {
+    if (fd == keep_a || fd == keep_b) continue;
+    ::close(fd);
+  }
+}
+
+/// Blocking exact read in the child (the parent writes the whole
+/// request, then only reads). False on EOF/error.
+[[nodiscard]] bool child_read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r > 0) {
+      p += r;
+      n -= static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool child_write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Applies an injected fault directive. The directives fire *after*
+/// the request is fully read, so the parent's request write never
+/// blocks against a pre-fault child.
+void apply_fault_directive(const std::string& fault, const WorkerLimits& limits) {
+  if (fault.empty() || fault == "none") return;
+  if (fault == "crash") {
+    // Reset to the default disposition first: sanitizers install
+    // their own SIGSEGV handlers, and the supervisor classifies by
+    // termination signal.
+    std::signal(SIGSEGV, SIG_DFL);
+    ::raise(SIGSEGV);
+    ::_exit(detail::kWorkerExitOom + 1);  // unreachable
+  }
+  if (fault == "oom") {
+    // Allocate (and touch) until the RLIMIT_AS governor fails an
+    // allocation; convert to the typed OOM exit. Without a cap there
+    // is nothing to breach — exit as OOM directly rather than eating
+    // the machine.
+    if (limits.max_rss_mb == 0) ::_exit(detail::kWorkerExitOom);
+    std::vector<char*> blocks;
+    try {
+      for (;;) {
+        char* b = new char[1 << 20];
+        std::memset(b, 0x5A, 1 << 20);
+        blocks.push_back(b);
+      }
+    } catch (const std::bad_alloc&) {
+      ::_exit(detail::kWorkerExitOom);
+    }
+  }
+  if (fault == "hang") {
+    // Sleep forever (no CPU burned, so RLIMIT_CPU never fires); the
+    // supervisor's wall deadline SIGKILLs us.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  if (fault == "exit1") ::_exit(1);  // test-only: plain nonzero exit
+}
+
+[[noreturn]] void child_reply_and_exit(int reply_fd, FrameType type, const std::string& payload) {
+  const std::string frame = encode_frame(type, payload);
+  (void)child_write_all(reply_fd, frame.data(), frame.size());
+  ::_exit(detail::kWorkerExitOk);
+}
+
+[[noreturn]] void child_error_and_exit(int reply_fd, StatusCode code, std::string message) {
+  ErrorReply rep;
+  rep.status = code;
+  rep.message = std::move(message);
+  child_reply_and_exit(reply_fd, FrameType::kErrorReply, format_error_reply(rep));
+}
+
+[[noreturn]] void child_place(int reply_fd, const std::string& payload) {
+  const auto req = parse_place_request(payload);
+  if (!req) child_error_and_exit(reply_fd, StatusCode::kBadRequest, "unparseable worker place");
+  const auto kind = flow_by_name(req->flow);
+  if (!kind) child_error_and_exit(reply_fd, StatusCode::kUnknownFlow, req->flow);
+  const auto spec = topology_by_name(req->topology);
+  if (!spec) child_error_and_exit(reply_fd, StatusCode::kUnknownTopology, req->topology);
+  const std::string key = header_value(payload, "w_key");
+
+  BatchJob job;
+  job.spec = *spec;
+  job.kind = *kind;
+  job.gp_seed = req->seed;
+  job.gp_levels = req->gp_levels;
+  job.run_detailed = req->run_detailed;
+  BatchResult res;
+  try {
+    res = run_batch_job(job);
+  } catch (const std::bad_alloc&) {
+    ::_exit(detail::kWorkerExitOom);
+  } catch (const std::exception& e) {
+    child_error_and_exit(reply_fd, StatusCode::kPlacementFailed, e.what());
+  }
+
+  std::ostringstream qlay;
+  write_layout(res.netlist, qlay);
+  const std::string text = qlay.str();
+  const double spacing = quantum_flow(*kind) ? res.stats.qubit.spacing_used : 0.0;
+
+  PlaceReply rep;
+  rep.cache_key = key;
+  rep.qubits = static_cast<std::size_t>(spec->qubit_count);
+  rep.blocks = res.netlist.block_count();
+  rep.layout_hash = hex64(fnv1a64(text));
+  rep.gp_ms = res.stats.gp_ms;
+  rep.qubit_ms = res.stats.qubit_ms;
+  rep.resonator_ms = res.stats.resonator_ms;
+  rep.dp_ms = res.stats.dp_ms;
+  // The layout crosses the pipe as a checksummed .qlc entry, never as
+  // raw text: a child dying mid-write leaves a torn body the parent
+  // rejects by checksum instead of banking.
+  rep.layout = pipe_codec().encode_entry({key, spacing, text});
+  child_reply_and_exit(reply_fd, FrameType::kPlaceReply, format_place_reply(rep));
+}
+
+[[noreturn]] void child_eco(int reply_fd, const std::string& payload) {
+  const auto req = parse_eco_request(payload);
+  if (!req) child_error_and_exit(reply_fd, StatusCode::kBadRequest, "unparseable worker eco");
+  const std::string state_key = header_value(payload, "w_key");
+  CacheStoreEntry state;
+  if (!pipe_codec().decode_entry(payload_body(payload), state_key, &state)) {
+    child_error_and_exit(reply_fd, StatusCode::kBadRequest, "torn warm-state hand-off");
+  }
+
+  try {
+    std::istringstream is(state.payload);
+    QuantumNetlist nl = read_layout(is);
+    BinGrid grid = IncrementalLegalizer::grid_for(nl);
+
+    std::vector<QubitMove> moves;
+    moves.reserve(req->moves.size());
+    for (const EcoMove& m : req->moves) {
+      if (m.qubit < 0 || static_cast<std::size_t>(m.qubit) >= nl.qubit_count()) {
+        child_error_and_exit(reply_fd, StatusCode::kBadRequest,
+                             "qubit " + std::to_string(m.qubit) + " out of range");
+      }
+      moves.push_back({m.qubit, Point{m.x, m.y}});
+    }
+
+    EcoOptions eopt;
+    eopt.min_spacing = state.spacing;
+    eopt.policy = req->policy == "baa" ? EcoOptions::BlockPolicy::kBaa
+                                       : EcoOptions::BlockPolicy::kAbacusWindow;
+    const EcoResult res = IncrementalLegalizer(eopt).move_qubits(nl, grid, moves);
+
+    EcoReply rep;
+    rep.success = res.success;
+    rep.ripped_blocks = res.ripped_blocks;
+    rep.replaced_blocks = res.replaced_blocks;
+    rep.edges_touched = res.edges_touched;
+    rep.window_violations = res.window_violations;
+    rep.grid_bins_touched = res.grid_bins_touched;
+    rep.window_growths = res.window_growths;
+    rep.window[0] = res.dirty_window.lo.x;
+    rep.window[1] = res.dirty_window.lo.y;
+    rep.window[2] = res.dirty_window.hi.x;
+    rep.window[3] = res.dirty_window.hi.y;
+    if (!res.success) {
+      if (res.failure == EcoResult::Failure::kQubitInfeasible) {
+        child_error_and_exit(reply_fd, StatusCode::kSolverInfeasible,
+                             "no legal spot for a moved qubit within the search radius");
+      }
+      rep.status = StatusCode::kEcoFailed;
+      rep.layout_hash = hex64(fnv1a64(state.payload));  // unchanged
+      child_reply_and_exit(reply_fd, FrameType::kEcoReply, format_eco_reply(rep));
+    }
+
+    std::ostringstream qlay;
+    write_layout(nl, qlay);
+    const std::string text = qlay.str();
+    rep.layout_hash = hex64(fnv1a64(text));
+    // Keyed by its own content hash (announced in layout_hash) so the
+    // parent can decode_entry with a checksum check.
+    rep.layout = pipe_codec().encode_entry({rep.layout_hash, state.spacing, text});
+    child_reply_and_exit(reply_fd, FrameType::kEcoReply, format_eco_reply(rep));
+  } catch (const std::bad_alloc&) {
+    ::_exit(detail::kWorkerExitOom);
+  } catch (const std::exception& e) {
+    child_error_and_exit(reply_fd, StatusCode::kInternalError, e.what());
+  }
+}
+
+// ---- parent-side pipe I/O -------------------------------------------
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Poll-driven write with a deadline; tolerates a child that dies
+/// before draining the request (EPIPE — SIGPIPE is ignored
+/// process-wide). False on error/timeout: the supervisor then learns
+/// the truth from the reply pipe and waitpid.
+[[nodiscard]] bool parent_write_all(int fd, const std::string& bytes, Clock::time_point deadline,
+                                    bool has_deadline) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int timeout_ms = -1;
+      if (has_deadline) {
+        const double left = std::chrono::duration<double, std::milli>(deadline - Clock::now())
+                                .count();
+        if (left <= 0) return false;
+        timeout_ms = static_cast<int>(left) + 1;
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0 && errno != EINTR) return false;
+      if (pr == 0) return false;  // deadline
+      continue;
+    }
+    return false;  // EPIPE or hard error
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+void worker_child_main(int request_fd, int reply_fd, const WorkerLimits& limits) {
+  // Serial execution first: nothing below may touch the shared pool a
+  // multi-threaded parent forked us out of.
+  set_serial_execution(true);
+  std::signal(SIGPIPE, SIG_IGN);
+  close_inherited_fds(request_fd, reply_fd);
+  apply_limits(limits);
+
+  unsigned char header[kFrameHeaderSize];
+  if (!child_read_exact(request_fd, header, kFrameHeaderSize)) ::_exit(2);
+  const auto fh = decode_frame_header(header);
+  if (!fh) ::_exit(2);
+  std::string payload(fh->length, '\0');
+  if (fh->length > 0 && !child_read_exact(request_fd, payload.data(), payload.size())) ::_exit(2);
+  ::close(request_fd);
+
+  apply_fault_directive(header_value(payload, "w_fault"), limits);
+
+  // Nothing may escape the child: an exception unwinding past this
+  // frame would re-enter the forked copy of the parent's stack (the
+  // daemon loop, a test harness) with undefined results. bad_alloc
+  // anywhere — parsing, topology construction, reply encoding, not
+  // just the solve — is the typed OOM exit; anything else is a
+  // best-effort error reply.
+  try {
+    switch (fh->type) {
+      case FrameType::kPlaceRequest:
+        child_place(reply_fd, payload);
+      case FrameType::kEcoRequest:
+        child_eco(reply_fd, payload);
+      default:
+        child_error_and_exit(reply_fd, StatusCode::kBadRequest, "unexpected worker frame type");
+    }
+  } catch (const std::bad_alloc&) {
+    ::_exit(kWorkerExitOom);
+  } catch (const std::exception& e) {
+    child_error_and_exit(reply_fd, StatusCode::kInternalError, e.what());
+  } catch (...) {
+    ::_exit(2);
+  }
+}
+
+}  // namespace detail
+
+// ---- supervisor ------------------------------------------------------
+
+/// One forked worker as the parent sees it.
+struct WorkerPool::Child {
+  pid_t pid{-1};
+  int reply_fd{-1};
+  Clock::time_point forked_at;
+  Clock::time_point done_at;     ///< when the complete frame arrived
+  std::string buf;               ///< partial reply bytes
+  bool running{false};           ///< forked, not yet classified/reaped
+  bool frame_done{false};
+  bool failed{false};
+  bool deadline_killed{false};
+  FrameType reply_type{FrameType::kErrorReply};
+  std::string reply_payload;
+  StatusCode fail_status{StatusCode::kWorkerCrashed};
+  std::string fail_message;
+};
+
+WorkerPool::WorkerPool(WorkerPoolOptions opt) : opt_(std::move(opt)) {
+  if (opt_.max_workers == 0) opt_.max_workers = 1;
+  // Pipe writes to a dead child must surface as EPIPE, not kill the
+  // process. qgdpd installs this too; standalone users of the pool
+  // (tests, tools) get it here.
+  std::signal(SIGPIPE, SIG_IGN);
+  // Touch the topology registry once so no child can be forked while
+  // another thread is mid-way through its first lazy initialization
+  // (the child would inherit a held magic-static guard).
+  (void)topology_catalog();
+}
+
+WorkerPool::~WorkerPool() {
+  // run() owns every child from fork to waitpid, so by the time the
+  // pool is destroyed (daemon drained, no in-flight requests) there is
+  // nothing left to reap.
+}
+
+std::string WorkerPool::fault_directive() {
+  if (!opt_.test_fault_directive.empty()) return opt_.test_fault_directive;
+  if (opt_.faults) {
+    switch (opt_.faults->next_worker()) {
+      case FaultInjector::Action::kCrashChild: return "crash";
+      case FaultInjector::Action::kOomChild: return "oom";
+      case FaultInjector::Action::kHangChild: return "hang";
+      default: break;
+    }
+  }
+  return "none";
+}
+
+bool WorkerPool::decode_layout_entry(const std::string& body, const std::string& expect_key,
+                                     std::string* layout, double* spacing) {
+  CacheStoreEntry entry;
+  if (!pipe_codec().decode_entry(body, expect_key, &entry)) return false;
+  if (layout) *layout = std::move(entry.payload);
+  if (spacing) *spacing = entry.spacing;
+  return true;
+}
+
+void WorkerPool::acquire_slot() {
+  std::unique_lock<std::mutex> lock(slots_mutex_);
+  slots_cv_.wait(lock, [&] { return active_workers_ < opt_.max_workers; });
+  ++active_workers_;
+}
+
+bool WorkerPool::try_acquire_slot() {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  if (active_workers_ >= opt_.max_workers) return false;
+  ++active_workers_;
+  return true;
+}
+
+void WorkerPool::release_slot() {
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    --active_workers_;
+  }
+  slots_cv_.notify_one();
+}
+
+bool WorkerPool::spawn(const std::string& request_payload, FrameType request_type, Child* child) {
+  int req_pipe[2] = {-1, -1};
+  int rep_pipe[2] = {-1, -1};
+  if (::pipe(req_pipe) != 0) return false;
+  if (::pipe(rep_pipe) != 0) {
+    ::close(req_pipe[0]);
+    ::close(req_pipe[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (int fd : {req_pipe[0], req_pipe[1], rep_pipe[0], rep_pipe[1]}) ::close(fd);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(req_pipe[1]);
+    ::close(rep_pipe[0]);
+    detail::worker_child_main(req_pipe[0], rep_pipe[1], opt_.limits);
+  }
+  ::close(req_pipe[0]);
+  ::close(rep_pipe[1]);
+  child->pid = pid;
+  child->reply_fd = rep_pipe[0];
+  child->forked_at = Clock::now();
+  child->running = true;
+  set_nonblocking(req_pipe[1]);
+  set_nonblocking(child->reply_fd);
+
+  const bool has_deadline = opt_.limits.wall_timeout_ms > 0;
+  const Clock::time_point deadline =
+      child->forked_at + std::chrono::milliseconds(opt_.limits.wall_timeout_ms);
+  const std::string frame = encode_frame(request_type, request_payload);
+  // A failed hand-off is not fatal here: the child will see EOF or a
+  // torn frame, exit, and the supervise loop classifies it.
+  (void)parent_write_all(req_pipe[1], frame, deadline, has_deadline);
+  ::close(req_pipe[1]);
+  return true;
+}
+
+void WorkerPool::kill_and_reap(Child* child) {
+  if (!child->running) return;
+  ::kill(child->pid, SIGKILL);
+  int st = 0;
+  (void)::waitpid(child->pid, &st, 0);
+  if (child->reply_fd >= 0) {
+    ::close(child->reply_fd);
+    child->reply_fd = -1;
+  }
+  child->running = false;
+}
+
+WorkerResult WorkerPool::run_place(const PlaceRequest& req, const std::string& cache_key,
+                                   std::size_t qubits) {
+  std::ostringstream os;
+  os << "w_key " << cache_key << "\nw_fault " << fault_directive() << '\n'
+     << format_place_request(req);
+  WorkerResult res = run(os.str(), FrameType::kPlaceRequest, qubits);
+  if (res.status == StatusCode::kOk && res.reply_type == FrameType::kPlaceReply) {
+    // Validate the hand-off before anyone banks it: the layout rides
+    // in a checksummed .qlc entry keyed by the cache key.
+    const auto rep = parse_place_reply(res.reply_payload);
+    if (!rep || !decode_layout_entry(rep->layout, cache_key, &res.layout, &res.spacing)) {
+      worker_crashes_.fetch_add(1);
+      res.status = StatusCode::kWorkerCrashed;
+      res.message = "worker place reply failed its checksum";
+      res.reply_payload.clear();
+    }
+  }
+  return res;
+}
+
+WorkerResult WorkerPool::run_eco(const EcoRequest& req, const std::string& layout_payload,
+                                 double spacing, std::size_t qubits) {
+  const std::string state_key = hex64(fnv1a64(layout_payload));
+  std::ostringstream os;
+  os << "w_key " << state_key << "\nw_fault " << fault_directive() << '\n'
+     << format_eco_request(req)
+     << pipe_codec().encode_entry({state_key, spacing, layout_payload});
+  WorkerResult res = run(os.str(), FrameType::kEcoRequest, qubits);
+  if (res.status == StatusCode::kOk && res.reply_type == FrameType::kEcoReply) {
+    const auto rep = parse_eco_reply(res.reply_payload);
+    if (!rep) {
+      worker_crashes_.fetch_add(1);
+      res.status = StatusCode::kWorkerCrashed;
+      res.message = "worker eco reply failed to parse";
+      res.reply_payload.clear();
+    } else if (rep->success) {
+      // A landed edit carries the post-edit layout keyed by its own
+      // content hash (announced in layout_hash).
+      if (!decode_layout_entry(rep->layout, rep->layout_hash, &res.layout, &res.spacing)) {
+        worker_crashes_.fetch_add(1);
+        res.status = StatusCode::kWorkerCrashed;
+        res.message = "worker eco reply failed its checksum";
+        res.reply_payload.clear();
+      }
+    }
+  }
+  return res;
+}
+
+WorkerResult WorkerPool::run(const std::string& request_payload, FrameType request_type,
+                             std::size_t qubits) {
+  // Bucket by log2(qubit count): hedge delays are meaningful only
+  // against runs of similar size.
+  std::size_t bucket = 0;
+  for (std::size_t q = qubits; q > 1; q >>= 1) ++bucket;
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+
+  // The hedge fires at ~p99 of this bucket: EWMA mean + 3 * EWMA
+  // absolute deviation, floored. Disabled until the bucket has seen
+  // enough completions to trust.
+  double hedge_delay_ms = -1.0;
+  if (opt_.hedging && opt_.max_workers >= 2) {
+    std::lock_guard<std::mutex> lock(ewma_mutex_);
+    const Bucket& b = buckets_[bucket];
+    if (b.samples >= opt_.hedge_min_samples) {
+      hedge_delay_ms = std::max(static_cast<double>(opt_.hedge_floor_ms),
+                                b.ewma_ms + 3.0 * b.ewma_dev_ms);
+    }
+  }
+
+  acquire_slot();
+  std::size_t slots_held = 1;
+  Child primary;
+  Child backup;
+  WorkerResult result;
+
+  auto classify_failure = [&](Child& c) {
+    // The child produced no (usable) reply; the truth is in its exit
+    // status. Reap exactly once.
+    if (c.reply_fd >= 0) {
+      ::close(c.reply_fd);
+      c.reply_fd = -1;
+    }
+    int st = 0;
+    if (c.deadline_killed) {
+      (void)::waitpid(c.pid, &st, 0);
+      worker_timeouts_.fetch_add(1);
+      c.fail_status = StatusCode::kResourceExhausted;
+      c.fail_message = "worker exceeded its wall deadline (" +
+                       std::to_string(opt_.limits.wall_timeout_ms) + " ms) and was killed";
+    } else {
+      // Not killed by us: the child is already dead (EOF) or about to
+      // be (garbled reply) — make sure, then reap.
+      ::kill(c.pid, SIGKILL);
+      (void)::waitpid(c.pid, &st, 0);
+      if (WIFEXITED(st)) {
+        const int code = WEXITSTATUS(st);
+        if (code == detail::kWorkerExitOom) {
+          worker_oom_kills_.fetch_add(1);
+          c.fail_status = StatusCode::kResourceExhausted;
+          c.fail_message = "worker hit its memory cap (" +
+                           std::to_string(opt_.limits.max_rss_mb) + " MB)";
+        } else if (code == detail::kWorkerExitOk) {
+          worker_crashes_.fetch_add(1);
+          c.fail_status = StatusCode::kWorkerCrashed;
+          c.fail_message = "worker replied with a garbled frame";
+        } else {
+          worker_crashes_.fetch_add(1);
+          c.fail_status = StatusCode::kWorkerCrashed;
+          c.fail_message = "worker exited with code " + std::to_string(code) + " before replying";
+        }
+      } else if (WIFSIGNALED(st)) {
+        const int sig = WTERMSIG(st);
+        if (sig == SIGXCPU) {
+          worker_timeouts_.fetch_add(1);
+          c.fail_status = StatusCode::kResourceExhausted;
+          c.fail_message =
+              "worker hit its CPU cap (" + std::to_string(opt_.limits.cpu_s) + " s)";
+        } else if (sig == SIGKILL) {
+          // We only SIGKILL on the deadline path above; an unsolicited
+          // SIGKILL is the kernel OOM killer.
+          worker_oom_kills_.fetch_add(1);
+          c.fail_status = StatusCode::kResourceExhausted;
+          c.fail_message = "worker was OOM-killed";
+        } else {
+          worker_crashes_.fetch_add(1);
+          c.fail_status = StatusCode::kWorkerCrashed;
+          c.fail_message = std::string("worker killed by ") + strsignal(sig);
+        }
+      } else {
+        worker_crashes_.fetch_add(1);
+        c.fail_status = StatusCode::kWorkerCrashed;
+        c.fail_message = "worker ended in an unrecognized state";
+      }
+    }
+    workers_recycled_.fetch_add(1);
+    c.running = false;
+    c.failed = true;
+    if (opt_.verbose) {
+      std::cerr << "worker_pool: " << to_string(c.fail_status) << ": " << c.fail_message << "\n";
+    }
+  };
+
+  /// Drains available reply bytes; flips frame_done or classifies a
+  /// failure (EOF / garbled frame) when the stream ends.
+  auto drain_reply = [&](Child& c) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t r = ::read(c.reply_fd, chunk, sizeof(chunk));
+      if (r > 0) {
+        c.buf.append(chunk, static_cast<std::size_t>(r));
+        if (c.buf.size() >= kFrameHeaderSize) {
+          const auto fh =
+              decode_frame_header(reinterpret_cast<const unsigned char*>(c.buf.data()));
+          if (!fh) {
+            classify_failure(c);
+            return;
+          }
+          if (c.buf.size() >= kFrameHeaderSize + fh->length) {
+            c.reply_type = fh->type;
+            c.reply_payload = c.buf.substr(kFrameHeaderSize, fh->length);
+            c.frame_done = true;
+            c.done_at = Clock::now();
+            return;
+          }
+        }
+        continue;
+      }
+      if (r == 0) {  // EOF before a complete frame
+        classify_failure(c);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained for now
+      classify_failure(c);
+      return;
+    }
+  };
+
+  if (!spawn(request_payload, request_type, &primary)) {
+    release_slot();
+    worker_crashes_.fetch_add(1);
+    workers_recycled_.fetch_add(1);
+    result.status = StatusCode::kWorkerCrashed;
+    result.message = std::string("cannot fork worker: ") + std::strerror(errno);
+    return result;
+  }
+  launched_.fetch_add(1);
+
+  const bool has_wall = opt_.limits.wall_timeout_ms > 0;
+  bool hedge_pending = hedge_delay_ms >= 0.0;
+
+#ifndef NDEBUG
+  // Debug builds wait for the hedge loser too, to assert byte-identity
+  // of the two layouts; release kills it as soon as a winner is known.
+  // The wait is bounded: a loser that is itself wedged (injected hang)
+  // would otherwise stall the winning reply until its wall deadline.
+  constexpr bool kAwaitLoser = true;
+#else
+  constexpr bool kAwaitLoser = false;
+#endif
+  constexpr double kLoserGraceMs = 2000.0;
+  Clock::time_point winner_at{};
+  bool winner_seen = false;
+
+  for (;;) {
+    Child* live[2] = {nullptr, nullptr};
+    std::size_t nlive = 0;
+    if (primary.running && !primary.frame_done) live[nlive++] = &primary;
+    if (backup.running && !backup.frame_done) live[nlive++] = &backup;
+
+    const bool have_winner = primary.frame_done || backup.frame_done;
+    if (have_winner && !winner_seen) {
+      winner_seen = true;
+      winner_at = Clock::now();
+    }
+    if (nlive == 0) break;
+    if (have_winner && !kAwaitLoser) break;
+    if (have_winner && ms_since(winner_at) >= kLoserGraceMs) break;
+
+    // Next timer: the earliest of each live child's wall deadline and
+    // the pending hedge launch.
+    double wait_ms = 3600'000.0;
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < nlive; ++i) {
+      if (!has_wall) continue;
+      const double left =
+          opt_.limits.wall_timeout_ms -
+          std::chrono::duration<double, std::milli>(now - live[i]->forked_at).count();
+      wait_ms = std::min(wait_ms, left);
+    }
+    if (hedge_pending && !have_winner && !backup.running && !backup.failed) {
+      const double left =
+          hedge_delay_ms -
+          std::chrono::duration<double, std::milli>(now - primary.forked_at).count();
+      wait_ms = std::min(wait_ms, left);
+    }
+    if (have_winner) {
+      wait_ms = std::min(wait_ms, kLoserGraceMs - ms_since(winner_at));
+    }
+
+    if (wait_ms > 0.0) {
+      pollfd pfds[2];
+      for (std::size_t i = 0; i < nlive; ++i) {
+        pfds[i] = {live[i]->reply_fd, POLLIN, 0};
+      }
+      const int pr = ::poll(pfds, static_cast<nfds_t>(nlive), static_cast<int>(wait_ms) + 1);
+      if (pr > 0) {
+        for (std::size_t i = 0; i < nlive; ++i) {
+          if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) drain_reply(*live[i]);
+        }
+      }
+    }
+
+    // Wall-deadline enforcement (a poll can return early or be
+    // saturated by the other child's traffic).
+    if (has_wall) {
+      for (Child* c : {&primary, &backup}) {
+        if (c->running && !c->frame_done &&
+            ms_since(c->forked_at) >= opt_.limits.wall_timeout_ms) {
+          c->deadline_killed = true;
+          ::kill(c->pid, SIGKILL);
+          classify_failure(*c);
+        }
+      }
+    }
+
+    // Hedge launch: primary is slow (past the bucket's p99 estimate),
+    // still running, and a slot is free right now. One attempt.
+    if (hedge_pending && primary.running && !primary.frame_done && !backup.running &&
+        ms_since(primary.forked_at) >= hedge_delay_ms) {
+      hedge_pending = false;
+      if (try_acquire_slot()) {
+        // The backup re-runs the same request with no fault directive:
+        // the injected fault belongs to the run, not the request, and
+        // the schedule must stay one draw per request.
+        std::string backup_payload = request_payload;
+        const std::size_t fpos = backup_payload.find("w_fault ");
+        if (fpos != std::string::npos) {
+          const std::size_t eol = backup_payload.find('\n', fpos);
+          backup_payload.replace(fpos, eol - fpos, "w_fault none");
+        }
+        if (spawn(backup_payload, request_type, &backup)) {
+          ++slots_held;
+          launched_.fetch_add(1);
+          hedges_launched_.fetch_add(1);
+          result.hedged = true;
+          if (opt_.verbose) {
+            std::cerr << "worker_pool: hedge launched after "
+                      << ms_since(primary.forked_at) << " ms (delay " << hedge_delay_ms
+                      << " ms)\n";
+          }
+        } else {
+          release_slot();  // undo the speculative acquire; slots_held unchanged
+        }
+      }
+    }
+
+    if ((primary.frame_done || primary.failed) && (backup.frame_done || backup.failed ||
+                                                   !result.hedged)) {
+      break;
+    }
+  }
+
+  // Pick the winner: whoever completed a well-formed frame first.
+  Child* winner = nullptr;
+  if (primary.frame_done && backup.frame_done) {
+#ifndef NDEBUG
+    // Deterministic pipeline ⇒ the two .qlc bodies must match byte for
+    // byte (timing headers differ; the body is the layout entry).
+    if (primary.reply_type == backup.reply_type &&
+        (primary.reply_type == FrameType::kPlaceReply ||
+         primary.reply_type == FrameType::kEcoReply)) {
+      assert(payload_body(primary.reply_payload) == payload_body(backup.reply_payload) &&
+             "hedged worker replies diverged — torn hand-off or nondeterministic pipeline");
+    }
+#endif
+    winner = backup.done_at < primary.done_at ? &backup : &primary;
+  } else if (primary.frame_done) {
+    winner = &primary;
+  } else if (backup.frame_done) {
+    winner = &backup;
+  }
+  if (winner == &backup) {
+    result.hedge_won = true;
+    hedge_wins_.fetch_add(1);
+  }
+
+  if (winner) {
+    completed_ok_.fetch_add((primary.frame_done ? 1 : 0) + (backup.frame_done ? 1 : 0));
+    result.status = StatusCode::kOk;
+    result.reply_type = winner->reply_type;
+    result.reply_payload = std::move(winner->reply_payload);
+    // EWMA update from the winner's run time.
+    const double sample = ms_since(winner->forked_at);
+    std::lock_guard<std::mutex> lock(ewma_mutex_);
+    Bucket& b = buckets_[bucket];
+    if (b.samples == 0) {
+      b.ewma_ms = sample;
+      b.ewma_dev_ms = sample * 0.5;
+    } else {
+      constexpr double kAlpha = 0.25;
+      b.ewma_dev_ms += kAlpha * (std::abs(sample - b.ewma_ms) - b.ewma_dev_ms);
+      b.ewma_ms += kAlpha * (sample - b.ewma_ms);
+    }
+    ++b.samples;
+  } else {
+    // Both (or the only) children failed: report the primary's typed
+    // classification — it carried the injected/organic fault.
+    result.status = primary.failed ? primary.fail_status : backup.fail_status;
+    result.message = primary.failed ? primary.fail_message : backup.fail_message;
+  }
+
+  // Losers and stragglers: kill + reap; their fds close here. A loser
+  // killed by us is not a crash — its counters were either already
+  // charged (failed) or it was healthy and merely slower.
+  kill_and_reap(&primary);
+  kill_and_reap(&backup);
+  for (Child* c : {&primary, &backup}) {
+    if (c->reply_fd >= 0) {
+      ::close(c->reply_fd);
+      c->reply_fd = -1;
+    }
+  }
+
+  while (slots_held > 0) {
+    release_slot();
+    --slots_held;
+  }
+  return result;
+}
+
+WorkerPoolCounters WorkerPool::counters() const {
+  WorkerPoolCounters c;
+  c.launched = launched_.load();
+  c.completed_ok = completed_ok_.load();
+  c.worker_crashes = worker_crashes_.load();
+  c.worker_oom_kills = worker_oom_kills_.load();
+  c.worker_timeouts = worker_timeouts_.load();
+  c.hedges_launched = hedges_launched_.load();
+  c.hedge_wins = hedge_wins_.load();
+  c.workers_recycled = workers_recycled_.load();
+  return c;
+}
+
+}  // namespace qgdp::server

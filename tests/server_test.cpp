@@ -148,10 +148,22 @@ TEST(Protocol, RepliesRoundTripWithBody) {
   StatsReply stats;
   stats.cache_hits = 17;
   stats.cache_bytes = 123456;
+  stats.worker_crashes = 3;
+  stats.worker_oom_kills = 2;
+  stats.worker_timeouts = 1;
+  stats.hedges_launched = 9;
+  stats.hedge_wins = 4;
+  stats.workers_recycled = 6;
   const auto s = parse_stats_reply(format_stats_reply(stats));
   ASSERT_TRUE(s.has_value());
   EXPECT_EQ(s->cache_hits, 17u);
   EXPECT_EQ(s->cache_bytes, 123456u);
+  EXPECT_EQ(s->worker_crashes, 3u);
+  EXPECT_EQ(s->worker_oom_kills, 2u);
+  EXPECT_EQ(s->worker_timeouts, 1u);
+  EXPECT_EQ(s->hedges_launched, 9u);
+  EXPECT_EQ(s->hedge_wins, 4u);
+  EXPECT_EQ(s->workers_recycled, 6u);
 
   ErrorReply err;
   err.status = StatusCode::kUnknownTopology;
@@ -171,9 +183,15 @@ TEST(Protocol, EmptyRequestCodecAndRetryClassification) {
 
   EXPECT_EQ(to_string(StatusCode::kOverloaded), "overloaded");
   EXPECT_EQ(to_string(StatusCode::kTimeout), "timeout");
+  EXPECT_EQ(to_string(StatusCode::kWorkerCrashed), "worker_crashed");
+  EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "resource_exhausted");
   EXPECT_TRUE(is_retryable(StatusCode::kOverloaded));
   EXPECT_TRUE(is_retryable(StatusCode::kTimeout));
   EXPECT_TRUE(is_retryable(StatusCode::kShuttingDown));
+  // A crashed/starved worker is the run's failure, not the request's:
+  // a retry lands on a fresh worker (or a warm cache) and may succeed.
+  EXPECT_TRUE(is_retryable(StatusCode::kWorkerCrashed));
+  EXPECT_TRUE(is_retryable(StatusCode::kResourceExhausted));
   EXPECT_FALSE(is_retryable(StatusCode::kOk));
   EXPECT_FALSE(is_retryable(StatusCode::kBadRequest));
   EXPECT_FALSE(is_retryable(StatusCode::kUnknownTopology));
@@ -430,6 +448,105 @@ TEST_F(QgdpdTest, EcoMatchesLocalIncrementalLegalizer) {
   EXPECT_EQ(warm_eco->layout, local_qlay.str());
 }
 
+TEST_F(QgdpdTest, ForkIsolationMatchesInProcessByteForByte) {
+  // In-process reference first (the default daemon from SetUp).
+  QgdpdClient ref = connect();
+  std::string error;
+  PlaceRequest place;
+  place.topology = "Grid";
+  const auto in_proc = ref.place(place, &error);
+  ASSERT_TRUE(in_proc.has_value()) << error;
+  ASSERT_FALSE(in_proc->layout.empty());
+
+  std::istringstream is(in_proc->layout);
+  QuantumNetlist nl = read_layout(is);
+  const Point p3 = nl.qubit(3).pos;
+  EcoRequest eco;
+  eco.want_layout = true;
+  eco.moves = {{3, p3.x + 2.0, p3.y + 1.0}};
+  const auto eco_ref = ref.eco(eco, &error);
+  ASSERT_TRUE(eco_ref.has_value()) << error;
+  ASSERT_TRUE(eco_ref->success);
+
+  // The same traffic against a fork-isolated daemon: every reply must
+  // be byte-identical — the isolated path is an implementation detail,
+  // never an observable one.
+  QgdpdOptions opt;
+  opt.isolation = Isolation::kFork;
+  restart(opt);
+  QgdpdClient iso = connect();
+  const auto cold = iso.place(place, &error);
+  ASSERT_TRUE(cold.has_value()) << error;
+  EXPECT_FALSE(cold->cached);
+  EXPECT_EQ(cold->cache_key, in_proc->cache_key);
+  EXPECT_EQ(cold->layout, in_proc->layout);
+  EXPECT_EQ(cold->layout_hash, in_proc->layout_hash);
+  EXPECT_EQ(cold->blocks, in_proc->blocks);
+
+  const auto eco_iso = iso.eco(eco, &error);
+  ASSERT_TRUE(eco_iso.has_value()) << error;
+  EXPECT_TRUE(eco_iso->success);
+  EXPECT_EQ(eco_iso->layout, eco_ref->layout);
+  EXPECT_EQ(eco_iso->layout_hash, eco_ref->layout_hash);
+  EXPECT_EQ(eco_iso->ripped_blocks, eco_ref->ripped_blocks);
+
+  // Warm hits under fork isolation serve the identical cached bytes.
+  QgdpdClient warm = connect();
+  const auto hit = warm.place(place, &error);
+  ASSERT_TRUE(hit.has_value()) << error;
+  EXPECT_TRUE(hit->cached);
+  EXPECT_EQ(hit->layout, in_proc->layout);
+
+  const auto stats = warm.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->worker_crashes, 0u);
+  EXPECT_EQ(stats->internal_errors, 0u);
+}
+
+TEST_F(QgdpdTest, ForkIsolationCrashesAreTypedAndDoNotLeakAdmission) {
+  FaultConfig fc;
+  fc.crash_child_permille = 1000;  // every worker run dies by SIGSEGV
+  FaultInjector faults{fc};
+  QgdpdOptions opt;
+  opt.isolation = Isolation::kFork;
+  opt.max_inflight_places = 1;  // a leaked admission slot wedges the retry below
+  opt.faults = &faults;
+  restart(opt);
+
+  PlaceRequest place;
+  place.topology = "Grid";
+  const std::string frame =
+      encode_frame(FrameType::kPlaceRequest, format_place_request(place));
+  for (int i = 0; i < 5; ++i) {
+    const int fd = raw_connect();
+    ASSERT_TRUE(raw_send(fd, frame));
+    EXPECT_EQ(raw_error_status(fd), StatusCode::kWorkerCrashed) << "request " << i;
+    ::close(fd);
+  }
+  wait_active_sessions(0);
+
+  // Schedule suspended: the next cold place must be admitted (every
+  // crashed run released its inflight slot) and must succeed.
+  faults.arm(false);
+  QgdpdClient client = connect();
+  std::string error;
+  const auto ok = client.place(place, &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  EXPECT_EQ(ok->status, StatusCode::kOk);
+  ASSERT_FALSE(ok->layout.empty());
+
+  // The worker tier's counters surface in stats, and none of the five
+  // contained crashes was an internal error.
+  const auto stats = client.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->worker_crashes, 5u);
+  EXPECT_EQ(stats->workers_recycled, 5u);
+  EXPECT_EQ(stats->worker_oom_kills, 0u);
+  EXPECT_EQ(stats->internal_errors, 0u);
+
+  daemon_->stop();  // before `faults` leaves scope
+}
+
 TEST_F(QgdpdTest, RequestErrorsAreTyped) {
   QgdpdClient client = connect();
   std::string error;
@@ -612,6 +729,36 @@ TEST_F(QgdpdTest, MidReplyDisconnectLeavesDaemonServiceable) {
 
   // The write failure must kill only that session — the daemon keeps
   // serving, records no internal errors, and reaps the thread.
+  const auto stats = warm.stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->internal_errors, 0u);
+  wait_active_sessions(1);  // only `warm` remains
+}
+
+TEST_F(QgdpdTest, HalfCloseMidReplyDoesNotRaiseSigpipe) {
+  // Prefill so the raw client's request answers immediately with a
+  // large reply the daemon has to stream.
+  QgdpdClient warm = connect();
+  std::string error;
+  PlaceRequest place;
+  place.topology = "heavyhex-23x39";
+  place.want_layout = false;
+  ASSERT_TRUE(warm.place(place, &error).has_value()) << error;
+
+  // A tiny receive buffer wedges the daemon mid-send; an abortive
+  // close (SO_LINGER 0 → RST) then turns its next write into EPIPE.
+  // With SIGPIPE ignored process-wide that is a survivable error on
+  // one session; without it the whole daemon dies here.
+  place.want_layout = true;
+  const int fd = raw_connect(/*rcvbuf=*/2048);
+  ASSERT_TRUE(raw_send(fd, encode_frame(FrameType::kPlaceRequest, format_place_request(place))));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  linger abort_close{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_close, sizeof(abort_close));
+  ::close(fd);
+
+  // The daemon keeps serving on a live session, with no internal
+  // errors, and reaps the killed session's thread.
   const auto stats = warm.stats(&error);
   ASSERT_TRUE(stats.has_value()) << error;
   EXPECT_EQ(stats->internal_errors, 0u);
